@@ -1,0 +1,81 @@
+//! **E7** — baseline bounds in the DAM simulator: the B-tree's
+//! O(log_{B+1} N) searches/inserts and the BRT's O((log N)/B) inserts
+//! with O(log N) searches — the two endpoints of the insert/search
+//! tradeoff that Section 1 frames the paper around.
+
+use cosbt_bench::measure::results_dir;
+use cosbt_bench::{random_keys, scaled, search_probes};
+use cosbt_brt::Brt;
+use cosbt_btree::BTree;
+use cosbt_core::Dictionary;
+use cosbt_dam::{new_shared_sim, CacheConfig, SimPages};
+use std::io::Write as _;
+
+const PAGE: usize = 4096;
+const MEM_BLOCKS: usize = 64;
+
+fn main() {
+    let max_n = scaled(1 << 17, 1 << 21);
+    let csv_path = results_dir().join("bounds_baselines.csv");
+    std::fs::create_dir_all(results_dir()).ok();
+    let mut csv = std::fs::File::create(&csv_path).unwrap();
+    writeln!(csv, "structure,n,insert_tpi,search_tps,log_n,log_b_n").unwrap();
+
+    println!("== E7: B-tree vs BRT transfer bounds (4 KiB pages, M = {MEM_BLOCKS} pages) ==");
+    println!(
+        "{:>10} {:>10} {:>14} {:>14} {:>14} {:>14}",
+        "N", "struct", "ins tpi", "search tps", "tps/log_B N", "tps/log2 N"
+    );
+    let mut n = 1u64 << 13;
+    while n <= max_n {
+        let keys = random_keys(n, 0xE7);
+        let probes = search_probes(&keys, 512, 0xE71);
+        let lg = (n as f64).log2();
+        // Fanout of a 4 KiB branch ≈ 339; height ≈ log_B N.
+        let log_b = (n as f64).ln() / 339f64.ln();
+
+        let sim = new_shared_sim(CacheConfig::new(PAGE, MEM_BLOCKS));
+        let mut bt = BTree::new(SimPages::new(sim.clone(), PAGE));
+        for (i, &k) in keys.iter().enumerate() {
+            bt.insert(k, i as u64);
+        }
+        let ins_bt = sim.borrow().stats().transfers() as f64 / n as f64;
+        sim.borrow_mut().drop_cache();
+        sim.borrow_mut().reset_stats();
+        for &p in &probes {
+            bt.get(p);
+        }
+        let s_bt = sim.borrow().stats().fetches as f64 / probes.len() as f64;
+        println!(
+            "{:>10} {:>10} {:>14.4} {:>14.2} {:>14.3} {:>14.3}",
+            n, "B-tree", ins_bt, s_bt, s_bt / log_b, s_bt / lg
+        );
+        writeln!(csv, "btree,{n},{ins_bt:.6},{s_bt:.4},{lg:.2},{log_b:.3}").unwrap();
+
+        let sim = new_shared_sim(CacheConfig::new(PAGE, MEM_BLOCKS));
+        let mut brt = Brt::new(SimPages::new(sim.clone(), PAGE));
+        for (i, &k) in keys.iter().enumerate() {
+            brt.insert(k, i as u64);
+        }
+        let ins_brt = sim.borrow().stats().transfers() as f64 / n as f64;
+        sim.borrow_mut().drop_cache();
+        sim.borrow_mut().reset_stats();
+        for &p in &probes {
+            brt.get(p);
+        }
+        let s_brt = sim.borrow().stats().fetches as f64 / probes.len() as f64;
+        println!(
+            "{:>10} {:>10} {:>14.4} {:>14.2} {:>14.3} {:>14.3}",
+            n, "BRT", ins_brt, s_brt, s_brt / log_b, s_brt / lg
+        );
+        writeln!(csv, "brt,{n},{ins_brt:.6},{s_brt:.4},{lg:.2},{log_b:.3}").unwrap();
+
+        n *= 4;
+    }
+    println!(
+        "\nShape check: B-tree inserts cost ~1 transfer each out of core;\n\
+         BRT inserts are ~B times cheaper; BRT searches pay ~log2 N vs the\n\
+         B-tree's log_B N."
+    );
+    println!("csv: {}", csv_path.display());
+}

@@ -1,0 +1,60 @@
+//! **E8** — the insert/search tradeoff of the cache-aware lookahead
+//! array (Section 3, "Cache-aware update/query tradeoff"; Brodal &
+//! Fagerberg's Bᵉ-tree curve).
+//!
+//! Sweeping the growth factor g from 2 (COLA/BRT point) toward B (B-tree
+//! point) must trade amortized insert transfers up against search
+//! transfers down: inserts cost O((log_{g} N)·g/B) while searches cost
+//! O(log_g N) blocks.
+
+use cosbt_bench::measure::results_dir;
+use cosbt_bench::{random_keys, scaled, search_probes};
+use cosbt_core::entry::Cell;
+use cosbt_core::{Dictionary, GCola};
+use cosbt_dam::{new_shared_sim, CacheConfig, SimMem};
+use std::io::Write as _;
+
+const BLOCK: usize = 4096; // B = 128 cells
+const MEM_BLOCKS: usize = 64;
+
+fn main() {
+    let n = scaled(1 << 16, 1 << 19);
+    let keys = random_keys(n, 0xE8);
+    let probes = search_probes(&keys, 512, 0xE81);
+    let csv_path = results_dir().join("bounds_tradeoff.csv");
+    std::fs::create_dir_all(results_dir()).ok();
+    let mut csv = std::fs::File::create(&csv_path).unwrap();
+    writeln!(csv, "g,insert_tpi,search_tps").unwrap();
+
+    println!("== E8: growth-factor tradeoff, N = {n}, B = 128 cells ==");
+    println!("{:>6} {:>16} {:>16}", "g", "insert tpi", "search tps");
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    for g in [2usize, 4, 8, 16, 32, 64, 128] {
+        let sim = new_shared_sim(CacheConfig::new(BLOCK, MEM_BLOCKS));
+        let mem: SimMem<Cell> = SimMem::with_elem_bytes(sim.clone(), 32);
+        // Lookahead density 1/g, as in the cache-aware construction.
+        let mut la = GCola::new(mem, g, (1.0 / g as f64).min(0.5));
+        for (i, &k) in keys.iter().enumerate() {
+            la.insert(k, i as u64);
+        }
+        let ins = sim.borrow().stats().transfers() as f64 / n as f64;
+        sim.borrow_mut().drop_cache();
+        sim.borrow_mut().reset_stats();
+        for &p in &probes {
+            la.get(p);
+        }
+        let srch = sim.borrow().stats().fetches as f64 / probes.len() as f64;
+        println!("{:>6} {:>16.4} {:>16.2}", g, ins, srch);
+        writeln!(csv, "{g},{ins:.6},{srch:.4}").unwrap();
+        rows.push((g, ins, srch));
+    }
+    // Monotonicity check of the tradeoff's two ends.
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    println!(
+        "\ntradeoff endpoints: g=2 (write-optimized) ins={:.4} srch={:.2}; \
+         g=B (read-optimized) ins={:.4} srch={:.2}",
+        first.1, first.2, last.1, last.2
+    );
+    println!("csv: {}", csv_path.display());
+}

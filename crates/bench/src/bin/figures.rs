@@ -1,0 +1,69 @@
+//! `figures` — one entry point for regenerating every figure/table of the
+//! paper and every bound-validation experiment (see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release -p cosbt-bench --bin figures -- <experiment>...
+//! cargo run --release -p cosbt-bench --bin figures -- all
+//! COSBT_SCALE=full cargo run --release -p cosbt-bench --bin figures -- fig2
+//! ```
+//!
+//! Each experiment maps to a standalone bench target (so `cargo bench`
+//! regenerates everything too); this binary is a convenience dispatcher.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[(&str, &str, &str)] = &[
+    ("fig2", "fig2_random_inserts", "Figure 2: random inserts, COLAs vs B-tree (E1)"),
+    ("fig3", "fig3_sorted_inserts", "Figure 3: sorted inserts (E2)"),
+    ("fig4", "fig4_searches", "Figure 4: random searches (E3)"),
+    ("fig5", "fig5_insert_patterns", "Figure 5: insert patterns (E4)"),
+    ("bounds-cola", "bounds_cola", "E6: COLA transfer bounds (Lemmas 19/20)"),
+    ("bounds-baselines", "bounds_baselines", "E7: B-tree & BRT bounds"),
+    ("tradeoff", "bounds_tradeoff", "E8: B^eps growth-factor tradeoff"),
+    ("deamort", "deamort_worst_case", "E9: deamortized worst case (Thms 22/24)"),
+    ("shuttle", "bounds_shuttle", "E10: shuttle tree layout & inserts"),
+    ("pma", "pma_moves", "E11: PMA amortized moves"),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: figures <experiment>... | all | list");
+    eprintln!("experiments (table ratios of E5 are printed by fig2-fig4):");
+    for (name, _, desc) in EXPERIMENTS {
+        eprintln!("  {name:<18} {desc}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" || args[0] == "--help" {
+        usage();
+    }
+    let selected: Vec<&(&str, &str, &str)> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().collect()
+    } else {
+        args.iter()
+            .map(|a| {
+                EXPERIMENTS
+                    .iter()
+                    .find(|(name, _, _)| name == a)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown experiment: {a}");
+                        usage()
+                    })
+            })
+            .collect()
+    };
+    for (name, bench, desc) in selected {
+        println!("\n======== {name}: {desc} ========");
+        let status = Command::new(env!("CARGO"))
+            .args(["bench", "-p", "cosbt-bench", "--bench", bench])
+            .status()
+            .expect("failed to spawn cargo bench");
+        if !status.success() {
+            eprintln!("{name} failed");
+            std::process::exit(1);
+        }
+    }
+    println!("\nCSV outputs are under results/.");
+}

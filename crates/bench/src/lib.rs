@@ -1,0 +1,31 @@
+//! Benchmark harness utilities: workload generators, dictionary
+//! constructors over each storage backend, and measurement loops that
+//! print the same series the paper's figures plot.
+//!
+//! Every figure/table of the paper's Section 4 and every bound of
+//! Sections 2–3 has a bench target in `benches/` built from these pieces;
+//! the `figures` binary drives full parameter sweeps. See EXPERIMENTS.md
+//! for the experiment index and recorded results.
+
+pub mod measure;
+pub mod setup;
+pub mod workloads;
+
+pub use measure::{Checkpoint, Series};
+pub use setup::{DictKind, OutOfCore};
+pub use workloads::{ascending, descending, random_keys, search_probes};
+
+/// Scale knob: `COSBT_SCALE=full` enlarges every experiment; default is a
+/// laptop-quick configuration.
+pub fn full_scale() -> bool {
+    std::env::var("COSBT_SCALE").map(|v| v == "full").unwrap_or(false)
+}
+
+/// Picks `quick` or `full` based on [`full_scale`].
+pub fn scaled(quick: u64, full: u64) -> u64 {
+    if full_scale() {
+        full
+    } else {
+        quick
+    }
+}

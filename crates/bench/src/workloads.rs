@@ -1,0 +1,52 @@
+//! Key-stream generators matching the paper's experiments.
+//!
+//! The paper inserts 64-bit keys in three orders: uniformly random,
+//! ascending `[0, …, N−1]`, and descending `[N−1, …, 0]`. Search probes
+//! are uniformly random existing keys.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` pseudorandom 64-bit keys (duplicates possible, as in the paper's
+/// "N random elements").
+pub fn random_keys(n: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Keys `0, 1, …, n−1`.
+pub fn ascending(n: u64) -> Vec<u64> {
+    (0..n).collect()
+}
+
+/// Keys `n−1, …, 1, 0` — the B-tree's best case (Figure 3 inserts the
+/// keys in descending order).
+pub fn descending(n: u64) -> Vec<u64> {
+    (0..n).rev().collect()
+}
+
+/// `count` random probes drawn from `keys` (with replacement), as in the
+/// paper's 2^15 random searches.
+pub fn search_probes(keys: &[u64], count: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| keys[rng.gen_range(0..keys.len())])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_deterministic_and_sized() {
+        assert_eq!(random_keys(100, 1), random_keys(100, 1));
+        assert_ne!(random_keys(100, 1), random_keys(100, 2));
+        assert_eq!(ascending(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(descending(5), vec![4, 3, 2, 1, 0]);
+        let keys = random_keys(50, 3);
+        let probes = search_probes(&keys, 200, 4);
+        assert_eq!(probes.len(), 200);
+        assert!(probes.iter().all(|p| keys.contains(p)));
+    }
+}

@@ -1,0 +1,89 @@
+//! Stress and property tests of the buffered repository tree: deep
+//! flush cascades, split storms from sorted input, and model equivalence
+//! under heavy tombstone traffic.
+
+use cosbt_brt::Brt;
+use cosbt_core::Dictionary;
+use proptest::prelude::*;
+
+#[test]
+fn sorted_input_split_storm() {
+    // Sorted inserts make every flush land in the rightmost child: the
+    // worst case for the transient-width machinery.
+    let mut t = Brt::new_plain();
+    let n = 100_000u64;
+    for k in 0..n {
+        t.insert(k, k);
+    }
+    for k in (0..n).step_by(977) {
+        assert_eq!(t.get(k), Some(k));
+    }
+    assert_eq!(t.range(0, u64::MAX).len() as u64, n);
+}
+
+#[test]
+fn alternating_insert_delete_same_keys() {
+    let mut t = Brt::new_plain();
+    let mut model = std::collections::BTreeMap::new();
+    for round in 0..40u64 {
+        for k in 0..500u64 {
+            if (round + k) % 2 == 0 {
+                t.insert(k, round);
+                model.insert(k, round);
+            } else {
+                t.delete(k);
+                model.remove(&k);
+            }
+        }
+    }
+    for k in 0..500u64 {
+        assert_eq!(t.get(k), model.get(&k).copied(), "key {k}");
+    }
+    let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(t.range(0, u64::MAX), want);
+}
+
+#[test]
+fn deep_tree_buffered_recency() {
+    // A message buffered high in the tree must shadow an older version
+    // that has already been flushed to a leaf far below.
+    let mut t = Brt::new_plain();
+    for k in 0..50_000u64 {
+        t.insert(k, 1);
+    }
+    // These updates sit in the root buffer initially.
+    for k in (0..50_000u64).step_by(10_000) {
+        t.insert(k, 2);
+    }
+    for k in (0..50_000u64).step_by(10_000) {
+        assert_eq!(t.get(k), Some(2), "key {k} must see the buffered update");
+    }
+    assert_eq!(t.get(1), Some(1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn brt_random_ops_match_model(
+        ops in proptest::collection::vec((0u8..10, 0u64..256, any::<u64>()), 1..700)
+    ) {
+        let mut t = Brt::new_plain();
+        let mut model = std::collections::BTreeMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0..=6 => {
+                    t.insert(k, v);
+                    model.insert(k, v);
+                }
+                7..=8 => {
+                    t.delete(k);
+                    model.remove(&k);
+                }
+                _ => prop_assert_eq!(t.get(k), model.get(&k).copied()),
+            }
+        }
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(t.range(0, u64::MAX), want);
+    }
+}

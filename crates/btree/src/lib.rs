@@ -1,0 +1,22 @@
+//! Baseline B+-tree: the "traditional B-tree" of the paper's Section 4.
+//!
+//! "Our B-tree implementation employs blocks of size 4KiB. Key and value
+//! sizes were each 64 bits to match our COLA implementation." This crate
+//! reproduces that comparator: a B+-tree (all key/value pairs in the
+//! leaves, leaves chained for range scans) over any
+//! [`cosbt_dam::PageStore`], with 4 KiB pages by default, point and range
+//! queries, upsert, delete, and sorted bulk-loading (the paper builds its
+//! Figure 4 tree by sorting then inserting: [`BTree::bulk_load`] is that
+//! operation done properly).
+//!
+//! Costs in the DAM model: `O(log_{B+1} N)` transfers per search/insert —
+//! optimal for searching, and the thing the COLA beats by Θ(B/log B) on
+//! random insertion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod tree;
+
+pub use tree::BTree;

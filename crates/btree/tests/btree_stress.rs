@@ -1,0 +1,102 @@
+//! Stress and property tests of the baseline B+-tree: deep trees,
+//! boundary splits, bulk-load vs incremental equivalence under
+//! randomized inputs, and leaf-chain integrity after heavy deletion.
+
+use cosbt_btree::BTree;
+use proptest::prelude::*;
+
+#[test]
+fn three_level_tree_and_full_scan() {
+    // Force ≥ 3 levels: > 255 * 339 entries would be level 4; 150k gives
+    // a solid 3-level tree.
+    let mut t = BTree::new_plain();
+    let n = 150_000u64;
+    for i in 0..n {
+        t.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i);
+    }
+    assert!(t.height() >= 3, "height {}", t.height());
+    t.check_invariants();
+    let all = t.range(0, u64::MAX);
+    assert_eq!(all.len() as u64, n);
+    for w in all.windows(2) {
+        assert!(w[0].0 < w[1].0);
+    }
+}
+
+#[test]
+fn delete_everything_then_rebuild() {
+    let mut t = BTree::new_plain();
+    for k in 0..30_000u64 {
+        t.insert(k, k);
+    }
+    for k in 0..30_000u64 {
+        assert!(t.delete(k), "delete {k}");
+    }
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.range(0, u64::MAX), vec![]);
+    t.check_invariants();
+    for k in 0..5_000u64 {
+        t.insert(k, k + 1);
+    }
+    assert_eq!(t.len(), 5_000);
+    assert_eq!(t.get(4_999), Some(5_000));
+    t.check_invariants();
+}
+
+#[test]
+fn boundary_separator_keys() {
+    // Keys around branch separators: equal-to-separator routes right.
+    let mut t = BTree::new_plain();
+    for k in 0..100_000u64 {
+        t.insert(k, k);
+    }
+    t.check_invariants();
+    // Every key findable including the ones that became separators.
+    for k in (0..100_000u64).step_by(127) {
+        assert_eq!(t.get(k), Some(k));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bulk_load_equals_incremental_random(mut keys in proptest::collection::btree_set(any::<u64>(), 1..3000)) {
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xFF)).collect();
+        let mut bulk = BTree::new_plain();
+        bulk.bulk_load(&pairs);
+        let mut inc = BTree::new_plain();
+        // Insert in a scrambled order.
+        let mut scrambled = pairs.clone();
+        scrambled.sort_by_key(|&(k, _)| k.wrapping_mul(0x9E3779B97F4A7C15));
+        for &(k, v) in &scrambled {
+            inc.insert(k, v);
+        }
+        bulk.check_invariants();
+        inc.check_invariants();
+        prop_assert_eq!(bulk.range(0, u64::MAX), inc.range(0, u64::MAX));
+        if let Some(&first) = keys.iter().next() {
+            prop_assert_eq!(bulk.get(first), inc.get(first));
+            keys.remove(&first);
+        }
+    }
+
+    #[test]
+    fn random_ops_match_model(ops in proptest::collection::vec((any::<bool>(), 0u64..512, any::<u64>()), 1..800)) {
+        let mut t = BTree::new_plain();
+        let mut model = std::collections::BTreeMap::new();
+        for (ins, k, v) in ops {
+            if ins {
+                t.insert(k, v);
+                model.insert(k, v);
+            } else {
+                let got = t.delete(k);
+                prop_assert_eq!(got, model.remove(&k).is_some());
+            }
+        }
+        prop_assert_eq!(t.len(), model.len());
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(t.range(0, u64::MAX), want);
+        t.check_invariants();
+    }
+}

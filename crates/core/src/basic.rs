@@ -1,0 +1,568 @@
+//! The basic cache-oblivious lookahead array (Section 3).
+//!
+//! `⌈log₂ N⌉` arrays ("levels"), the k-th of size `2^k`, each completely
+//! full or completely empty, stored contiguously, each sorted. Invariant 1:
+//! level k holds items iff bit k of the number of insertions N is set.
+//! Inserting performs a binary *carry*: merge equal-length runs upward
+//! until an empty level absorbs the result (Lemma 19: amortized
+//! `O((log N)/B)` transfers). Searches binary-search each level:
+//! `O(log² N)` transfers — the paper speeds this to `O(log N)` with
+//! lookahead pointers (see [`crate::gcola`]).
+//!
+//! Merging follows the implementation section exactly: "we merge the 2
+//! smallest levels at a time … We alternate placing the result of the merge
+//! at the beginning of the target level and at the newly freed space at the
+//! beginning of the data structure, thus requiring space for only 1
+//! additional element during merges." Slot 0 is that one spare element.
+//!
+//! Upsert/delete semantics (an extension; the paper only specifies
+//! insertion): newer versions shadow older ones. Within a level, equal keys
+//! are ordered newest-first, maintained by giving the carried run
+//! precedence on ties; searches take the leftmost match of the newest
+//! level containing the key. Deletes insert tombstones.
+
+use cosbt_dam::{Mem, PlainMem};
+
+use crate::dict::Dictionary;
+use crate::entry::Cell;
+use crate::stats::ColaStats;
+
+/// Offset of level `k`: slot 0 is the merge spare, then levels are packed
+/// contiguously (sizes 1, 2, 4, …).
+#[inline]
+fn level_off(k: usize) -> usize {
+    1usize << k // 1 (spare) + (2^k - 1) (levels 0..k)
+}
+
+/// Basic COLA over any [`Mem`] backend.
+#[derive(Debug)]
+pub struct BasicCola<M: Mem<Cell>> {
+    mem: M,
+    /// `full[k]` ⇔ level k holds items (Invariant 1).
+    full: Vec<bool>,
+    /// Total insertions performed (the paper's N).
+    n: u64,
+    stats: ColaStats,
+}
+
+impl BasicCola<PlainMem<Cell>> {
+    /// A basic COLA over plain heap memory.
+    pub fn new_plain() -> Self {
+        Self::new(PlainMem::new())
+    }
+}
+
+impl<M: Mem<Cell>> BasicCola<M> {
+    /// Creates an empty basic COLA over `mem` (cleared).
+    pub fn new(mut mem: M) -> Self {
+        mem.resize(2, Cell::default()); // spare + level 0
+        BasicCola {
+            mem,
+            full: vec![false],
+            n: 0,
+            stats: ColaStats::default(),
+        }
+    }
+
+    /// Number of insert operations performed (the paper's N).
+    pub fn insertions(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of levels allocated.
+    pub fn levels(&self) -> usize {
+        self.full.len()
+    }
+
+    /// Whether level `k` currently holds items.
+    pub fn level_full(&self, k: usize) -> bool {
+        self.full[k]
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> ColaStats {
+        self.stats
+    }
+
+    /// Borrow the backing store (for simulator statistics).
+    pub fn mem(&self) -> &M {
+        &self.mem
+    }
+
+    fn ensure_levels(&mut self, levels: usize) {
+        while self.full.len() < levels {
+            self.full.push(false);
+        }
+        let need = level_off(self.full.len() - 1) + (1 << (self.full.len() - 1));
+        if self.mem.len() < need {
+            self.mem.resize(need, Cell::default());
+        }
+    }
+
+    fn insert_cell(&mut self, cell: Cell) {
+        self.n += 1;
+        self.stats.inserts += 1;
+        let before = self.stats.cells_written;
+
+        // Find the first empty level t (levels 0..t are full).
+        let mut t = 0usize;
+        while t < self.full.len() && self.full[t] {
+            t += 1;
+        }
+        self.ensure_levels(t + 1);
+
+        if t == 0 {
+            self.mem.set(level_off(0), cell);
+            self.full[0] = true;
+            self.stats.cells_written += 1;
+            let w = self.stats.cells_written - before;
+            self.stats.max_cells_per_insert = self.stats.max_cells_per_insert.max(w);
+            return;
+        }
+        self.stats.merges += 1;
+
+        // Carry: merge `cell` with levels 0..t-1 pairwise, alternating
+        // output between the start of the structure (slot 0) and the start
+        // of the target level, so the final merge lands exactly on level t.
+        //
+        // Output side of step j (merging the run with level j):
+        //   step t-1 must land on the target, and sides alternate.
+        let target_base = level_off(t);
+        // Place the new element as the initial 1-cell run. Its side must be
+        // opposite to step 0's output side.
+        let step0_target = (t - 1) % 2 == 0;
+        let mut run_base = if step0_target { 0 } else { target_base };
+        let mut run_len = 1usize;
+        self.mem.set(run_base, cell);
+        self.stats.cells_written += 1;
+
+        for j in 0..t {
+            let out_base = if (t - 1 - j) % 2 == 0 { target_base } else { 0 };
+            debug_assert_ne!(out_base, run_base, "run and output must alternate");
+            let lvl_base = level_off(j);
+            let lvl_len = 1usize << j;
+            // Merge run (newer; wins ties) with level j (older).
+            let (mut a, mut b, mut w) = (0usize, 0usize, 0usize);
+            while a < run_len || b < lvl_len {
+                let take_run = if a == run_len {
+                    false
+                } else if b == lvl_len {
+                    true
+                } else {
+                    // Read both heads before writing: the output may land on
+                    // level j's head slot only when the run is exhausted.
+                    self.mem.get(run_base + a).key <= self.mem.get(lvl_base + b).key
+                };
+                let v = if take_run {
+                    let v = self.mem.get(run_base + a);
+                    a += 1;
+                    v
+                } else {
+                    let v = self.mem.get(lvl_base + b);
+                    b += 1;
+                    v
+                };
+                self.mem.set(out_base + w, v);
+                w += 1;
+            }
+            self.stats.cells_written += w as u64;
+            run_base = out_base;
+            run_len += lvl_len;
+            self.full[j] = false;
+        }
+        debug_assert_eq!(run_base, target_base);
+        debug_assert_eq!(run_len, 1 << t);
+        self.full[t] = true;
+
+        let w = self.stats.cells_written - before;
+        self.stats.max_cells_per_insert = self.stats.max_cells_per_insert.max(w);
+    }
+
+    /// Leftmost cell with key == `key` in level `k`, if any (the newest
+    /// version within the level).
+    fn search_level(&mut self, k: usize, key: u64) -> Option<Cell> {
+        let base = level_off(k);
+        let len = 1usize << k;
+        let (mut lo, mut hi) = (0usize, len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            self.stats.cells_scanned += 1;
+            if self.mem.get(base + mid).key < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < len {
+            let c = self.mem.get(base + lo);
+            self.stats.cells_scanned += 1;
+            if c.key == key {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// All live pairs in `[lo, hi]`: k-way merge across levels with
+    /// newest-wins duplicate resolution and tombstone filtering.
+    fn range_impl(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        // Collect per-level in-range runs, newest level first.
+        let mut runs: Vec<Vec<Cell>> = Vec::new();
+        for k in 0..self.full.len() {
+            if !self.full[k] {
+                continue;
+            }
+            let base = level_off(k);
+            let len = 1usize << k;
+            // lower bound for lo
+            let (mut a, mut b) = (0usize, len);
+            while a < b {
+                let mid = (a + b) / 2;
+                if self.mem.get(base + mid).key < lo {
+                    a = mid + 1;
+                } else {
+                    b = mid;
+                }
+            }
+            let mut run = Vec::new();
+            let mut i = a;
+            while i < len {
+                let c = self.mem.get(base + i);
+                if c.key > hi {
+                    break;
+                }
+                run.push(c);
+                i += 1;
+            }
+            if !run.is_empty() {
+                runs.push(run);
+            }
+        }
+        merge_runs_newest_first(runs)
+    }
+
+    /// Rebuilds the structure keeping only live entries (drops shadowed
+    /// versions and tombstones). Extension: the paper's COLA never removes
+    /// anything; compaction restores `physical_len == live keys`.
+    pub fn compact(&mut self) {
+        let live = self.range_impl(0, u64::MAX);
+        for f in self.full.iter_mut() {
+            *f = false;
+        }
+        self.n = 0;
+        // Distribute the sorted live entries over levels matching the
+        // binary decomposition of the count; any per-level sorted layout
+        // is valid.
+        let mut remaining = live.len();
+        let mut idx = 0usize;
+        let mut bit = 0usize;
+        let mut placements: Vec<(usize, usize)> = Vec::new(); // (level, start idx)
+        while remaining > 0 {
+            if remaining & 1 == 1 {
+                placements.push((bit, idx));
+                idx += 1 << bit;
+            }
+            remaining >>= 1;
+            bit += 1;
+        }
+        if !placements.is_empty() {
+            self.ensure_levels(placements.last().unwrap().0 + 1);
+        }
+        for (k, start) in placements {
+            let base = level_off(k);
+            for i in 0..(1usize << k) {
+                let (key, val) = live[start + i];
+                self.mem.set(base + i, Cell::item(key, val));
+            }
+            self.full[k] = true;
+            self.n += 1 << k;
+        }
+    }
+
+    /// Checks Invariant 1 (level k full ⇔ bit k of N) and per-level
+    /// sortedness. Panics on violation; for tests.
+    pub fn check_invariants(&self) {
+        for (k, &f) in self.full.iter().enumerate() {
+            assert_eq!(
+                f,
+                self.n >> k & 1 == 1,
+                "level {k} fullness disagrees with bit {k} of N={}",
+                self.n
+            );
+        }
+        for (k, &f) in self.full.iter().enumerate() {
+            if !f {
+                continue;
+            }
+            let base = level_off(k);
+            for i in 1..(1usize << k) {
+                assert!(
+                    self.mem.get(base + i - 1).key <= self.mem.get(base + i).key,
+                    "level {k} not sorted at {i}"
+                );
+            }
+        }
+    }
+}
+
+/// Merges per-level runs (newest level first; within a level cells are
+/// already newest-first among equal keys) resolving duplicates newest-wins
+/// and dropping tombstones.
+pub(crate) fn merge_runs_newest_first(runs: Vec<Vec<Cell>>) -> Vec<(u64, u64)> {
+    let mut idx = vec![0usize; runs.len()];
+    let mut out = Vec::new();
+    loop {
+        // Find the smallest key among run heads; among equal keys, the
+        // earliest run (newest) wins.
+        let mut best: Option<(u64, usize)> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if idx[r] < run.len() {
+                let k = run[idx[r]].key;
+                if best.map_or(true, |(bk, _)| k < bk) {
+                    best = Some((k, r));
+                }
+            }
+        }
+        let (key, r) = match best {
+            Some(b) => b,
+            None => break,
+        };
+        let cell = runs[r][idx[r]];
+        // Consume every cell with this key from all runs.
+        for (r2, run) in runs.iter().enumerate() {
+            while idx[r2] < run.len() && run[idx[r2]].key == key {
+                idx[r2] += 1;
+            }
+        }
+        if !cell.is_tombstone() {
+            out.push((key, cell.val));
+        }
+    }
+    out
+}
+
+impl<M: Mem<Cell>> Dictionary for BasicCola<M> {
+    fn insert(&mut self, key: u64, val: u64) {
+        self.insert_cell(Cell::item(key, val));
+    }
+
+    fn delete(&mut self, key: u64) {
+        self.insert_cell(Cell::tombstone(key));
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.stats.searches += 1;
+        for k in 0..self.full.len() {
+            if self.full[k] {
+                if let Some(c) = self.search_level(k, key) {
+                    return c.as_lookup();
+                }
+            }
+        }
+        None
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.range_impl(lo, hi)
+    }
+
+    fn physical_len(&self) -> usize {
+        self.n as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "basic-cola"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_offsets_are_contiguous() {
+        assert_eq!(level_off(0), 1);
+        assert_eq!(level_off(1), 2);
+        assert_eq!(level_off(2), 4);
+        assert_eq!(level_off(3), 8);
+        // level k ends where level k+1 begins
+        for k in 0..20 {
+            assert_eq!(level_off(k) + (1 << k), level_off(k + 1));
+        }
+    }
+
+    #[test]
+    fn insert_follows_binary_counter() {
+        let mut c = BasicCola::new_plain();
+        for i in 0..64u64 {
+            c.insert(i, i);
+            c.check_invariants();
+        }
+        assert_eq!(c.insertions(), 64);
+        assert!(c.level_full(6));
+        for k in 0..6 {
+            assert!(!c.level_full(k));
+        }
+    }
+
+    #[test]
+    fn get_finds_all_inserted() {
+        let mut c = BasicCola::new_plain();
+        let mut x: u64 = 42;
+        let mut keys = Vec::new();
+        for i in 0..1000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            keys.push(x);
+            c.insert(x, i);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(c.get(k), Some(i as u64), "key {k}");
+        }
+        assert_eq!(c.get(12345), None);
+    }
+
+    #[test]
+    fn upsert_newest_wins() {
+        let mut c = BasicCola::new_plain();
+        for round in 0..10u64 {
+            for k in 0..50u64 {
+                c.insert(k, round * 100 + k);
+            }
+        }
+        for k in 0..50u64 {
+            assert_eq!(c.get(k), Some(900 + k));
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn delete_shadows_older_inserts() {
+        let mut c = BasicCola::new_plain();
+        c.insert(5, 55);
+        c.insert(6, 66);
+        c.delete(5);
+        assert_eq!(c.get(5), None);
+        assert_eq!(c.get(6), Some(66));
+        c.insert(5, 57);
+        assert_eq!(c.get(5), Some(57));
+    }
+
+    #[test]
+    fn range_dedupes_and_filters_tombstones() {
+        let mut c = BasicCola::new_plain();
+        for k in 0..100u64 {
+            c.insert(k, k);
+        }
+        for k in 0..100u64 {
+            if k % 3 == 0 {
+                c.insert(k, k + 1000);
+            }
+            if k % 7 == 0 {
+                c.delete(k);
+            }
+        }
+        let got = c.range(10, 40);
+        let mut want = Vec::new();
+        for k in 10..=40u64 {
+            if k % 7 == 0 {
+                continue;
+            }
+            if k % 3 == 0 {
+                want.push((k, k + 1000));
+            } else {
+                want.push((k, k));
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_empty_and_full_bounds() {
+        let mut c = BasicCola::new_plain();
+        assert_eq!(c.range(0, u64::MAX), vec![]);
+        c.insert(10, 1);
+        c.insert(20, 2);
+        assert_eq!(c.range(0, u64::MAX), vec![(10, 1), (20, 2)]);
+        assert_eq!(c.range(11, 19), vec![]);
+        assert_eq!(c.range(10, 10), vec![(10, 1)]);
+        assert_eq!(c.range(20, 20), vec![(20, 2)]);
+    }
+
+    #[test]
+    fn compact_drops_shadowed_versions() {
+        let mut c = BasicCola::new_plain();
+        for k in 0..200u64 {
+            c.insert(k, k);
+            c.insert(k, k + 1); // shadow
+        }
+        for k in 0..50u64 {
+            c.delete(k);
+        }
+        assert_eq!(c.physical_len(), 450);
+        c.compact();
+        assert_eq!(c.physical_len(), 150);
+        c.check_invariants();
+        for k in 0..50u64 {
+            assert_eq!(c.get(k), None);
+        }
+        for k in 50..200u64 {
+            assert_eq!(c.get(k), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn amortized_merge_cost_is_logarithmic() {
+        let mut c = BasicCola::new_plain();
+        let n = 1u64 << 14;
+        for i in 0..n {
+            c.insert(i.wrapping_mul(2654435761), i);
+        }
+        let per = c.stats().amortized_writes();
+        // Amortized writes per insert ≈ log2(N)/2 + O(1); allow slack.
+        assert!(
+            per < 2.0 * 14.0,
+            "amortized writes {per} should be O(log N) = 14"
+        );
+    }
+
+    #[test]
+    fn worst_case_insert_moves_whole_structure() {
+        // Insert 2^k elements: the last insert merges everything; this is
+        // exactly the behaviour deamortization removes.
+        let mut c = BasicCola::new_plain();
+        for i in 0..(1u64 << 10) {
+            c.insert(i, i);
+        }
+        assert!(c.stats().max_cells_per_insert >= 1 << 10);
+    }
+
+    #[test]
+    fn works_over_sim_mem_and_counts_transfers() {
+        use cosbt_dam::{new_shared_sim, CacheConfig, SimMem};
+        let sim = new_shared_sim(CacheConfig::new(512, 16));
+        let mem: SimMem<Cell> = SimMem::with_elem_bytes(sim.clone(), 32);
+        let mut c = BasicCola::new(mem);
+        for i in 0..4096u64 {
+            c.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i);
+        }
+        let transfers = sim.borrow().stats().transfers();
+        assert!(transfers > 0);
+        // Amortized transfers per insert should be O(log(N)/B) with
+        // B = 512/32 = 16 cells: far below 1 per insert.
+        let per = transfers as f64 / 4096.0;
+        assert!(per < 12.0 / 16.0 * 4.0, "transfers/insert = {per}");
+    }
+
+    #[test]
+    fn merge_runs_prefers_newest() {
+        let runs = vec![
+            vec![Cell::item(1, 10), Cell::item(5, 50)],
+            vec![Cell::item(1, 11), Cell::tombstone(3), Cell::item(5, 51)],
+            vec![Cell::item(3, 33), Cell::item(7, 77)],
+        ];
+        assert_eq!(
+            merge_runs_newest_first(runs),
+            vec![(1, 10), (5, 50), (7, 77)]
+        );
+    }
+}

@@ -1,0 +1,494 @@
+//! Partial deamortization of the basic COLA (Section 3, Lemma 21 /
+//! Theorem 22).
+//!
+//! Each level k keeps **two** arrays of size `2^k`. A level is *unsafe*
+//! while it holds exactly `2^{k+1}` items (both arrays full) and becomes
+//! safe when both arrays empty. Each insertion places the new item in
+//! level 0 and then scans the levels left to right, continuing the merges
+//! of unsafe levels into the next level, stopping after moving `m = 2k + 2`
+//! items (k = number of levels), which by Lemma 21 guarantees that two
+//! adjacent levels are never simultaneously unsafe — so a free array always
+//! exists to merge into. Worst-case insert cost drops from `O(N/B)` to
+//! `O(log N)` while the amortized cost stays `O((log N)/B)`.
+//!
+//! Queries read completed (full) arrays only; a merge's destination is
+//! invisible until the merge commits, and its sources stay readable until
+//! then, so searches are never amortized against merges.
+
+use cosbt_dam::{Mem, PlainMem};
+
+use crate::basic::merge_runs_newest_first;
+use crate::dict::Dictionary;
+use crate::entry::Cell;
+use crate::stats::ColaStats;
+
+/// Which of a level's two arrays.
+type Side = usize; // 0 or 1
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArrState {
+    Empty,
+    /// Holds `2^k` sorted items; `seq` orders recency within the level.
+    Full { seq: u64 },
+    /// Being written by an incoming merge; invisible to queries.
+    Filling,
+}
+
+/// In-progress merge of level `k`'s two arrays into `dst` at level `k+1`.
+#[derive(Debug, Clone, Copy)]
+struct MergeState {
+    dst_side: Side,
+    /// Consumed prefix of source arrays 0 and 1.
+    ia: usize,
+    ib: usize,
+    /// Cells written to the destination.
+    w: usize,
+}
+
+/// Deamortized basic COLA over any [`Mem`] backend.
+#[derive(Debug)]
+pub struct DeamortBasicCola<M: Mem<Cell>> {
+    mem: M,
+    /// `state[k][side]`.
+    state: Vec<[ArrState; 2]>,
+    /// Merge progress for unsafe levels.
+    merges: Vec<Option<MergeState>>,
+    n: u64,
+    seq: u64,
+    stats: ColaStats,
+    /// Largest number of cells moved by a single insert's mover pass.
+    max_moves: u64,
+}
+
+/// Offset of array `side` of level `k`: levels are packed contiguously,
+/// each holding two arrays of `2^k`.
+#[inline]
+fn arr_off(k: usize, side: Side) -> usize {
+    2 * ((1usize << k) - 1) + side * (1usize << k)
+}
+
+impl DeamortBasicCola<PlainMem<Cell>> {
+    /// Over plain heap memory.
+    pub fn new_plain() -> Self {
+        Self::new(PlainMem::new())
+    }
+}
+
+impl<M: Mem<Cell>> DeamortBasicCola<M> {
+    /// Creates an empty deamortized basic COLA over `mem` (cleared).
+    pub fn new(mut mem: M) -> Self {
+        mem.resize(arr_off(1, 0), Cell::default());
+        DeamortBasicCola {
+            mem,
+            state: vec![[ArrState::Empty; 2]],
+            merges: vec![None],
+            n: 0,
+            seq: 0,
+            stats: ColaStats::default(),
+            max_moves: 0,
+        }
+    }
+
+    /// Number of insert operations performed.
+    pub fn insertions(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of levels allocated.
+    pub fn num_levels(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> ColaStats {
+        self.stats
+    }
+
+    /// Largest number of cells moved by any single insert — the worst-case
+    /// bound Theorem 22 is about.
+    pub fn max_moves_per_insert(&self) -> u64 {
+        self.max_moves
+    }
+
+    /// Whether level `k` is unsafe (mid-merge).
+    pub fn is_unsafe(&self, k: usize) -> bool {
+        self.merges.get(k).is_some_and(|m| m.is_some())
+    }
+
+    fn ensure_level(&mut self, k: usize) {
+        while self.state.len() <= k {
+            self.state.push([ArrState::Empty; 2]);
+            self.merges.push(None);
+        }
+        let need = arr_off(self.state.len(), 0);
+        if self.mem.len() < need {
+            self.mem.resize(need, Cell::default());
+        }
+    }
+
+    /// Starts the merge of unsafe level `k` into a free array of `k+1`.
+    fn begin_merge(&mut self, k: usize) {
+        self.ensure_level(k + 1);
+        let dst_side = (0..2)
+            .find(|&s| self.state[k + 1][s] == ArrState::Empty)
+            .expect("Lemma 21 violated: no free array in next level");
+        self.state[k + 1][dst_side] = ArrState::Filling;
+        self.merges[k] = Some(MergeState {
+            dst_side,
+            ia: 0,
+            ib: 0,
+            w: 0,
+        });
+        self.stats.merges += 1;
+    }
+
+    /// Advances level `k`'s merge by at most `budget` moves; returns moves
+    /// spent. Sources stay intact (readable) until commit.
+    fn step_merge(&mut self, k: usize, budget: u64) -> u64 {
+        let mut ms = match self.merges[k] {
+            Some(ms) => ms,
+            None => return 0,
+        };
+        let len = 1usize << k;
+        // Tie-break: the newer source wins equal keys.
+        let seq_of = |st: ArrState| match st {
+            ArrState::Full { seq } => seq,
+            _ => unreachable!("merging a non-full array"),
+        };
+        let newer_a = seq_of(self.state[k][0]) > seq_of(self.state[k][1]);
+        let (a_base, b_base) = (arr_off(k, 0), arr_off(k, 1));
+        let dst_base = arr_off(k + 1, ms.dst_side);
+        let mut spent = 0u64;
+        while spent < budget && (ms.ia < len || ms.ib < len) {
+            let take_a = if ms.ia == len {
+                false
+            } else if ms.ib == len {
+                true
+            } else {
+                let ka = self.mem.get(a_base + ms.ia).key;
+                let kb = self.mem.get(b_base + ms.ib).key;
+                ka < kb || (ka == kb && newer_a)
+            };
+            let v = if take_a {
+                let v = self.mem.get(a_base + ms.ia);
+                ms.ia += 1;
+                v
+            } else {
+                let v = self.mem.get(b_base + ms.ib);
+                ms.ib += 1;
+                v
+            };
+            self.mem.set(dst_base + ms.w, v);
+            ms.w += 1;
+            spent += 1;
+            self.stats.cells_written += 1;
+        }
+        if ms.ia == len && ms.ib == len {
+            // Commit: destination becomes full, sources empty, level safe.
+            let seq = seq_of(self.state[k][0]).max(seq_of(self.state[k][1]));
+            self.state[k + 1][ms.dst_side] = ArrState::Full { seq };
+            self.state[k][0] = ArrState::Empty;
+            self.state[k][1] = ArrState::Empty;
+            self.merges[k] = None;
+            // The commit may have made level k+1 unsafe.
+            self.maybe_mark_unsafe(k + 1);
+        } else {
+            self.merges[k] = Some(ms);
+        }
+        spent
+    }
+
+    fn maybe_mark_unsafe(&mut self, k: usize) {
+        let both_full = self.state[k]
+            .iter()
+            .all(|s| matches!(s, ArrState::Full { .. }));
+        if both_full && self.merges[k].is_none() {
+            self.begin_merge(k);
+        }
+    }
+
+    fn insert_cell(&mut self, cell: Cell) {
+        self.n += 1;
+        self.seq += 1;
+        self.stats.inserts += 1;
+
+        // Place the new item as a length-1 run in level 0.
+        let side = (0..2)
+            .find(|&s| self.state[0][s] == ArrState::Empty)
+            .expect("level 0 has no free array: mover fell behind");
+        self.mem.set(arr_off(0, side), cell);
+        self.state[0][side] = ArrState::Full { seq: self.seq };
+        self.stats.cells_written += 1;
+        self.maybe_mark_unsafe(0);
+
+        // Mover: scan levels left to right, spending at most m moves.
+        let k = self.state.len() as u64;
+        let m = 2 * k + 2;
+        let mut budget = m;
+        let mut level = 0usize;
+        while budget > 0 && level < self.state.len() {
+            if self.merges[level].is_some() {
+                budget -= self.step_merge(level, budget);
+            }
+            level += 1;
+        }
+        let moved = m - budget;
+        self.max_moves = self.max_moves.max(moved);
+        self.stats.max_cells_per_insert = self.stats.max_cells_per_insert.max(moved + 1);
+    }
+
+    /// Leftmost cell with `key` in the given full array, if any.
+    fn search_array(&mut self, k: usize, side: Side, key: u64) -> Option<Cell> {
+        let base = arr_off(k, side);
+        let len = 1usize << k;
+        let (mut lo, mut hi) = (0usize, len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            self.stats.cells_scanned += 1;
+            if self.mem.get(base + mid).key < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < len {
+            let c = self.mem.get(base + lo);
+            if c.key == key {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Full arrays of level `k`, newest first.
+    fn full_sides(&self, k: usize) -> Vec<Side> {
+        let mut sides: Vec<(u64, Side)> = (0..2)
+            .filter_map(|s| match self.state[k][s] {
+                ArrState::Full { seq } => Some((seq, s)),
+                _ => None,
+            })
+            .collect();
+        sides.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        sides.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Verifies Lemma 21's guarantee and state consistency (for tests).
+    pub fn check_invariants(&self) {
+        for k in 0..self.state.len().saturating_sub(1) {
+            assert!(
+                !(self.is_unsafe(k) && self.is_unsafe(k + 1)),
+                "levels {k} and {} simultaneously unsafe",
+                k + 1
+            );
+        }
+        for k in 0..self.state.len() {
+            if let Some(ms) = self.merges[k] {
+                assert!(
+                    self.state[k + 1][ms.dst_side] == ArrState::Filling,
+                    "merge destination not marked filling"
+                );
+                assert!(
+                    self.state[k]
+                        .iter()
+                        .all(|s| matches!(s, ArrState::Full { .. })),
+                    "unsafe level {k} must have both arrays full"
+                );
+            }
+            // Full arrays must be sorted.
+            for side in 0..2 {
+                if matches!(self.state[k][side], ArrState::Full { .. }) {
+                    let base = arr_off(k, side);
+                    for i in 1..(1usize << k) {
+                        assert!(
+                            self.mem.get(base + i - 1).key <= self.mem.get(base + i).key,
+                            "level {k} side {side} not sorted"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<M: Mem<Cell>> Dictionary for DeamortBasicCola<M> {
+    fn insert(&mut self, key: u64, val: u64) {
+        self.insert_cell(Cell::item(key, val));
+    }
+
+    fn delete(&mut self, key: u64) {
+        self.insert_cell(Cell::tombstone(key));
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.stats.searches += 1;
+        for k in 0..self.state.len() {
+            for side in self.full_sides(k) {
+                if let Some(c) = self.search_array(k, side, key) {
+                    return c.as_lookup();
+                }
+            }
+        }
+        None
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut runs = Vec::new();
+        for k in 0..self.state.len() {
+            for side in self.full_sides(k) {
+                let base = arr_off(k, side);
+                let len = 1usize << k;
+                let (mut a, mut b) = (0usize, len);
+                while a < b {
+                    let mid = (a + b) / 2;
+                    if self.mem.get(base + mid).key < lo {
+                        a = mid + 1;
+                    } else {
+                        b = mid;
+                    }
+                }
+                let mut run = Vec::new();
+                let mut i = a;
+                while i < len {
+                    let c = self.mem.get(base + i);
+                    if c.key > hi {
+                        break;
+                    }
+                    run.push(c);
+                    i += 1;
+                }
+                if !run.is_empty() {
+                    runs.push(run);
+                }
+            }
+        }
+        merge_runs_newest_first(runs)
+    }
+
+    fn physical_len(&self) -> usize {
+        self.n as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "deamortized-basic-cola"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_offsets_pack_levels() {
+        assert_eq!(arr_off(0, 0), 0);
+        assert_eq!(arr_off(0, 1), 1);
+        assert_eq!(arr_off(1, 0), 2);
+        assert_eq!(arr_off(1, 1), 4);
+        assert_eq!(arr_off(2, 0), 6);
+        for k in 0..20 {
+            assert_eq!(arr_off(k, 1) + (1 << k), arr_off(k + 1, 0));
+        }
+    }
+
+    #[test]
+    fn inserts_and_gets_match_model() {
+        let mut c = DeamortBasicCola::new_plain();
+        let mut model = std::collections::BTreeMap::new();
+        let mut x: u64 = 3;
+        for i in 0..5000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 2000;
+            c.insert(k, i);
+            model.insert(k, i);
+            if i % 617 == 0 {
+                c.check_invariants();
+                // Spot-check a few keys mid-stream.
+                for probe in [0u64, 500, 1000, 1999, k] {
+                    assert_eq!(c.get(probe), model.get(&probe).copied(), "probe {probe}");
+                }
+            }
+        }
+        for probe in 0..2000u64 {
+            assert_eq!(c.get(probe), model.get(&probe).copied());
+        }
+    }
+
+    #[test]
+    fn worst_case_moves_bounded_by_m() {
+        let mut c = DeamortBasicCola::new_plain();
+        for i in 0..(1u64 << 14) {
+            c.insert(i, i);
+        }
+        let k = c.num_levels() as u64;
+        assert!(
+            c.max_moves_per_insert() <= 2 * k + 2,
+            "worst case {} exceeds m = {}",
+            c.max_moves_per_insert(),
+            2 * k + 2
+        );
+        // Contrast: the amortized COLA's worst case is Θ(N).
+        assert!(c.max_moves_per_insert() < 1 << 10);
+    }
+
+    #[test]
+    fn no_adjacent_unsafe_levels_ever() {
+        let mut c = DeamortBasicCola::new_plain();
+        for i in 0..20_000u64 {
+            c.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i);
+            if i % 256 == 255 {
+                c.check_invariants();
+            }
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn deletes_and_upserts() {
+        let mut c = DeamortBasicCola::new_plain();
+        for k in 0..500u64 {
+            c.insert(k, k);
+        }
+        for k in (0..500u64).step_by(3) {
+            c.delete(k);
+        }
+        for k in (0..500u64).step_by(5) {
+            c.insert(k, k + 9000);
+        }
+        for k in 0..500u64 {
+            let want = if k % 5 == 0 {
+                Some(k + 9000)
+            } else if k % 3 == 0 {
+                None
+            } else {
+                Some(k)
+            };
+            assert_eq!(c.get(k), want, "key {k}");
+        }
+    }
+
+    #[test]
+    fn range_sees_committed_state_only_but_completely() {
+        let mut c = DeamortBasicCola::new_plain();
+        let mut model = std::collections::BTreeMap::new();
+        for i in 0..777u64 {
+            let k = (i * 37) % 1000;
+            c.insert(k, i);
+            model.insert(k, i);
+        }
+        let want: Vec<(u64, u64)> = model
+            .range(100..=400)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        assert_eq!(c.range(100, 400), want);
+    }
+
+    #[test]
+    fn amortized_cost_unchanged() {
+        let mut c = DeamortBasicCola::new_plain();
+        let n = 1u64 << 13;
+        for i in 0..n {
+            c.insert(i, i);
+        }
+        let per = c.stats().cells_written as f64 / n as f64;
+        assert!(per < 2.0 * 13.0, "amortized writes {per} should stay O(log N)");
+    }
+}

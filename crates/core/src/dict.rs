@@ -1,0 +1,74 @@
+//! The common dictionary interface implemented by every structure in the
+//! workspace (COLA variants, B-tree, BRT, shuttle tree), so workloads and
+//! benchmarks are written once.
+
+/// An ordered map from `u64` keys to `u64` values supporting the streaming
+/// B-tree operations: insert (upsert), delete, point query, range query.
+///
+/// Methods take `&mut self` uniformly because instrumented and file-backed
+/// storage mutate cache state even on reads.
+pub trait Dictionary {
+    /// Inserts or overwrites `key`.
+    fn insert(&mut self, key: u64, val: u64);
+
+    /// Deletes `key` (no-op if absent).
+    fn delete(&mut self, key: u64);
+
+    /// Looks up `key`.
+    fn get(&mut self, key: u64) -> Option<u64>;
+
+    /// All live `(key, value)` pairs with `lo <= key <= hi`, in key order.
+    fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)>;
+
+    /// Number of physically stored entries (including shadowed versions and
+    /// tombstones for log-structured implementations).
+    fn physical_len(&self) -> usize;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial reference implementation to exercise the trait's contract
+    /// wording; the real structures are tested against `BTreeMap` models in
+    /// their own modules.
+    struct Model(std::collections::BTreeMap<u64, u64>);
+
+    impl Dictionary for Model {
+        fn insert(&mut self, key: u64, val: u64) {
+            self.0.insert(key, val);
+        }
+        fn delete(&mut self, key: u64) {
+            self.0.remove(&key);
+        }
+        fn get(&mut self, key: u64) -> Option<u64> {
+            self.0.get(&key).copied()
+        }
+        fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+            self.0.range(lo..=hi).map(|(&k, &v)| (k, v)).collect()
+        }
+        fn physical_len(&self) -> usize {
+            self.0.len()
+        }
+        fn name(&self) -> &'static str {
+            "model"
+        }
+    }
+
+    #[test]
+    fn model_satisfies_contract() {
+        let mut m = Model(Default::default());
+        m.insert(5, 50);
+        m.insert(5, 51);
+        assert_eq!(m.get(5), Some(51), "insert is upsert");
+        m.delete(5);
+        assert_eq!(m.get(5), None);
+        m.insert(1, 10);
+        m.insert(3, 30);
+        assert_eq!(m.range(0, 2), vec![(1, 10)]);
+        assert_eq!(m.range(1, 3), vec![(1, 10), (3, 30)]);
+    }
+}

@@ -1,0 +1,165 @@
+//! The COLA cell: the paper's 32-byte padded element.
+//!
+//! Section 4: "Elements comprise key/value pairs, where keys and values
+//! each are of size 64 bits. We pad the elements to a total size of 32
+//! bytes. … each real element uses 64 of its padding bits to hold a copy of
+//! the closest real lookahead pointer to its left. Redundant elements use
+//! 64 of their padding bits to hold the real lookahead pointer."
+//!
+//! [`Cell`] reproduces that layout: `key`, `val`, `ptr` (the lookahead
+//! target for redundant cells; the copy of the nearest left real lookahead
+//! for real cells) and `meta` (flags). It is exactly 32 bytes.
+
+use cosbt_dam::Pod;
+
+/// Flag: the cell is a *redundant element* (a real lookahead pointer into
+/// the next level) rather than a real key/value item.
+pub const META_REDUNDANT: u64 = 1;
+/// Flag: the cell is a delete message (tombstone). Extension to the paper;
+/// see DESIGN.md.
+pub const META_TOMBSTONE: u64 = 2;
+/// `ptr` value meaning "no lookahead pointer to my left".
+pub const NO_PTR: u64 = u64::MAX;
+
+/// A 32-byte COLA cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
+pub struct Cell {
+    /// The 64-bit key.
+    pub key: u64,
+    /// The 64-bit value (meaningless for redundant cells).
+    pub val: u64,
+    /// For redundant cells: index of the pointed-to cell in the next
+    /// level's occupied region. For real cells: copy of the `ptr` of the
+    /// nearest redundant cell to the left in this level ([`NO_PTR`] if
+    /// none).
+    pub ptr: u64,
+    /// Flag bits ([`META_REDUNDANT`], [`META_TOMBSTONE`]).
+    pub meta: u64,
+}
+
+impl Cell {
+    /// A real item cell.
+    #[inline]
+    pub fn item(key: u64, val: u64) -> Cell {
+        Cell {
+            key,
+            val,
+            ptr: NO_PTR,
+            meta: 0,
+        }
+    }
+
+    /// A tombstone (delete message) for `key`.
+    #[inline]
+    pub fn tombstone(key: u64) -> Cell {
+        Cell {
+            key,
+            val: 0,
+            ptr: NO_PTR,
+            meta: META_TOMBSTONE,
+        }
+    }
+
+    /// A redundant cell: a real lookahead pointer with `key`, pointing at
+    /// occupied-position `target` of the next level.
+    #[inline]
+    pub fn lookahead(key: u64, target: u64) -> Cell {
+        Cell {
+            key,
+            val: 0,
+            ptr: target,
+            meta: META_REDUNDANT,
+        }
+    }
+
+    /// Whether this is a redundant (lookahead) cell.
+    #[inline]
+    pub fn is_redundant(&self) -> bool {
+        self.meta & META_REDUNDANT != 0
+    }
+
+    /// Whether this is a tombstone.
+    #[inline]
+    pub fn is_tombstone(&self) -> bool {
+        self.meta & META_TOMBSTONE != 0
+    }
+
+    /// Whether this is a real (non-redundant) cell: an item or tombstone.
+    #[inline]
+    pub fn is_real(&self) -> bool {
+        !self.is_redundant()
+    }
+
+    /// The lookup outcome this real cell represents.
+    #[inline]
+    pub fn as_lookup(&self) -> Option<u64> {
+        debug_assert!(self.is_real());
+        if self.is_tombstone() {
+            None
+        } else {
+            Some(self.val)
+        }
+    }
+}
+
+impl Pod for Cell {
+    const BYTES: usize = 32;
+
+    #[inline]
+    fn write_to(&self, out: &mut [u8]) {
+        out[0..8].copy_from_slice(&self.key.to_le_bytes());
+        out[8..16].copy_from_slice(&self.val.to_le_bytes());
+        out[16..24].copy_from_slice(&self.ptr.to_le_bytes());
+        out[24..32].copy_from_slice(&self.meta.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_from(buf: &[u8]) -> Self {
+        Cell {
+            key: u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+            val: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            ptr: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+            meta: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_is_32_bytes() {
+        assert_eq!(std::mem::size_of::<Cell>(), 32);
+        assert_eq!(<Cell as Pod>::BYTES, 32);
+    }
+
+    #[test]
+    fn constructors_set_flags() {
+        let i = Cell::item(1, 2);
+        assert!(i.is_real() && !i.is_tombstone());
+        assert_eq!(i.as_lookup(), Some(2));
+
+        let t = Cell::tombstone(1);
+        assert!(t.is_real() && t.is_tombstone());
+        assert_eq!(t.as_lookup(), None);
+
+        let l = Cell::lookahead(1, 99);
+        assert!(l.is_redundant());
+        assert_eq!(l.ptr, 99);
+    }
+
+    #[test]
+    fn pod_roundtrip() {
+        let c = Cell {
+            key: u64::MAX,
+            val: 12345,
+            ptr: 777,
+            meta: META_REDUNDANT | META_TOMBSTONE,
+        };
+        let mut buf = [0u8; 32];
+        c.write_to(&mut buf);
+        assert_eq!(Cell::read_from(&buf), c);
+    }
+}

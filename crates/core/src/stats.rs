@@ -1,0 +1,47 @@
+//! Operation counters common to the COLA variants.
+
+/// Logical work counters for a COLA. These count *elements*, not block
+/// transfers — pair them with a [`cosbt_dam::IoSim`] backend to get
+/// transfer counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ColaStats {
+    /// Insert operations (including deletes, which insert tombstones).
+    pub inserts: u64,
+    /// Merge events (an insert that triggered a carry).
+    pub merges: u64,
+    /// Cells written during merges (the paper's "moves").
+    pub cells_written: u64,
+    /// Point-lookup operations.
+    pub searches: u64,
+    /// Cells examined during searches.
+    pub cells_scanned: u64,
+    /// Largest number of cells written by any single insert (worst case).
+    pub max_cells_per_insert: u64,
+}
+
+impl ColaStats {
+    /// Average cells written per insert (the amortized merge cost).
+    pub fn amortized_writes(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.cells_written as f64 / self.inserts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amortized_writes_safe_on_empty() {
+        assert_eq!(ColaStats::default().amortized_writes(), 0.0);
+        let s = ColaStats {
+            inserts: 4,
+            cells_written: 10,
+            ..Default::default()
+        };
+        assert!((s.amortized_writes() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! Stress tests of the deamortized COLAs' scheduling machinery: the
+//! Lemma 21 / Lemma 23 guarantees under long mixed workloads, pause/burst
+//! patterns, and query storms between inserts.
+
+use cosbt_core::{DeamortBasicCola, DeamortCola, Dictionary};
+
+#[test]
+fn long_run_no_adjacent_unsafe_and_budget_holds() {
+    let mut db = DeamortBasicCola::new_plain();
+    let mut dc = DeamortCola::new_plain();
+    for i in 0..200_000u64 {
+        let k = i.wrapping_mul(0x9E3779B97F4A7C15);
+        db.insert(k, i);
+        dc.insert(k, i);
+        if i % 8192 == 8191 {
+            db.check_invariants();
+            dc.check_invariants();
+        }
+    }
+    let lv = db.num_levels() as u64;
+    assert!(db.max_moves_per_insert() <= 2 * lv + 2);
+    let lv = dc.num_levels() as u64;
+    assert!(dc.max_moves_per_insert() <= 6 * lv + 16);
+}
+
+#[test]
+fn queries_between_every_insert() {
+    // Queries must never observe a half-merged state (Theorem 24's whole
+    // point): interleave a read storm with the incremental mover.
+    let mut dc = DeamortCola::new_plain();
+    let mut model = std::collections::BTreeMap::new();
+    for i in 0..4_000u64 {
+        let k = (i * 37) % 1024;
+        dc.insert(k, i);
+        model.insert(k, i);
+        // Probe a moving window of keys after every single insert.
+        for probe in [k, (k + 512) % 1024, 0, 1023] {
+            assert_eq!(dc.get(probe), model.get(&probe).copied(), "probe {probe} after insert {i}");
+        }
+    }
+}
+
+#[test]
+fn burst_then_idle_then_burst() {
+    // The mover only runs on inserts; after a burst the structure must be
+    // consistent even though merges may be parked mid-way, and the next
+    // burst must pick them up.
+    let mut dc = DeamortCola::new_plain();
+    let mut model = std::collections::BTreeMap::new();
+    let mut i = 0u64;
+    for burst in 0..20u64 {
+        let size = 1 << (burst % 10);
+        for _ in 0..size {
+            let k = i.wrapping_mul(6364136223846793005) % 4096;
+            dc.insert(k, i);
+            model.insert(k, i);
+            i += 1;
+        }
+        // "Idle": only queries.
+        for probe in (0..4096u64).step_by(97) {
+            assert_eq!(dc.get(probe), model.get(&probe).copied());
+        }
+        dc.check_invariants();
+    }
+}
+
+#[test]
+fn deamortized_matches_amortized_content_forever() {
+    use cosbt_core::BasicCola;
+    let mut a = BasicCola::new_plain();
+    let mut db = DeamortBasicCola::new_plain();
+    let mut dc = DeamortCola::new_plain();
+    let mut x = 17u64;
+    for i in 0..30_000u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let k = x % 10_000;
+        if x % 11 == 0 {
+            a.delete(k);
+            db.delete(k);
+            dc.delete(k);
+        } else {
+            a.insert(k, i);
+            db.insert(k, i);
+            dc.insert(k, i);
+        }
+    }
+    let want = a.range(0, u64::MAX);
+    assert_eq!(db.range(0, u64::MAX), want);
+    assert_eq!(dc.range(0, u64::MAX), want);
+}
+
+#[test]
+fn worst_case_stays_flat_while_amortized_spikes_grow() {
+    // As N doubles, the amortized worst case doubles (full merges) while
+    // the deamortized worst case grows only logarithmically.
+    use cosbt_core::BasicCola;
+    let mut last_amort_worst = 0;
+    let mut last_deamort_worst = 0;
+    for exp in [12u32, 14, 16] {
+        let n = 1u64 << exp;
+        let mut a = BasicCola::new_plain();
+        let mut d = DeamortBasicCola::new_plain();
+        for i in 0..n {
+            a.insert(i, i);
+            d.insert(i, i);
+        }
+        let aw = a.stats().max_cells_per_insert;
+        let dw = d.max_moves_per_insert();
+        if last_amort_worst > 0 {
+            assert!(aw >= last_amort_worst * 3, "amortized worst should ~4x: {aw}");
+            assert!(
+                dw <= last_deamort_worst + 8,
+                "deamortized worst should grow additively: {dw} vs {last_deamort_worst}"
+            );
+        }
+        last_amort_worst = aw;
+        last_deamort_worst = dw;
+    }
+}

@@ -1,0 +1,612 @@
+//! Out-of-core storage: real file I/O behind a bounded user-space page
+//! cache.
+//!
+//! The paper's experiments memory-map a 32 GiB file on a RAID array and let
+//! the OS page cache play the role of internal memory. Offline we cannot
+//! rely on (or even observe) the OS page cache, so this module makes
+//! internal memory explicit: a [`FilePages`] store keeps at most
+//! `cache_pages` page frames in RAM under LRU replacement and performs
+//! `read_at`/`write_at` on miss/eviction. Setting the cache budget well
+//! below the data size reproduces the out-of-core regime of Figures 2–4.
+
+use std::fs::{File, OpenOptions};
+#[cfg(not(unix))]
+use std::io::{Read, Seek, SeekFrom};
+use std::io::Write;
+use std::path::Path;
+
+use crate::lru::{Access, LruCache};
+use crate::mem::Mem;
+use crate::page::PageStore;
+use crate::pod::Pod;
+use crate::stats::IoStats;
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// File-backed pages with a bounded user-space LRU cache of frames.
+pub struct FilePages {
+    file: File,
+    page_size: usize,
+    num_pages: u32,
+    cache: LruCache,
+    frames: std::collections::HashMap<u64, Box<[u8]>>,
+    dirty: std::collections::HashSet<u64>,
+    stats: IoStats,
+    /// Recent sequential stream positions, for seek accounting. A device
+    /// access adjacent (within a small readahead window) to any tracked
+    /// stream is sequential; anything else is a seek and starts a new
+    /// stream. This models a disk with per-stream readahead — the paper
+    /// notes its RAID's "sequential prefetching … significantly helps
+    /// COLAs" — so a k-way merge reads as k concurrent sequential streams,
+    /// not k·len seeks.
+    streams: Vec<u64>,
+}
+
+/// Number of concurrent sequential streams the modeled device tracks.
+const MAX_STREAMS: usize = 16;
+/// Readahead slack: an access within this many pages ahead of a stream
+/// still counts as sequential.
+const READAHEAD: u64 = 2;
+
+impl std::fmt::Debug for FilePages {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilePages")
+            .field("page_size", &self.page_size)
+            .field("num_pages", &self.num_pages)
+            .field("cached", &self.frames.len())
+            .finish()
+    }
+}
+
+impl FilePages {
+    /// Creates (truncating) a page store at `path` with room for
+    /// `cache_pages` resident frames.
+    pub fn create(path: &Path, page_size: usize, cache_pages: usize) -> std::io::Result<Self> {
+        assert!(page_size > 0);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FilePages {
+            file,
+            page_size,
+            num_pages: 0,
+            cache: LruCache::new(cache_pages.max(1)),
+            frames: std::collections::HashMap::new(),
+            dirty: std::collections::HashSet::new(),
+            stats: IoStats::default(),
+            streams: Vec::new(),
+        })
+    }
+
+    /// Real-I/O counters (fetches = `read_at` calls, writebacks =
+    /// `write_at` calls).
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    fn note_device_access(&mut self, id: u64) {
+        if let Some(i) = self
+            .streams
+            .iter()
+            .position(|&p| id >= p && id <= p + READAHEAD)
+        {
+            let _ = self.streams.remove(i);
+            self.streams.insert(0, id);
+            return;
+        }
+        self.stats.seeks += 1;
+        self.streams.insert(0, id);
+        self.streams.truncate(MAX_STREAMS);
+    }
+
+    fn read_page_from_file(&mut self, id: u64, buf: &mut [u8]) {
+        let off = id * self.page_size as u64;
+        self.stats.fetches += 1;
+        self.note_device_access(id);
+        #[cfg(unix)]
+        {
+            // The page may extend past EOF if it was allocated but never
+            // written; treat missing bytes as zero.
+            let mut done = 0usize;
+            while done < buf.len() {
+                match self.file.read_at(&mut buf[done..], off + done as u64) {
+                    Ok(0) => {
+                        buf[done..].fill(0);
+                        break;
+                    }
+                    Ok(n) => done += n,
+                    Err(e) => panic!("read_at failed: {e}"),
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            self.file.seek(SeekFrom::Start(off)).unwrap();
+            let mut done = 0usize;
+            while done < buf.len() {
+                match self.file.read(&mut buf[done..]) {
+                    Ok(0) => {
+                        buf[done..].fill(0);
+                        break;
+                    }
+                    Ok(n) => done += n,
+                    Err(e) => panic!("read failed: {e}"),
+                }
+            }
+        }
+    }
+
+    fn write_page_to_file(&mut self, id: u64, buf: &[u8]) {
+        let off = id * self.page_size as u64;
+        self.stats.writebacks += 1;
+        self.note_device_access(id);
+        #[cfg(unix)]
+        {
+            self.file.write_all_at(buf, off).expect("write_at failed");
+        }
+        #[cfg(not(unix))]
+        {
+            self.file.seek(SeekFrom::Start(off)).unwrap();
+            self.file.write_all(buf).expect("write failed");
+        }
+    }
+
+    /// Makes page `id` resident and returns whether it was a hit.
+    fn ensure_resident(&mut self, id: u64, write: bool) {
+        self.stats.accesses += 1;
+        match self.cache.access(id, write) {
+            Access::Hit => {
+                self.stats.hits += 1;
+                if write {
+                    self.dirty.insert(id);
+                }
+            }
+            Access::Miss { evicted } => {
+                if let Some((victim, victim_dirty)) = evicted {
+                    self.stats.evictions += 1;
+                    let frame = self.frames.remove(&victim).expect("evicted frame missing");
+                    if victim_dirty || self.dirty.remove(&victim) {
+                        self.write_page_to_file(victim, &frame);
+                        self.dirty.remove(&victim);
+                    }
+                }
+                let mut frame = vec![0u8; self.page_size].into_boxed_slice();
+                self.read_page_from_file(id, &mut frame);
+                self.frames.insert(id, frame);
+                if write {
+                    self.dirty.insert(id);
+                }
+            }
+        }
+    }
+
+    /// Writes every dirty resident page back to the file.
+    pub fn sync(&mut self) {
+        let dirty: Vec<u64> = self.dirty.iter().copied().collect();
+        for id in dirty {
+            let frame = self.frames.get(&id).expect("dirty frame missing").clone();
+            self.write_page_to_file(id, &frame);
+        }
+        self.dirty.clear();
+        self.file.flush().ok();
+    }
+
+    /// Drops every resident page (writing back dirty ones), emptying the
+    /// user-space cache — the analogue of the paper's "remounted the RAID
+    /// array ... to clear the file cache".
+    pub fn drop_cache(&mut self) {
+        self.sync();
+        self.cache.flush();
+        self.frames.clear();
+    }
+}
+
+impl PageStore for FilePages {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    fn alloc_page(&mut self) -> u32 {
+        let id = self.num_pages;
+        self.num_pages += 1;
+        id
+    }
+
+    fn with_page<R>(&mut self, id: u32, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.ensure_resident(id as u64, false);
+        f(self.frames.get(&(id as u64)).expect("frame resident"))
+    }
+
+    fn with_page_mut<R>(&mut self, id: u32, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        self.ensure_resident(id as u64, true);
+        f(self.frames.get_mut(&(id as u64)).expect("frame resident"))
+    }
+}
+
+/// A flat element array over [`FilePages`]: element `i` lives at byte
+/// `i * elem_bytes` of the file, elements never straddle pages.
+pub struct FileMem<T: Pod> {
+    pages: FilePages,
+    len: usize,
+    elem_bytes: usize,
+    per_page: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Pod> std::fmt::Debug for FileMem<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileMem")
+            .field("len", &self.len)
+            .field("elem_bytes", &self.elem_bytes)
+            .finish()
+    }
+}
+
+impl<T: Pod> FileMem<T> {
+    /// Creates a file-backed element array. `elem_bytes` must be at least
+    /// `T::BYTES` (pad to match a modeled layout, e.g. the paper's 32-byte
+    /// elements) and must divide `page_size`.
+    pub fn create(
+        path: &Path,
+        page_size: usize,
+        cache_pages: usize,
+        elem_bytes: usize,
+    ) -> std::io::Result<Self> {
+        assert!(elem_bytes >= T::BYTES, "elem_bytes must fit the element");
+        assert!(
+            page_size % elem_bytes == 0,
+            "elements must not straddle pages"
+        );
+        Ok(FileMem {
+            pages: FilePages::create(path, page_size, cache_pages)?,
+            len: 0,
+            elem_bytes,
+            per_page: page_size / elem_bytes,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Real-I/O counters of the backing page cache.
+    pub fn stats(&self) -> IoStats {
+        self.pages.stats()
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_stats(&mut self) {
+        self.pages.reset_stats()
+    }
+
+    /// Empties the user-space cache (writes dirty pages back first).
+    pub fn drop_cache(&mut self) {
+        self.pages.drop_cache()
+    }
+
+    #[inline]
+    fn locate(&self, i: usize) -> (u32, usize) {
+        let page = (i / self.per_page) as u32;
+        let off = (i % self.per_page) * self.elem_bytes;
+        (page, off)
+    }
+}
+
+impl<T: Pod> Mem<T> for FileMem<T> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, _i: usize) -> T {
+        unreachable!("FileMem requires &mut access; use get_mut-style wrappers")
+    }
+
+    fn set(&mut self, i: usize, v: T) {
+        assert!(i < self.len);
+        let (page, off) = self.locate(i);
+        let eb = T::BYTES;
+        self.pages
+            .with_page_mut(page, |pg| v.write_to(&mut pg[off..off + eb]));
+    }
+
+    fn resize(&mut self, new_len: usize, fill: T) {
+        let old_len = self.len;
+        let pages_needed = new_len.div_ceil(self.per_page) as u32;
+        while self.pages.num_pages() < pages_needed {
+            self.pages.alloc_page();
+        }
+        self.len = new_len;
+        for i in old_len..new_len {
+            self.set(i, fill);
+        }
+    }
+}
+
+impl<T: Pod> FileMem<T> {
+    /// Reads element `i` (requires `&mut self` because it may fault a page
+    /// into the cache). This is the accessor the structures actually use;
+    /// the `Mem::get` path is only reachable through `&self`, which a file
+    /// store cannot serve.
+    pub fn get_mut(&mut self, i: usize) -> T {
+        assert!(i < self.len);
+        let (page, off) = self.locate(i);
+        self.pages
+            .with_page(page, |pg| T::read_from(&pg[off..off + T::BYTES]))
+    }
+}
+
+/// A [`Mem`] adapter over [`FileMem`] using interior mutability, so the
+/// element-array structures (which read through `&self`) can run unchanged
+/// on top of a file.
+pub struct SharedFileMem<T: Pod> {
+    inner: std::cell::RefCell<FileMem<T>>,
+}
+
+impl<T: Pod> SharedFileMem<T> {
+    /// Wraps a [`FileMem`].
+    pub fn new(inner: FileMem<T>) -> Self {
+        SharedFileMem {
+            inner: std::cell::RefCell::new(inner),
+        }
+    }
+
+    /// I/O counters of the backing store.
+    pub fn stats(&self) -> IoStats {
+        self.inner.borrow().stats()
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().reset_stats()
+    }
+
+    /// Empties the user-space page cache.
+    pub fn drop_cache(&self) {
+        self.inner.borrow_mut().drop_cache()
+    }
+}
+
+impl<T: Pod> Mem<T> for SharedFileMem<T> {
+    fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    fn get(&self, i: usize) -> T {
+        self.inner.borrow_mut().get_mut(i)
+    }
+
+    fn set(&mut self, i: usize, v: T) {
+        self.inner.borrow_mut().set(i, v)
+    }
+
+    fn resize(&mut self, new_len: usize, fill: T) {
+        self.inner.borrow_mut().resize(new_len, fill)
+    }
+}
+
+/// A cloneable, shared handle to a [`FileMem`], so a benchmark can keep
+/// one clone for statistics and cache control while a dictionary owns the
+/// other as its storage backend.
+pub struct RcFileMem<T: Pod> {
+    inner: std::rc::Rc<std::cell::RefCell<FileMem<T>>>,
+}
+
+impl<T: Pod> Clone for RcFileMem<T> {
+    fn clone(&self) -> Self {
+        RcFileMem {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Pod> RcFileMem<T> {
+    /// Wraps a [`FileMem`].
+    pub fn new(inner: FileMem<T>) -> Self {
+        RcFileMem {
+            inner: std::rc::Rc::new(std::cell::RefCell::new(inner)),
+        }
+    }
+
+    /// I/O counters of the backing store.
+    pub fn stats(&self) -> IoStats {
+        self.inner.borrow().stats()
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().reset_stats()
+    }
+
+    /// Empties the user-space page cache.
+    pub fn drop_cache(&self) {
+        self.inner.borrow_mut().drop_cache()
+    }
+}
+
+impl<T: Pod> Mem<T> for RcFileMem<T> {
+    fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    fn get(&self, i: usize) -> T {
+        self.inner.borrow_mut().get_mut(i)
+    }
+
+    fn set(&mut self, i: usize, v: T) {
+        self.inner.borrow_mut().set(i, v)
+    }
+
+    fn resize(&mut self, new_len: usize, fill: T) {
+        self.inner.borrow_mut().resize(new_len, fill)
+    }
+}
+
+/// A cloneable, shared handle to [`FilePages`] (see [`RcFileMem`]).
+#[derive(Clone)]
+pub struct RcFilePages {
+    inner: std::rc::Rc<std::cell::RefCell<FilePages>>,
+}
+
+impl RcFilePages {
+    /// Wraps a [`FilePages`].
+    pub fn new(inner: FilePages) -> Self {
+        RcFilePages {
+            inner: std::rc::Rc::new(std::cell::RefCell::new(inner)),
+        }
+    }
+
+    /// I/O counters of the backing store.
+    pub fn stats(&self) -> IoStats {
+        self.inner.borrow().stats()
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().reset_stats()
+    }
+
+    /// Empties the user-space page cache.
+    pub fn drop_cache(&self) {
+        self.inner.borrow_mut().drop_cache()
+    }
+}
+
+impl crate::page::PageStore for RcFilePages {
+    fn page_size(&self) -> usize {
+        self.inner.borrow().page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.borrow().num_pages()
+    }
+
+    fn alloc_page(&mut self) -> u32 {
+        self.inner.borrow_mut().alloc_page()
+    }
+
+    fn with_page<R>(&mut self, id: u32, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.inner.borrow_mut().with_page(id, f)
+    }
+
+    fn with_page_mut<R>(&mut self, id: u32, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        self.inner.borrow_mut().with_page_mut(id, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cosbt-dam-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn file_pages_roundtrip_through_evictions() {
+        let path = tmp("pages");
+        let mut fp = FilePages::create(&path, 256, 2).unwrap();
+        for _ in 0..8 {
+            fp.alloc_page();
+        }
+        for id in 0..8u32 {
+            fp.with_page_mut(id, |pg| pg[0] = id as u8 + 1);
+        }
+        // Only 2 frames fit, so early pages were evicted and written back.
+        for id in 0..8u32 {
+            assert_eq!(fp.with_page(id, |pg| pg[0]), id as u8 + 1);
+        }
+        assert!(fp.stats().writebacks >= 6);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn drop_cache_preserves_data() {
+        let path = tmp("dropcache");
+        let mut fp = FilePages::create(&path, 128, 4).unwrap();
+        let id = fp.alloc_page();
+        fp.with_page_mut(id, |pg| pg[7] = 99);
+        fp.drop_cache();
+        assert_eq!(fp.with_page(id, |pg| pg[7]), 99);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn file_mem_stores_padded_elements() {
+        let path = tmp("filemem");
+        let mut fm: FileMem<(u64, u64)> = FileMem::create(&path, 4096, 2, 32).unwrap();
+        fm.resize(1000, (0, 0));
+        for i in 0..1000usize {
+            fm.set(i, (i as u64, (i * 3) as u64));
+        }
+        fm.drop_cache();
+        for i in (0..1000usize).rev() {
+            assert_eq!(fm.get_mut(i), (i as u64, (i * 3) as u64));
+        }
+        // 1000 elements * 32 B = 8 pages of 4096; cold reverse scan with a
+        // 2-page cache must fetch each at least once.
+        assert!(fm.stats().fetches >= 8);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shared_file_mem_is_a_mem() {
+        let path = tmp("sharedfm");
+        let fm: FileMem<u64> = FileMem::create(&path, 512, 2, 8).unwrap();
+        let mut sm = SharedFileMem::new(fm);
+        sm.resize(300, 0);
+        for i in 0..300usize {
+            sm.set(i, i as u64 * 7);
+        }
+        sm.drop_cache();
+        for i in 0..300usize {
+            assert_eq!(sm.get(i), i as u64 * 7);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rc_handles_share_state() {
+        let path = tmp("rcmem");
+        let fm: FileMem<u64> = FileMem::create(&path, 512, 4, 8).unwrap();
+        let mut a = RcFileMem::new(fm);
+        let b = a.clone();
+        a.resize(100, 0);
+        a.set(50, 1234);
+        b.drop_cache();
+        assert_eq!(a.get(50), 1234);
+        assert!(b.stats().fetches > 0);
+        std::fs::remove_file(path).ok();
+
+        let path = tmp("rcpages");
+        let fp = FilePages::create(&path, 256, 2).unwrap();
+        let mut p = RcFilePages::new(fp);
+        let q = p.clone();
+        use crate::page::PageStore;
+        let id = p.alloc_page();
+        p.with_page_mut(id, |pg| pg[0] = 7);
+        q.drop_cache();
+        assert_eq!(p.with_page(id, |pg| pg[0]), 7);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reading_unwritten_page_yields_zeroes() {
+        let path = tmp("zeroes");
+        let mut fp = FilePages::create(&path, 128, 2).unwrap();
+        let id = fp.alloc_page();
+        assert_eq!(fp.with_page(id, |pg| pg.to_vec()), vec![0u8; 128]);
+        std::fs::remove_file(path).ok();
+    }
+}

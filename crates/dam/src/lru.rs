@@ -1,0 +1,284 @@
+//! An exact LRU cache over abstract block identifiers.
+//!
+//! This is the replacement policy of the DAM simulator ([`crate::IoSim`])
+//! and of the user-space page cache backing [`crate::FilePages`]. It is a
+//! classic slab-backed intrusive doubly-linked list plus a hash map, so
+//! every operation is O(1).
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    block: u64,
+    prev: usize,
+    next: usize,
+    dirty: bool,
+}
+
+/// Outcome of [`LruCache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The block was already resident.
+    Hit,
+    /// The block was fetched; `evicted` is the block that was displaced to
+    /// make room (with its dirty bit), if the cache was full.
+    Miss {
+        /// Evicted `(block, was_dirty)` pair, if any.
+        evicted: Option<(u64, bool)>,
+    },
+}
+
+/// A fixed-capacity LRU cache tracking residency and dirty bits of blocks.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl LruCache {
+    /// Creates a cache that can hold `capacity` blocks (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "LRU cache capacity must be at least 1");
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `block` is resident (does not affect recency).
+    pub fn contains(&self, block: u64) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Touches `block`, marking it dirty if `write`. Returns whether this
+    /// was a hit, and on a miss which block (if any) was evicted.
+    pub fn access(&mut self, block: u64, write: bool) -> Access {
+        if let Some(&idx) = self.map.get(&block) {
+            self.unlink(idx);
+            self.push_front(idx);
+            if write {
+                self.nodes[idx].dirty = true;
+            }
+            return Access::Hit;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            let victim = self.tail;
+            let node = self.nodes[victim];
+            self.unlink(victim);
+            self.map.remove(&node.block);
+            self.free.push(victim);
+            Some((node.block, node.dirty))
+        } else {
+            None
+        };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = Node {
+                block,
+                prev: NIL,
+                next: NIL,
+                dirty: write,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                block,
+                prev: NIL,
+                next: NIL,
+                dirty: write,
+            });
+            self.nodes.len() - 1
+        };
+        self.map.insert(block, idx);
+        self.push_front(idx);
+        Access::Miss { evicted }
+    }
+
+    /// Removes every resident block, returning the dirty ones in eviction
+    /// (least-recently-used first) order.
+    pub fn flush(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        let mut cur = self.tail;
+        while cur != NIL {
+            let node = self.nodes[cur];
+            if node.dirty {
+                dirty.push(node.block);
+            }
+            cur = node.prev;
+        }
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        dirty
+    }
+
+    /// Evicts a specific block if resident, returning its dirty bit.
+    pub fn evict(&mut self, block: u64) -> Option<bool> {
+        let idx = self.map.remove(&block)?;
+        let dirty = self.nodes[idx].dirty;
+        self.unlink(idx);
+        self.free.push(idx);
+        Some(dirty)
+    }
+
+    /// Blocks currently resident, most-recently-used first.
+    pub fn resident_blocks(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.nodes[cur].block);
+            cur = self.nodes[cur].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_sequence() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.access(1, false), Access::Miss { evicted: None });
+        assert_eq!(c.access(2, false), Access::Miss { evicted: None });
+        assert_eq!(c.access(1, false), Access::Hit);
+        // 2 is now LRU; inserting 3 evicts it.
+        assert_eq!(
+            c.access(3, false),
+            Access::Miss {
+                evicted: Some((2, false))
+            }
+        );
+        assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+    }
+
+    #[test]
+    fn dirty_bit_reported_on_eviction() {
+        let mut c = LruCache::new(1);
+        c.access(7, true);
+        match c.access(8, false) {
+            Access::Miss { evicted } => assert_eq!(evicted, Some((7, true))),
+            _ => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn flush_returns_dirty_blocks_lru_first() {
+        let mut c = LruCache::new(4);
+        c.access(1, true);
+        c.access(2, false);
+        c.access(3, true);
+        let dirty = c.flush();
+        assert_eq!(dirty, vec![1, 3]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn recency_order_maintained() {
+        let mut c = LruCache::new(3);
+        for b in [10, 20, 30] {
+            c.access(b, false);
+        }
+        c.access(10, false); // 10 becomes MRU
+        assert_eq!(c.resident_blocks(), vec![10, 30, 20]);
+    }
+
+    #[test]
+    fn explicit_evict() {
+        let mut c = LruCache::new(3);
+        c.access(5, true);
+        assert_eq!(c.evict(5), Some(true));
+        assert_eq!(c.evict(5), None);
+        assert!(!c.contains(5));
+    }
+
+    /// Exhaustive check against a naive reference implementation.
+    #[test]
+    fn matches_naive_model_on_random_trace() {
+        use std::collections::VecDeque;
+        let mut c = LruCache::new(4);
+        // naive model: VecDeque with MRU at front
+        let mut model: VecDeque<(u64, bool)> = VecDeque::new();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..10_000 {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let block = x % 9;
+            let write = x & 1 == 0;
+
+            let model_hit = if let Some(pos) = model.iter().position(|&(b, _)| b == block) {
+                let (b, d) = model.remove(pos).unwrap();
+                model.push_front((b, d || write));
+                true
+            } else {
+                let evicted = if model.len() == 4 { model.pop_back() } else { None };
+                model.push_front((block, write));
+                match (c.access(block, write), evicted) {
+                    (Access::Miss { evicted: got }, want) => assert_eq!(got, want),
+                    (Access::Hit, _) => panic!("model says miss, cache says hit"),
+                }
+                continue;
+            };
+            assert!(model_hit);
+            assert_eq!(c.access(block, write), Access::Hit);
+        }
+        let mut want: Vec<u64> = model.iter().map(|&(b, _)| b).collect();
+        assert_eq!(c.resident_blocks(), want);
+        want.sort_unstable();
+    }
+}

@@ -1,0 +1,104 @@
+//! Plain-old-data serialization for file-backed storage.
+//!
+//! The workspace forbids `unsafe`, so file pages hold explicit
+//! little-endian encodings rather than transmuted structs. Implementations
+//! must round-trip exactly: `read_from(write_to(x)) == x`.
+
+/// A fixed-size, byte-serializable value.
+pub trait Pod: Copy {
+    /// Encoded size in bytes.
+    const BYTES: usize;
+
+    /// Writes the value into `out` (exactly `Self::BYTES` long).
+    fn write_to(&self, out: &mut [u8]);
+
+    /// Reads a value from `buf` (exactly `Self::BYTES` long).
+    fn read_from(buf: &[u8]) -> Self;
+}
+
+impl Pod for u64 {
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn write_to(&self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_from(buf: &[u8]) -> Self {
+        u64::from_le_bytes(buf[..8].try_into().unwrap())
+    }
+}
+
+impl Pod for u32 {
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn write_to(&self, out: &mut [u8]) {
+        out[..4].copy_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_from(buf: &[u8]) -> Self {
+        u32::from_le_bytes(buf[..4].try_into().unwrap())
+    }
+}
+
+impl Pod for i64 {
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn write_to(&self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_from(buf: &[u8]) -> Self {
+        i64::from_le_bytes(buf[..8].try_into().unwrap())
+    }
+}
+
+impl Pod for (u64, u64) {
+    const BYTES: usize = 16;
+
+    #[inline]
+    fn write_to(&self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.0.to_le_bytes());
+        out[8..16].copy_from_slice(&self.1.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_from(buf: &[u8]) -> Self {
+        (
+            u64::from_le_bytes(buf[..8].try_into().unwrap()),
+            u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Pod + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u8; T::BYTES];
+        v.write_to(&mut buf);
+        assert_eq!(T::read_from(&buf), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(0xDEAD_BEEF_u32);
+        roundtrip(-42i64);
+        roundtrip((7u64, u64::MAX));
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut buf = [0u8; 8];
+        0x0102030405060708u64.write_to(&mut buf);
+        assert_eq!(buf, [8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+}

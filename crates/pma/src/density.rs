@@ -1,0 +1,106 @@
+//! Density thresholds for PMA windows.
+//!
+//! Windows form a conceptual binary tree over segments: depth 0 is the whole
+//! array, the deepest level is a single segment. Upper thresholds *loosen*
+//! toward the leaves (a segment may fill up completely; the root may not
+//! exceed `tau_root`), and lower thresholds *tighten* toward the root, which
+//! is what makes the amortized rebalancing argument work: rebalancing a
+//! window leaves all its sub-windows comfortably within their own
+//! thresholds.
+
+/// Density thresholds, linearly interpolated over window depth.
+#[derive(Debug, Clone, Copy)]
+pub struct DensityProfile {
+    /// Maximum density of the root window (whole array). Exceeding it grows
+    /// the array. Classic value: `0.5`.
+    pub tau_root: f64,
+    /// Maximum density of a leaf window (single segment). Classic: `1.0`.
+    pub tau_leaf: f64,
+    /// Minimum density of the root window. Falling below it shrinks the
+    /// array. Classic value: `0.125`.
+    pub rho_root: f64,
+    /// Minimum density of a leaf window. Must be below `rho_root`.
+    pub rho_leaf: f64,
+}
+
+impl Default for DensityProfile {
+    fn default() -> Self {
+        DensityProfile {
+            tau_root: 0.5,
+            tau_leaf: 1.0,
+            rho_root: 0.125,
+            rho_leaf: 0.05,
+        }
+    }
+}
+
+impl DensityProfile {
+    /// Upper density threshold at `depth` (0 = root) of a tree with
+    /// `height` levels below the root (`height` = leaf depth, ≥ 0).
+    pub fn tau(&self, depth: u32, height: u32) -> f64 {
+        if height == 0 {
+            return self.tau_leaf;
+        }
+        let frac = depth as f64 / height as f64;
+        self.tau_root + (self.tau_leaf - self.tau_root) * frac
+    }
+
+    /// Lower density threshold at `depth` (0 = root).
+    pub fn rho(&self, depth: u32, height: u32) -> f64 {
+        if height == 0 {
+            return self.rho_leaf;
+        }
+        let frac = depth as f64 / height as f64;
+        self.rho_root + (self.rho_leaf - self.rho_root) * frac
+    }
+
+    /// Validates the classic ordering constraints.
+    pub fn validate(&self) {
+        assert!(self.rho_leaf < self.rho_root, "rho must tighten toward root");
+        assert!(self.tau_root < self.tau_leaf, "tau must loosen toward leaves");
+        assert!(
+            self.rho_root < self.tau_root,
+            "root window needs slack between rho and tau"
+        );
+        assert!(self.tau_leaf <= 1.0 && self.rho_leaf >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_valid() {
+        DensityProfile::default().validate();
+    }
+
+    #[test]
+    fn tau_interpolates_root_to_leaf() {
+        let p = DensityProfile::default();
+        assert!((p.tau(0, 4) - 0.5).abs() < 1e-12);
+        assert!((p.tau(4, 4) - 1.0).abs() < 1e-12);
+        assert!((p.tau(2, 4) - 0.75).abs() < 1e-12);
+        // monotone in depth
+        for d in 0..4 {
+            assert!(p.tau(d, 4) < p.tau(d + 1, 4));
+        }
+    }
+
+    #[test]
+    fn rho_interpolates_and_stays_below_tau() {
+        let p = DensityProfile::default();
+        assert!((p.rho(0, 4) - 0.125).abs() < 1e-12);
+        assert!((p.rho(4, 4) - 0.05).abs() < 1e-12);
+        for d in 0..=4 {
+            assert!(p.rho(d, 4) < p.tau(d, 4));
+        }
+    }
+
+    #[test]
+    fn height_zero_uses_leaf_values() {
+        let p = DensityProfile::default();
+        assert_eq!(p.tau(0, 0), p.tau_leaf);
+        assert_eq!(p.rho(0, 0), p.rho_leaf);
+    }
+}

@@ -1,0 +1,23 @@
+//! Packed-memory array (PMA).
+//!
+//! A PMA keeps `N` elements in sorted order in an array of size `Θ(N)` by
+//! leaving gaps between elements. Insertions and deletions rebalance (spread
+//! out evenly) the smallest enclosing *window* whose density is within
+//! threshold, which costs amortized `O(log² N)` element moves — i.e.
+//! `O((log² N)/B)` block transfers — per update.
+//!
+//! The shuttle tree of the paper (Section 2, "Making space for insertions")
+//! embeds its van Emde Boas layout in a PMA; the cache-oblivious B-tree [6]
+//! does the same. This crate implements the PMA as an independent,
+//! fully-tested substrate, generic over the storage backends of
+//! [`cosbt_dam`] so element moves can be counted either logically
+//! ([`PmaStats`]) or as simulated block transfers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod density;
+pub mod pma;
+
+pub use density::DensityProfile;
+pub use pma::{Pma, PmaStats, Slot};

@@ -1,0 +1,609 @@
+//! The packed-memory array proper.
+
+use cosbt_dam::{Mem, PlainMem};
+
+use crate::density::DensityProfile;
+
+/// A PMA slot: occupied or gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot<T> {
+    /// A gap.
+    Empty,
+    /// An occupied slot.
+    Full(T),
+}
+
+impl<T> Slot<T> {
+    /// The occupied value, if any.
+    pub fn full(self) -> Option<T> {
+        match self {
+            Slot::Empty => None,
+            Slot::Full(v) => Some(v),
+        }
+    }
+}
+
+/// Update counters: the quantities the PMA analysis bounds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PmaStats {
+    /// Elements written during segment shifts, rebalances, grows, shrinks.
+    pub moved: u64,
+    /// Number of window rebalances (including leaf-segment rewrites).
+    pub rebalances: u64,
+    /// Array doublings.
+    pub grows: u64,
+    /// Array halvings.
+    pub shrinks: u64,
+    /// Largest window (in slots) ever rebalanced.
+    pub max_window: usize,
+}
+
+/// Minimum capacity (slots); also the shrink floor.
+const MIN_CAP: usize = 16;
+
+/// A packed-memory array of `Copy + Ord` elements over any [`Mem`] backend.
+///
+/// Duplicates are allowed; they are stored adjacently.
+#[derive(Debug)]
+pub struct Pma<T: Copy + Ord, M: Mem<Slot<T>>> {
+    mem: M,
+    n: usize,
+    seg_size: usize,
+    num_segs: usize,
+    profile: DensityProfile,
+    stats: PmaStats,
+    scratch: Vec<T>,
+}
+
+impl<T: Copy + Ord> Pma<T, PlainMem<Slot<T>>> {
+    /// A PMA over plain heap memory with default thresholds.
+    pub fn new_plain() -> Self {
+        Self::new(PlainMem::new(), DensityProfile::default())
+    }
+}
+
+impl<T: Copy + Ord, M: Mem<Slot<T>>> Pma<T, M> {
+    /// Creates a PMA over `mem` (which is cleared to the minimum capacity).
+    pub fn new(mut mem: M, profile: DensityProfile) -> Self {
+        profile.validate();
+        mem.resize(MIN_CAP, Slot::Empty);
+        let (seg_size, num_segs) = Self::layout_for(MIN_CAP);
+        Pma {
+            mem,
+            n: 0,
+            seg_size,
+            num_segs,
+            profile,
+            stats: PmaStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Segment layout for a capacity: `seg_size` is the smallest power of
+    /// two ≥ log2(cap); both factors are powers of two.
+    fn layout_for(cap: usize) -> (usize, usize) {
+        debug_assert!(cap.is_power_of_two());
+        let lg = cap.trailing_zeros() as usize;
+        let seg = lg.max(2).next_power_of_two().min(cap);
+        (seg, cap / seg)
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the PMA is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Current density `n / capacity`.
+    pub fn density(&self) -> f64 {
+        self.n as f64 / self.capacity() as f64
+    }
+
+    /// Update counters.
+    pub fn stats(&self) -> PmaStats {
+        self.stats
+    }
+
+    /// Borrow the backing store (for simulator statistics).
+    pub fn mem(&self) -> &M {
+        &self.mem
+    }
+
+    /// Height of the window tree (leaf depth; 0 when one segment).
+    fn height(&self) -> u32 {
+        self.num_segs.trailing_zeros()
+    }
+
+    /// Rightmost occupied slot with value ≤ `key`, with its value.
+    fn pred_slot(&self, key: &T) -> Option<(usize, T)> {
+        let cap = self.capacity();
+        let mut lo = 0usize;
+        let mut hi = cap;
+        let mut cand: Option<(usize, T)> = None;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            // nearest occupied slot at or left of mid, not before lo
+            let mut p = mid;
+            let found = loop {
+                if let Slot::Full(v) = self.mem.get(p) {
+                    break Some((p, v));
+                }
+                if p == lo {
+                    break None;
+                }
+                p -= 1;
+            };
+            match found {
+                None => lo = mid + 1,
+                Some((p, v)) => {
+                    if v <= *key {
+                        cand = Some((p, v));
+                        lo = mid + 1;
+                    } else {
+                        hi = p;
+                    }
+                }
+            }
+        }
+        cand
+    }
+
+    /// Whether an element equal to `key` is present.
+    pub fn contains(&self, key: &T) -> bool {
+        matches!(self.pred_slot(key), Some((_, v)) if v == *key)
+    }
+
+    /// The largest element ≤ `key`.
+    pub fn predecessor(&self, key: &T) -> Option<T> {
+        self.pred_slot(key).map(|(_, v)| v)
+    }
+
+    /// The smallest element > `key`.
+    pub fn successor(&self, key: &T) -> Option<T> {
+        let start = match self.pred_slot(key) {
+            Some((p, _)) => p + 1,
+            None => 0,
+        };
+        for i in start..self.capacity() {
+            if let Slot::Full(v) = self.mem.get(i) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Occupied count in slots `[lo, hi)`.
+    fn count_range(&self, lo: usize, hi: usize) -> usize {
+        (lo..hi)
+            .filter(|&i| matches!(self.mem.get(i), Slot::Full(_)))
+            .count()
+    }
+
+    /// Gathers elements of `[lo, hi)` into `self.scratch`, splicing `extra`
+    /// (if provided) in front of the first element at slot ≥ `ins_slot`.
+    fn gather(&mut self, lo: usize, hi: usize, extra: Option<(T, usize)>) {
+        self.scratch.clear();
+        let mut pending = extra;
+        for i in lo..hi {
+            if let Some((x, ins)) = pending {
+                if i >= ins {
+                    self.scratch.push(x);
+                    pending = None;
+                }
+            }
+            if let Slot::Full(v) = self.mem.get(i) {
+                self.scratch.push(v);
+            }
+        }
+        if let Some((x, _)) = pending {
+            self.scratch.push(x);
+        }
+    }
+
+    /// Evenly redistributes `self.scratch` over slots `[lo, hi)`.
+    fn spread(&mut self, lo: usize, hi: usize) {
+        let w = hi - lo;
+        let k = self.scratch.len();
+        debug_assert!(k <= w);
+        let mut next = 0usize; // index into scratch
+        for i in 0..w {
+            // Element j goes to slot floor(j * w / k); slot i holds element
+            // j iff floor(j*w/k) == i.
+            let slot_val = if next < k && (next * w) / k == i {
+                let v = self.scratch[next];
+                next += 1;
+                Slot::Full(v)
+            } else {
+                Slot::Empty
+            };
+            self.mem.set(lo + i, slot_val);
+        }
+        debug_assert_eq!(next, k);
+        self.stats.moved += k as u64;
+        self.stats.rebalances += 1;
+        self.stats.max_window = self.stats.max_window.max(w);
+    }
+
+    /// Grows (doubles) or shrinks (halves) to `new_cap`, redistributing.
+    fn resize_to(&mut self, new_cap: usize, extra: Option<(T, usize)>) {
+        let cap = self.capacity();
+        self.gather(0, cap, extra);
+        if new_cap > cap {
+            self.mem.resize(new_cap, Slot::Empty);
+            self.stats.grows += 1;
+        } else {
+            self.stats.shrinks += 1;
+        }
+        let (seg, nsegs) = Self::layout_for(new_cap);
+        self.seg_size = seg;
+        self.num_segs = nsegs;
+        if new_cap < cap {
+            // spread within the prefix first, then shrink the storage
+            self.spread(0, new_cap);
+            self.mem.resize(new_cap, Slot::Empty);
+        } else {
+            self.spread(0, new_cap);
+        }
+    }
+
+    /// Inserts `x` (duplicates allowed). Amortized O(log² N) element moves.
+    pub fn insert(&mut self, x: T) {
+        let cap = self.capacity();
+        if (self.n + 1) as f64 > self.profile.tau_root * cap as f64 {
+            self.resize_to(cap * 2, Some((x, self.insert_slot(&x))));
+            self.n += 1;
+            return;
+        }
+        let ins = self.insert_slot(&x);
+        let seg = (ins.min(cap - 1)) / self.seg_size;
+
+        // Walk up from the leaf window until one is within threshold.
+        let height = self.height();
+        let mut depth = height;
+        let mut lo_seg = seg;
+        let mut width = 1usize;
+        loop {
+            let lo = lo_seg * self.seg_size;
+            let hi = (lo_seg + width) * self.seg_size;
+            let count = self.count_range(lo, hi);
+            let tau = self.profile.tau(depth, height);
+            if ((count + 1) as f64) <= tau * (hi - lo) as f64 {
+                self.gather(lo, hi, Some((x, ins)));
+                self.spread(lo, hi);
+                self.n += 1;
+                return;
+            }
+            if depth == 0 {
+                // Root over threshold despite the global check: grow.
+                self.resize_to(cap * 2, Some((x, ins)));
+                self.n += 1;
+                return;
+            }
+            depth -= 1;
+            width *= 2;
+            lo_seg = (lo_seg / width) * width;
+        }
+    }
+
+    /// Conceptual insertion slot for `x`: one past its predecessor.
+    fn insert_slot(&self, x: &T) -> usize {
+        match self.pred_slot(x) {
+            Some((p, _)) => p + 1,
+            None => 0,
+        }
+    }
+
+    /// Removes one element equal to `*x`. Returns whether one was removed.
+    pub fn remove(&mut self, x: &T) -> bool {
+        let (p, v) = match self.pred_slot(x) {
+            Some(pv) => pv,
+            None => return false,
+        };
+        if v != *x {
+            return false;
+        }
+        self.mem.set(p, Slot::Empty);
+        self.n -= 1;
+
+        let cap = self.capacity();
+        if cap > MIN_CAP && (self.n as f64) < self.profile.rho_root * cap as f64 {
+            self.resize_to(cap / 2, None);
+            return true;
+        }
+
+        // Walk up until a window is within its lower threshold, rebalance it.
+        let height = self.height();
+        let mut depth = height;
+        let seg = p / self.seg_size;
+        let mut lo_seg = seg;
+        let mut width = 1usize;
+        loop {
+            let lo = lo_seg * self.seg_size;
+            let hi = (lo_seg + width) * self.seg_size;
+            let count = self.count_range(lo, hi);
+            let rho = self.profile.rho(depth, height);
+            if count as f64 >= rho * (hi - lo) as f64 {
+                if depth != height {
+                    // Only rebalance if we had to walk up.
+                    self.gather(lo, hi, None);
+                    self.spread(lo, hi);
+                }
+                return true;
+            }
+            if depth == 0 {
+                return true; // cap == MIN_CAP; nothing to do
+            }
+            depth -= 1;
+            width *= 2;
+            lo_seg = (lo_seg / width) * width;
+        }
+    }
+
+    /// All elements in order.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.n);
+        for i in 0..self.capacity() {
+            if let Slot::Full(v) = self.mem.get(i) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Elements in `[lo, hi]`, in order.
+    pub fn range_inclusive(&self, lo: &T, hi: &T) -> Vec<T> {
+        let start = match self.pred_slot(lo) {
+            Some((p, v)) if v == *lo => {
+                // back up over duplicates of lo
+                let mut q = p;
+                while q > 0 {
+                    match self.mem.get(q - 1) {
+                        Slot::Full(w) if w == *lo => q -= 1,
+                        Slot::Full(_) => break,
+                        Slot::Empty => {
+                            // keep scanning left past gaps to find dup run
+                            let mut r = q - 1;
+                            let mut hit = None;
+                            while r > 0 {
+                                if let Slot::Full(w) = self.mem.get(r - 1) {
+                                    hit = Some((r - 1, w));
+                                    break;
+                                }
+                                r -= 1;
+                            }
+                            match hit {
+                                Some((rp, w)) if w == *lo => q = rp,
+                                _ => break,
+                            }
+                        }
+                    }
+                }
+                q
+            }
+            Some((p, _)) => p + 1,
+            None => 0,
+        };
+        let mut out = Vec::new();
+        for i in start..self.capacity() {
+            if let Slot::Full(v) = self.mem.get(i) {
+                if v > *hi {
+                    break;
+                }
+                if v >= *lo {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Verifies structural invariants (for tests): element count, global
+    /// density bounds, and sortedness.
+    pub fn check_invariants(&self) {
+        let cap = self.capacity();
+        assert_eq!(self.seg_size * self.num_segs, cap);
+        assert!(self.seg_size.is_power_of_two() && self.num_segs.is_power_of_two());
+        let elems = self.to_vec();
+        assert_eq!(elems.len(), self.n, "count mismatch");
+        for w in elems.windows(2) {
+            assert!(w[0] <= w[1], "not sorted");
+        }
+        assert!(
+            self.n as f64 <= self.profile.tau_root * cap as f64 + 1.0,
+            "density above root threshold: {} / {}",
+            self.n,
+            cap
+        );
+        if cap > MIN_CAP {
+            assert!(
+                self.n as f64 >= self.profile.rho_root * cap as f64 - 1.0,
+                "density below root threshold: {} / {}",
+                self.n,
+                cap
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_factors_are_powers_of_two() {
+        for lg in 4..20 {
+            let cap = 1usize << lg;
+            let (seg, nsegs) = Pma::<u64, PlainMem<Slot<u64>>>::layout_for(cap);
+            assert_eq!(seg * nsegs, cap);
+            assert!(seg.is_power_of_two() && nsegs.is_power_of_two());
+            assert!(seg >= lg.min(cap), "segment should be at least log cap");
+        }
+    }
+
+    #[test]
+    fn insert_ascending_stays_sorted() {
+        let mut pma = Pma::new_plain();
+        for i in 0..1000u64 {
+            pma.insert(i);
+            if i % 97 == 0 {
+                pma.check_invariants();
+            }
+        }
+        assert_eq!(pma.to_vec(), (0..1000).collect::<Vec<_>>());
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn insert_descending_stays_sorted() {
+        let mut pma = Pma::new_plain();
+        for i in (0..1000u64).rev() {
+            pma.insert(i);
+        }
+        assert_eq!(pma.to_vec(), (0..1000).collect::<Vec<_>>());
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn insert_random_matches_sorted_model() {
+        let mut pma = Pma::new_plain();
+        let mut model = Vec::new();
+        let mut x: u64 = 88172645463325252;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = x % 500; // force duplicates
+            pma.insert(v);
+            model.push(v);
+        }
+        model.sort_unstable();
+        assert_eq!(pma.to_vec(), model);
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn predecessor_successor_contains() {
+        let mut pma = Pma::new_plain();
+        for i in (0..100u64).map(|i| i * 10) {
+            pma.insert(i);
+        }
+        assert_eq!(pma.predecessor(&55), Some(50));
+        assert_eq!(pma.successor(&55), Some(60));
+        assert_eq!(pma.predecessor(&0), Some(0));
+        assert_eq!(pma.predecessor(&u64::MAX), Some(990));
+        assert_eq!(pma.successor(&990), None);
+        assert!(pma.contains(&500));
+        assert!(!pma.contains(&501));
+        assert_eq!(pma.predecessor(&(u64::MAX)), Some(990));
+    }
+
+    #[test]
+    fn empty_pma_queries() {
+        let pma: Pma<u64, _> = Pma::new_plain();
+        assert_eq!(pma.predecessor(&5), None);
+        assert_eq!(pma.successor(&5), None);
+        assert!(!pma.contains(&5));
+        assert!(pma.is_empty());
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn remove_and_shrink() {
+        let mut pma = Pma::new_plain();
+        for i in 0..1000u64 {
+            pma.insert(i);
+        }
+        let cap_full = pma.capacity();
+        for i in 0..990u64 {
+            assert!(pma.remove(&i), "remove {i}");
+            if i % 111 == 0 {
+                pma.check_invariants();
+            }
+        }
+        assert!(!pma.remove(&5), "already removed");
+        assert_eq!(pma.len(), 10);
+        assert!(pma.capacity() < cap_full, "should have shrunk");
+        assert_eq!(pma.to_vec(), (990..1000).collect::<Vec<_>>());
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut pma = Pma::new_plain();
+        pma.insert(10u64);
+        assert!(!pma.remove(&9));
+        assert!(!pma.remove(&11));
+        assert!(pma.remove(&10));
+        assert!(!pma.remove(&10));
+    }
+
+    #[test]
+    fn duplicates_supported() {
+        let mut pma = Pma::new_plain();
+        for _ in 0..50 {
+            pma.insert(7u64);
+        }
+        pma.insert(6);
+        pma.insert(8);
+        assert_eq!(pma.len(), 52);
+        let v = pma.to_vec();
+        assert_eq!(v[0], 6);
+        assert_eq!(v[51], 8);
+        assert!(v[1..51].iter().all(|&x| x == 7));
+        assert!(pma.remove(&7));
+        assert_eq!(pma.len(), 51);
+        pma.check_invariants();
+    }
+
+    #[test]
+    fn range_inclusive_with_duplicates_and_gaps() {
+        let mut pma = Pma::new_plain();
+        for v in [5u64, 5, 5, 10, 15, 15, 20] {
+            pma.insert(v);
+        }
+        assert_eq!(pma.range_inclusive(&5, &15), vec![5, 5, 5, 10, 15, 15]);
+        assert_eq!(pma.range_inclusive(&6, &9), Vec::<u64>::new());
+        assert_eq!(pma.range_inclusive(&0, &100), pma.to_vec());
+    }
+
+    #[test]
+    fn amortized_moves_are_polylog() {
+        // Not a strict bound check (that's in the bench), just a smoke test
+        // that moves per insert stay far from O(n).
+        let mut pma = Pma::new_plain();
+        let n = 20_000u64;
+        for i in 0..n {
+            pma.insert(i * 2654435761 % 1_000_003);
+        }
+        let per_insert = pma.stats().moved as f64 / n as f64;
+        let lg = (n as f64).log2();
+        assert!(
+            per_insert < 4.0 * lg * lg,
+            "moves/insert {per_insert} should be O(log^2 n) = {}",
+            lg * lg
+        );
+    }
+
+    #[test]
+    fn works_over_sim_mem() {
+        use cosbt_dam::{new_shared_sim, CacheConfig, SimMem};
+        let sim = new_shared_sim(CacheConfig::new(256, 64));
+        let mem: SimMem<Slot<u64>> = SimMem::new(sim.clone());
+        let mut pma = Pma::new(mem, DensityProfile::default());
+        for i in 0..500u64 {
+            pma.insert(i);
+        }
+        assert_eq!(pma.len(), 500);
+        assert!(sim.borrow().stats().transfers() > 0);
+        pma.check_invariants();
+    }
+}

@@ -1,0 +1,201 @@
+//! Fibonacci machinery: `F_k`, the Fibonacci factor `x(h)`, and the
+//! buffer-height-index function `H(j)`.
+//!
+//! From the paper: `F_0 = 0, F_1 = 1, F_k = F_{k−1} + F_{k−2}`. For a
+//! positive height `h`, the *Fibonacci factor* `x(h)` is `h` itself if `h`
+//! is a Fibonacci number, else `x(h − f)` where `f` is the largest
+//! Fibonacci number below `h` (i.e. the smallest term in `h`'s Zeckendorf
+//! decomposition). A node at height `h+1` with `F_k = x(h)` carries
+//! buffers of heights `F_{H(j)}` for `j = Θ(1), …, k`.
+
+/// The `k`-th Fibonacci number (`fib(0) = 0`).
+pub fn fib(k: u32) -> u64 {
+    let (mut a, mut b) = (0u64, 1u64);
+    for _ in 0..k {
+        let c = a + b;
+        a = b;
+        b = c;
+    }
+    a
+}
+
+/// Index of the largest Fibonacci number ≤ `n` (for `n ≥ 1`), preferring
+/// the larger index for the repeated value 1 (`F_2`).
+pub fn fib_index_le(n: u64) -> u32 {
+    assert!(n >= 1);
+    let mut k = 2u32;
+    while fib(k + 1) <= n {
+        k += 1;
+    }
+    k
+}
+
+/// Largest Fibonacci number strictly below `n` (for `n ≥ 2`).
+pub fn fib_below(n: u64) -> u64 {
+    assert!(n >= 2);
+    let mut k = 2u32;
+    while fib(k + 1) < n {
+        k += 1;
+    }
+    fib(k)
+}
+
+/// The Fibonacci factor `x(h)` of a positive height.
+pub fn fib_factor(h: u64) -> u64 {
+    assert!(h >= 1);
+    let mut h = h;
+    loop {
+        let k = fib_index_le(h);
+        if fib(k) == h {
+            return h;
+        }
+        h -= fib(k);
+    }
+}
+
+/// Which buffer-height-index function to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferProfile {
+    /// The paper's asymptotic `H(j) = j − ⌈2·log_φ j⌉`. Buffers appear
+    /// only at impractically large heights; exposed for fidelity and for
+    /// the unit tests of the formula itself.
+    Paper,
+    /// `H(j) = j − 2`: the same geometrically growing Fibonacci buffer
+    /// heights with the start constant scaled for laptop-scale trees.
+    Practical,
+}
+
+/// `H(j)` under the chosen profile (may be ≤ 0, meaning "omitted").
+pub fn buffer_height_index(profile: BufferProfile, j: u32) -> i64 {
+    match profile {
+        BufferProfile::Paper => {
+            let phi = (1.0 + 5f64.sqrt()) / 2.0;
+            let lg = (j as f64).ln() / phi.ln();
+            j as i64 - (2.0 * lg).ceil() as i64
+        }
+        BufferProfile::Practical => j as i64 - 2,
+    }
+}
+
+/// Buffer heights for a node whose *children* sit at height `h`: the
+/// strictly increasing list `F_{H(j)}`, `j = j₀ … k` where `F_k = x(h)`,
+/// with sub-height-1 buffers omitted (the paper drops constant-height
+/// buffers).
+pub fn buffer_heights(profile: BufferProfile, h: u64) -> Vec<u64> {
+    if h < 1 {
+        return Vec::new();
+    }
+    let x = fib_factor(h);
+    let k = fib_index_le(x);
+    debug_assert_eq!(fib(k), x);
+    let mut out = Vec::new();
+    for j in 2..=k {
+        let hi = buffer_height_index(profile, j);
+        if hi < 1 {
+            continue;
+        }
+        let bh = fib(hi as u32);
+        if bh >= 1 && out.last() != Some(&bh) {
+            out.push(bh);
+        }
+    }
+    debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fib_base_cases_and_recurrence() {
+        assert_eq!(fib(0), 0);
+        assert_eq!(fib(1), 1);
+        assert_eq!(fib(2), 1);
+        let seq: Vec<u64> = (0..12).map(fib).collect();
+        assert_eq!(seq, vec![0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89]);
+        for k in 2..40 {
+            assert_eq!(fib(k), fib(k - 1) + fib(k - 2));
+        }
+    }
+
+    #[test]
+    fn fib_index_le_prefers_larger_index_for_one() {
+        assert_eq!(fib_index_le(1), 2); // F_2 = 1
+        assert_eq!(fib_index_le(2), 3);
+        assert_eq!(fib_index_le(3), 4);
+        assert_eq!(fib_index_le(4), 4);
+        assert_eq!(fib_index_le(5), 5);
+        assert_eq!(fib_index_le(12), 6); // F_6 = 8 ≤ 12 < 13
+    }
+
+    #[test]
+    fn fib_below_is_strict() {
+        assert_eq!(fib_below(2), 1);
+        assert_eq!(fib_below(3), 2);
+        assert_eq!(fib_below(5), 3);
+        assert_eq!(fib_below(6), 5);
+        assert_eq!(fib_below(8), 5);
+        assert_eq!(fib_below(9), 8);
+        assert_eq!(fib_below(13), 8);
+        assert_eq!(fib_below(14), 13);
+    }
+
+    #[test]
+    fn fibonacci_factor_definition() {
+        // x(h) = h for Fibonacci h.
+        for k in 2..15 {
+            assert_eq!(fib_factor(fib(k)), fib(k));
+        }
+        // Worked examples: x(4) = x(4-3) = 1; x(6) = x(1) = 1;
+        // x(7) = x(7-5) = 2; x(9) = x(1) = 1; x(10) = x(2) = 2;
+        // x(11) = x(3) = 3; x(12) = x(4) = x(1) = 1.
+        assert_eq!(fib_factor(4), 1);
+        assert_eq!(fib_factor(6), 1);
+        assert_eq!(fib_factor(7), 2);
+        assert_eq!(fib_factor(9), 1);
+        assert_eq!(fib_factor(10), 2);
+        assert_eq!(fib_factor(11), 3);
+        assert_eq!(fib_factor(12), 1);
+    }
+
+    #[test]
+    fn paper_height_index_formula() {
+        // H(j) = j - ceil(2 log_phi j): spot values.
+        assert_eq!(buffer_height_index(BufferProfile::Paper, 14), 3);
+        assert_eq!(buffer_height_index(BufferProfile::Paper, 16), 4);
+        assert_eq!(buffer_height_index(BufferProfile::Paper, 18), 5);
+        // Monotone nondecreasing once 2·log_φ grows by < 1 per step
+        // (j ≥ 5); for tiny j the ceiling can jump by 2.
+        let mut prev = i64::MIN;
+        for j in 5..200 {
+            let h = buffer_height_index(BufferProfile::Paper, j);
+            assert!(h >= prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn practical_heights_grow_like_fibonacci() {
+        // Children at height 8 (= F_6): buffers F_2..F_4 = 1, 2, 3.
+        assert_eq!(buffer_heights(BufferProfile::Practical, 8), vec![1, 2, 3]);
+        assert_eq!(buffer_heights(BufferProfile::Practical, 5), vec![1, 2]);
+        assert_eq!(buffer_heights(BufferProfile::Practical, 3), vec![1]);
+        assert_eq!(buffer_heights(BufferProfile::Practical, 13), vec![1, 2, 3, 5]);
+        // Non-Fibonacci heights use the Fibonacci factor: x(7)=2 -> F_2..F_{3-2}.
+        assert_eq!(buffer_heights(BufferProfile::Practical, 7), vec![1]);
+        // x(h)=1 means no buffers.
+        assert_eq!(buffer_heights(BufferProfile::Practical, 4), Vec::<u64>::new());
+        assert_eq!(buffer_heights(BufferProfile::Practical, 6), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn largest_buffer_is_two_fib_indices_down() {
+        // For children at height F_k, the largest buffer is F_{k-2}:
+        // size ≈ height/φ², the paper's "K^{1/Θ((log log K)²)}" scaled.
+        for k in 4..12u32 {
+            let hs = buffer_heights(BufferProfile::Practical, fib(k));
+            assert_eq!(*hs.last().unwrap(), fib(k - 2));
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! The van Emde Boas / Fibonacci recursive layout (paper Figure 1) and
+//! DAM-model measurement of searches over it.
+//!
+//! The rule, applied to a (sub)tree of height `h`: split at the largest
+//! Fibonacci number `s < h` — *above* the halfway point, which is the
+//! novelty over the classic vEB split. Lay out the top recursive subtree
+//! (height `h−s`), then the top's leaves' next-larger buffers left to
+//! right, then each bottom recursive subtree (height `s`) followed by its
+//! own leaves' next-larger buffers. Buffers are recursively shuttle
+//! trees; placing one lays out its entire tree (its preallocated chunk)
+//! at that position. Smaller buffers are placed by deeper recursion
+//! levels, so each buffer sits nearer its edge the smaller it is —
+//! exactly the paper's "largest buffers fall out" picture.
+//!
+//! [`LayoutImage::assign`] writes a byte address into every node of the
+//! tree and of every nested buffer tree; [`LayoutImage::assign_random`]
+//! is the pointer-machine strawman (random placement) used as the
+//! locality baseline; [`measure_searches`] replays search traces through
+//! an [`IoSim`] to count block transfers (experiment E10).
+
+use cosbt_dam::{CacheConfig, IoSim, IoStats};
+
+use crate::fib::fib_below;
+use crate::tree::{NodeId, ShuttleTree};
+
+/// Result of a layout pass.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutImage {
+    /// Total bytes of the image.
+    pub total_bytes: u64,
+    /// Number of placed records (nodes, including nested buffer trees).
+    pub records: u64,
+}
+
+impl LayoutImage {
+    /// Assigns vEB/Fibonacci layout addresses to every node (including
+    /// nested buffer trees).
+    pub fn assign(tree: &mut ShuttleTree) -> LayoutImage {
+        let mut cursor = 0u64;
+        let mut records = 0u64;
+        assign_tree(tree, &mut cursor, &mut records);
+        LayoutImage {
+            total_bytes: cursor,
+            records,
+        }
+    }
+
+    /// Assigns addresses in a random order (one record after another, but
+    /// shuffled): the locality strawman a pointer-based implementation
+    /// would produce after heavy churn.
+    pub fn assign_random(tree: &mut ShuttleTree, seed: u64) -> LayoutImage {
+        // Pass 1: record sizes in deterministic traversal order.
+        let mut sizes: Vec<u32> = Vec::new();
+        collect_sizes(tree, &mut sizes);
+        // Shuffle slot order with an xorshift generator.
+        let n = sizes.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut x = seed | 1;
+        for i in (1..n).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let j = (x % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        // slot_offset[traversal index] = byte offset of its shuffled slot.
+        let mut order_of: Vec<usize> = vec![0; n];
+        for (slot, &idx) in perm.iter().enumerate() {
+            order_of[idx] = slot;
+        }
+        let mut slot_sizes: Vec<u64> = vec![0; n];
+        for (idx, &sz) in sizes.iter().enumerate() {
+            slot_sizes[order_of[idx]] = sz as u64;
+        }
+        let mut offsets: Vec<u64> = vec![0; n];
+        let mut acc = 0u64;
+        for (slot, &sz) in slot_sizes.iter().enumerate() {
+            offsets[slot] = acc;
+            acc += sz;
+        }
+        // Pass 2: assign by traversal order.
+        let mut idx = 0usize;
+        assign_by_order(tree, &mut idx, &offsets, &order_of);
+        LayoutImage {
+            total_bytes: acc,
+            records: n as u64,
+        }
+    }
+}
+
+fn round8(b: u32) -> u64 {
+    ((b as u64) + 7) & !7
+}
+
+/// Lays out one whole tree (used for the top-level tree and recursively
+/// for each buffer tree chunk).
+fn assign_tree(tree: &mut ShuttleTree, cursor: &mut u64, records: &mut u64) {
+    let root = tree.root;
+    let h = tree.height();
+    let mut placed: std::collections::HashSet<(NodeId, usize, usize)> =
+        std::collections::HashSet::new();
+    layout_rec(tree, root, h, 0, cursor, records, &mut placed);
+    // Safety net: any buffers the recursion didn't reach (chains longer
+    // than the number of recursion levels) are placed at the end,
+    // smallest first.
+    let ids: Vec<NodeId> = ordered_nodes(tree, root);
+    for nid in ids {
+        let edges = tree.nodes[nid as usize].chains.len();
+        for e in 0..edges {
+            let nb = tree.nodes[nid as usize].chains[e].bufs.len();
+            for b in 0..nb {
+                if placed.insert((nid, e, b)) {
+                    let t = &mut tree.nodes[nid as usize].chains[e].bufs[b].tree;
+                    assign_tree(t, cursor, records);
+                }
+            }
+        }
+    }
+}
+
+/// Recursive-subtree layout: nodes of `tree` with absolute heights in
+/// `(floor_h, root_h]` rooted at `root`, placing the next unplaced buffer
+/// of each subtree-leaf edge at the positions the paper prescribes.
+fn layout_rec(
+    tree: &mut ShuttleTree,
+    root: NodeId,
+    root_h: u64,
+    floor_h: u64,
+    cursor: &mut u64,
+    records: &mut u64,
+    placed: &mut std::collections::HashSet<(NodeId, usize, usize)>,
+) {
+    let hh = root_h - floor_h;
+    if hh == 1 {
+        let n = &mut tree.nodes[root as usize];
+        n.addr = *cursor;
+        *cursor += round8(n.record_bytes());
+        *records += 1;
+        return;
+    }
+    let s = if hh == 2 { 1 } else { fib_below(hh) };
+    let floor_top = floor_h + s;
+
+    // Top recursive subtree (height hh - s).
+    layout_rec(tree, root, root_h, floor_top, cursor, records, placed);
+
+    // The top's leaves (height floor_top + 1) emit their next buffers,
+    // left to right, in leaf order.
+    let top_leaves = nodes_at_height(tree, root, floor_top + 1);
+    for v in top_leaves {
+        place_next_buffers(tree, v, cursor, records, placed);
+    }
+
+    // Bottom recursive subtrees (height s), each followed by its leaves'
+    // next buffers.
+    let bottoms = nodes_at_height(tree, root, floor_top);
+    for r in bottoms {
+        layout_rec(tree, r, floor_top, floor_h, cursor, records, placed);
+        if floor_h >= 1 {
+            let leaves = nodes_at_height(tree, r, floor_h + 1);
+            for v in leaves {
+                place_next_buffers(tree, v, cursor, records, placed);
+            }
+        }
+    }
+}
+
+/// Places the smallest not-yet-placed buffer of each edge of `v`.
+fn place_next_buffers(
+    tree: &mut ShuttleTree,
+    v: NodeId,
+    cursor: &mut u64,
+    records: &mut u64,
+    placed: &mut std::collections::HashSet<(NodeId, usize, usize)>,
+) {
+    let edges = tree.nodes[v as usize].chains.len();
+    for e in 0..edges {
+        let nb = tree.nodes[v as usize].chains[e].bufs.len();
+        for b in 0..nb {
+            if placed.insert((v, e, b)) {
+                let t = &mut tree.nodes[v as usize].chains[e].bufs[b].tree;
+                assign_tree(t, cursor, records);
+                break; // only the next (smallest unplaced) one
+            }
+        }
+    }
+}
+
+/// Nodes at absolute height `h` in the subtree of `root`, left to right.
+fn nodes_at_height(tree: &ShuttleTree, root: NodeId, h: u64) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(nid) = stack.pop() {
+        let n = &tree.nodes[nid as usize];
+        if n.height == h {
+            out.push(nid);
+        } else if n.height > h {
+            // push children right-to-left so out is left-to-right
+            for &c in n.children.iter().rev() {
+                stack.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// All nodes of one tree in DFS order.
+fn ordered_nodes(tree: &ShuttleTree, root: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(nid) = stack.pop() {
+        out.push(nid);
+        for &c in tree.nodes[nid as usize].children.iter().rev() {
+            stack.push(c);
+        }
+    }
+    out
+}
+
+fn collect_sizes(tree: &ShuttleTree, out: &mut Vec<u32>) {
+    for n in &tree.nodes {
+        out.push(round8(n.record_bytes()) as u32);
+    }
+    for n in &tree.nodes {
+        for ch in &n.chains {
+            for b in &ch.bufs {
+                collect_sizes(&b.tree, out);
+            }
+        }
+    }
+}
+
+fn assign_by_order(
+    tree: &mut ShuttleTree,
+    idx: &mut usize,
+    offsets: &[u64],
+    order_of: &[usize],
+) {
+    for n in tree.nodes.iter_mut() {
+        n.addr = offsets[order_of[*idx]];
+        *idx += 1;
+    }
+    let count = tree.nodes.len();
+    for i in 0..count {
+        let edges = tree.nodes[i].chains.len();
+        for e in 0..edges {
+            let nb = tree.nodes[i].chains[e].bufs.len();
+            for b in 0..nb {
+                assign_by_order(
+                    &mut tree.nodes[i].chains[e].bufs[b].tree,
+                    idx,
+                    offsets,
+                    order_of,
+                );
+            }
+        }
+    }
+}
+
+/// Records the `(address, bytes)` of every node touched by a search for
+/// `key`, including descents into buffer trees, and returns the lookup
+/// result (mirrors `ShuttleTree::get`).
+pub fn trace_search(tree: &ShuttleTree, key: u64, out: &mut Vec<(u64, u32)>) -> Option<u64> {
+    match trace_msg(tree, key, out) {
+        Some((val, del)) => (!del).then_some(val),
+        None => None,
+    }
+}
+
+fn trace_msg(tree: &ShuttleTree, key: u64, out: &mut Vec<(u64, u32)>) -> Option<(u64, bool)> {
+    let mut nid = tree.root;
+    loop {
+        let n = &tree.nodes[nid as usize];
+        out.push((n.addr, n.record_bytes()));
+        if n.is_leaf() {
+            return n
+                .msgs
+                .binary_search_by_key(&key, |m| m.key)
+                .ok()
+                .map(|i| (n.msgs[i].val, n.msgs[i].del));
+        }
+        let e = n.pivots.partition_point(|&p| p <= key);
+        for b in &n.chains[e].bufs {
+            if let Some(hit) = trace_msg(&b.tree, key, out) {
+                return Some(hit);
+            }
+        }
+        nid = n.children[e];
+    }
+}
+
+/// Replays search traces for `keys` through a DAM simulator over the
+/// current layout addresses; returns the accumulated transfer counts.
+pub fn measure_searches(tree: &ShuttleTree, keys: &[u64], cfg: CacheConfig) -> IoStats {
+    let mut sim = IoSim::new(cfg);
+    for &k in keys {
+        let mut tr = Vec::new();
+        trace_search(tree, k, &mut tr);
+        for (addr, len) in tr {
+            sim.touch(addr, len as usize, false);
+        }
+    }
+    sim.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: u64) -> ShuttleTree {
+        let mut t = ShuttleTree::new(4);
+        for i in 0..n {
+            t.insert(i.wrapping_mul(0x9E3779B97F4A7C15) | 1, i);
+        }
+        t
+    }
+
+    /// Collects (addr, len) of every record in the image.
+    fn all_records(tree: &ShuttleTree, out: &mut Vec<(u64, u64)>) {
+        for n in &tree.nodes {
+            out.push((n.addr, super::round8(n.record_bytes())));
+        }
+        for n in &tree.nodes {
+            for ch in &n.chains {
+                for b in &ch.bufs {
+                    all_records(&b.tree, out);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assign_covers_all_records_disjointly() {
+        let mut t = build(20_000);
+        let img = LayoutImage::assign(&mut t);
+        let mut recs = Vec::new();
+        all_records(&t, &mut recs);
+        assert_eq!(recs.len() as u64, img.records);
+        recs.sort_unstable();
+        for w in recs.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "overlapping records: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        let (last_addr, last_len) = *recs.last().unwrap();
+        assert!(last_addr + last_len <= img.total_bytes);
+    }
+
+    #[test]
+    fn random_assign_also_disjoint() {
+        let mut t = build(8_000);
+        let img = LayoutImage::assign_random(&mut t, 42);
+        let mut recs = Vec::new();
+        all_records(&t, &mut recs);
+        assert_eq!(recs.len() as u64, img.records);
+        recs.sort_unstable();
+        for w in recs.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap in random layout");
+        }
+    }
+
+    #[test]
+    fn trace_search_agrees_with_get() {
+        let mut t = build(15_000);
+        LayoutImage::assign(&mut t);
+        for i in (0..15_000u64).step_by(61) {
+            let k = i.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut tr = Vec::new();
+            let traced = trace_search(&t, k, &mut tr);
+            assert_eq!(traced, t.get(k), "key {k}");
+            assert!(!tr.is_empty());
+            let missing = k.wrapping_add(1); // even keys absent
+            assert_eq!(trace_search(&t, missing, &mut Vec::new()), None);
+        }
+    }
+
+    #[test]
+    fn veb_layout_beats_random_layout_on_transfers() {
+        let mut t = build(60_000);
+        let keys: Vec<u64> = (0..800u64)
+            .map(|i| (i * 75) .wrapping_mul(0x9E3779B97F4A7C15) | 1)
+            .collect();
+        let cfg = CacheConfig::new(4096, 16);
+
+        LayoutImage::assign(&mut t);
+        let veb = measure_searches(&t, &keys, cfg);
+
+        LayoutImage::assign_random(&mut t, 7);
+        let rnd = measure_searches(&t, &keys, cfg);
+
+        assert!(
+            veb.fetches < rnd.fetches,
+            "vEB layout should reduce transfers: {} vs {}",
+            veb.fetches,
+            rnd.fetches
+        );
+    }
+
+    #[test]
+    fn search_transfers_logarithmic_in_b() {
+        // With 4 KiB blocks, the vEB-laid-out search should touch far
+        // fewer blocks than its node count (log_B N, not log_2 N).
+        let mut t = build(50_000);
+        LayoutImage::assign(&mut t);
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+            .collect();
+        let stats = measure_searches(&t, &keys, CacheConfig::new(4096, 4));
+        let per = stats.fetches as f64 / keys.len() as f64;
+        assert!(per < 16.0, "fetches/search = {per}");
+    }
+}

@@ -1,0 +1,948 @@
+//! The dynamic shuttle tree.
+//!
+//! Structure (paper, Section 2): a strongly weight-balanced search tree
+//! (SWBST) with fanout parameter `c` — every node at height `h` has
+//! subtree weight `Θ(c^h)` — where each child edge carries a linked list
+//! of buffers with Fibonacci heights `F_{H(j)}` (see [`crate::fib`]),
+//! each buffer itself a shuttle tree capped at that height.
+//!
+//! * **Insert**: deposit the message in the smallest buffer of the root's
+//!   appropriate child edge. When a buffer's tree outgrows its height
+//!   cap, drain it — *in arrival order* — into the next buffer of the
+//!   list, or into the child node once the largest buffer overflows
+//!   ("shuttling"). Messages reaching a leaf are applied and weight-
+//!   balance splits trickle up (Lemma 1).
+//! * **Search**: walk the root-to-leaf path; at each edge, search the
+//!   buffers smallest-first (newest data is highest and in the smallest
+//!   buffers), then descend.
+//!
+//! Engineering notes:
+//! * Messages carry a global sequence number so arrival order survives
+//!   buffering (the paper flushes "in arrival order, not smallest to
+//!   largest"); upserts and tombstone deletes resolve newest-wins.
+//! * Node splits are deferred while a drain cascade is in flight (the
+//!   dirty-leaf queue), so node ids and routing stay stable mid-drain;
+//!   the rebalance pass then splits overweight nodes repeatedly until
+//!   the SWBST invariant is restored. When a split divides an edge, the
+//!   edge's in-flight buffer contents are repartitioned by the new pivot
+//!   into the largest buffer of each side — smaller buffers stay empty,
+//!   preserving the smaller-is-newer chain invariant.
+
+use crate::fib::{buffer_heights, BufferProfile};
+
+/// Arena node id.
+pub type NodeId = u32;
+const NIL: NodeId = u32::MAX;
+
+/// An in-flight message: an upsert or a tombstone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Msg {
+    pub key: u64,
+    pub val: u64,
+    pub seq: u64,
+    pub del: bool,
+}
+
+/// One buffer of a chain: a shuttle tree capped at `cap` height.
+#[derive(Debug)]
+pub(crate) struct Buf {
+    pub cap: u64,
+    pub tree: Box<ShuttleTree>,
+}
+
+/// The buffer list of one child edge (heights strictly increasing).
+#[derive(Debug, Default)]
+pub(crate) struct Chain {
+    pub bufs: Vec<Buf>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub parent: NodeId,
+    pub height: u64,
+    /// Records stored in this subtree's leaves (in-flight messages do not
+    /// count until delivered, as in the paper).
+    pub weight: usize,
+    pub pivots: Vec<u64>,
+    pub children: Vec<NodeId>,
+    /// Parallel to `children`.
+    pub chains: Vec<Chain>,
+    /// Leaf payload, sorted by key.
+    pub msgs: Vec<Msg>,
+    /// Layout address (assigned by [`crate::LayoutImage`]).
+    pub addr: u64,
+}
+
+impl Node {
+    fn new_leaf(parent: NodeId) -> Node {
+        Node {
+            parent,
+            height: 1,
+            weight: 0,
+            pivots: Vec::new(),
+            children: Vec::new(),
+            chains: Vec::new(),
+            msgs: Vec::new(),
+            addr: 0,
+        }
+    }
+
+    pub(crate) fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Approximate record size in bytes, for layout and simulation.
+    pub(crate) fn record_bytes(&self) -> u32 {
+        (64 + 16 * self.pivots.len() + 24 * self.msgs.len()) as u32
+    }
+}
+
+/// Work counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShuttleStats {
+    /// Top-level insert/delete operations.
+    pub inserts: u64,
+    /// Buffer drains (overflows).
+    pub drains: u64,
+    /// Messages moved by drains (the "shuttled" volume).
+    pub msgs_shuttled: u64,
+    /// Node splits.
+    pub splits: u64,
+    /// Messages applied at leaves of the top-level tree.
+    pub leaf_applies: u64,
+    /// Buffers searched during lookups.
+    pub buffers_searched: u64,
+}
+
+/// A shuttle tree. Also used, recursively, as the buffers of a larger
+/// shuttle tree.
+#[derive(Debug)]
+pub struct ShuttleTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+    c: usize,
+    profile: BufferProfile,
+    /// Buffer trees store tombstones as records; the top-level tree
+    /// applies them.
+    is_buffer: bool,
+    seq: u64,
+    live: usize,
+    n: u64,
+    dirty_leaves: Vec<NodeId>,
+    pump_depth: u32,
+    stats: ShuttleStats,
+}
+
+impl ShuttleTree {
+    /// A new top-level shuttle tree with fanout parameter `c ≥ 2` and the
+    /// practical buffer profile.
+    pub fn new(c: usize) -> Self {
+        Self::with_profile(c, BufferProfile::Practical)
+    }
+
+    /// A new top-level shuttle tree with an explicit buffer profile.
+    pub fn with_profile(c: usize, profile: BufferProfile) -> Self {
+        assert!(c >= 2);
+        ShuttleTree {
+            nodes: vec![Node::new_leaf(NIL)],
+            root: 0,
+            c,
+            profile,
+            is_buffer: false,
+            seq: 0,
+            live: 0,
+            n: 0,
+            dirty_leaves: Vec::new(),
+            pump_depth: 0,
+            stats: ShuttleStats::default(),
+        }
+    }
+
+    fn new_buffer(c: usize, profile: BufferProfile) -> Self {
+        let mut t = Self::with_profile(c, profile);
+        t.is_buffer = true;
+        t
+    }
+
+    /// Height of the root (1 = single leaf).
+    pub fn height(&self) -> u64 {
+        self.nodes[self.root as usize].height
+    }
+
+    /// Records delivered to leaves (in-flight messages not counted).
+    pub fn delivered_len(&self) -> usize {
+        self.nodes[self.root as usize].weight
+    }
+
+    /// Total nodes in this tree (not counting nested buffer trees).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fanout parameter.
+    pub fn fanout(&self) -> usize {
+        self.c
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> ShuttleStats {
+        self.stats
+    }
+
+    /// Whether any edge of this tree currently has a buffer chain.
+    pub fn has_buffers(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| n.chains.iter().any(|ch| !ch.bufs.is_empty()))
+    }
+
+    fn max_weight(&self, height: u64) -> usize {
+        // SWBST invariant: w(v) = Θ(c^h). Split above 2·c^h.
+        2 * self.c.pow(height.min(31) as u32)
+    }
+
+    fn route(&self, nid: NodeId, key: u64) -> usize {
+        self.nodes[nid as usize]
+            .pivots
+            .partition_point(|&p| p <= key)
+    }
+
+    fn fresh_chain(&self, child_height: u64) -> Chain {
+        let bufs = buffer_heights(self.profile, child_height)
+            .into_iter()
+            .map(|cap| Buf {
+                cap,
+                tree: Box::new(ShuttleTree::new_buffer(self.c, self.profile)),
+            })
+            .collect();
+        Chain { bufs }
+    }
+
+    // ---- insertion ----
+
+    /// Inserts or overwrites a key.
+    pub fn insert(&mut self, key: u64, val: u64) {
+        self.seq += 1;
+        self.n += 1;
+        self.stats.inserts += 1;
+        let m = Msg {
+            key,
+            val,
+            seq: self.seq,
+            del: false,
+        };
+        self.insert_top(m);
+    }
+
+    /// Deletes a key (tombstone message).
+    pub fn delete(&mut self, key: u64) {
+        self.seq += 1;
+        self.n += 1;
+        self.stats.inserts += 1;
+        let m = Msg {
+            key,
+            val: 0,
+            seq: self.seq,
+            del: true,
+        };
+        self.insert_top(m);
+    }
+
+    fn insert_top(&mut self, m: Msg) {
+        self.pump_depth += 1;
+        self.insert_msg(self.root, m);
+        self.pump_depth -= 1;
+        self.flush_rebalance();
+    }
+
+    /// Raw message entry for buffer trees (keeps the caller's seq).
+    fn insert_raw(&mut self, m: Msg) {
+        self.pump_depth += 1;
+        self.insert_msg(self.root, m);
+        self.pump_depth -= 1;
+        self.flush_rebalance();
+    }
+
+    fn insert_msg(&mut self, mut nid: NodeId, m: Msg) {
+        loop {
+            if self.nodes[nid as usize].is_leaf() {
+                self.apply_at_leaf(nid, m);
+                return;
+            }
+            let e = self.route(nid, m.key);
+            if self.nodes[nid as usize].chains[e].bufs.is_empty() {
+                nid = self.nodes[nid as usize].children[e];
+                continue;
+            }
+            // Deposit into the smallest buffer of the chain, then cascade
+            // overflows down the list and, last, into the child node.
+            self.nodes[nid as usize].chains[e].bufs[0].tree.insert_raw(m);
+            self.cascade(nid, e);
+            return;
+        }
+    }
+
+    fn cascade(&mut self, nid: NodeId, e: usize) {
+        let mut i = 0usize;
+        loop {
+            let nb = self.nodes[nid as usize].chains[e].bufs.len();
+            if i >= nb {
+                break;
+            }
+            let overflow = {
+                let b = &self.nodes[nid as usize].chains[e].bufs[i];
+                b.tree.height() > b.cap
+            };
+            if overflow {
+                let old = std::mem::replace(
+                    &mut self.nodes[nid as usize].chains[e].bufs[i].tree,
+                    Box::new(ShuttleTree::new_buffer(self.c, self.profile)),
+                );
+                let mut msgs = old.into_msgs();
+                msgs.sort_unstable_by_key(|m| m.seq); // arrival order
+                self.stats.drains += 1;
+                self.stats.msgs_shuttled += msgs.len() as u64;
+                if i + 1 < nb {
+                    let nxt = &mut self.nodes[nid as usize].chains[e].bufs[i + 1];
+                    for m in msgs {
+                        nxt.tree.insert_raw(m);
+                    }
+                } else {
+                    let child = self.nodes[nid as usize].children[e];
+                    for m in msgs {
+                        self.insert_msg(child, m);
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn apply_at_leaf(&mut self, leaf: NodeId, m: Msg) {
+        self.stats.leaf_applies += 1;
+        let is_buffer = self.is_buffer;
+        let node = &mut self.nodes[leaf as usize];
+        let pos = node.msgs.binary_search_by_key(&m.key, |x| x.key);
+        let delta: isize = match pos {
+            Ok(i) => {
+                if is_buffer {
+                    // Buffer trees store the newest message per key.
+                    if m.seq >= node.msgs[i].seq {
+                        node.msgs[i] = m;
+                    }
+                    0
+                } else if m.del {
+                    node.msgs.remove(i);
+                    -1
+                } else {
+                    node.msgs[i] = m;
+                    0
+                }
+            }
+            Err(i) => {
+                if m.del && !is_buffer {
+                    0 // deleting an absent key
+                } else {
+                    node.msgs.insert(i, m);
+                    1
+                }
+            }
+        };
+        if delta != 0 {
+            let mut cur = leaf;
+            while cur != NIL {
+                let n = &mut self.nodes[cur as usize];
+                n.weight = (n.weight as isize + delta) as usize;
+                cur = n.parent;
+            }
+            if delta > 0 && !is_buffer {
+                self.live += 1;
+            } else if delta < 0 && !is_buffer {
+                self.live -= 1;
+            }
+        }
+        if delta > 0 {
+            self.dirty_leaves.push(leaf);
+        }
+    }
+
+    fn flush_rebalance(&mut self) {
+        if self.pump_depth > 0 {
+            return;
+        }
+        while let Some(leaf) = self.dirty_leaves.pop() {
+            self.rebalance_path(leaf);
+        }
+    }
+
+    fn rebalance_path(&mut self, mut nid: NodeId) {
+        loop {
+            let (h, w) = {
+                let n = &self.nodes[nid as usize];
+                (n.height, n.weight)
+            };
+            if w > self.max_weight(h) && self.can_split(nid) {
+                self.split(nid);
+                continue; // re-check the (now lighter) node
+            }
+            let p = self.nodes[nid as usize].parent;
+            if p == NIL {
+                return;
+            }
+            nid = p;
+        }
+    }
+
+    /// A node can split if it has ≥ 2 records (leaf) or ≥ 2 children.
+    fn can_split(&self, nid: NodeId) -> bool {
+        let n = &self.nodes[nid as usize];
+        if n.is_leaf() {
+            n.msgs.len() >= 2
+        } else {
+            n.children.len() >= 2
+        }
+    }
+
+    /// Splits `nid` into itself plus a new right sibling, dividing the
+    /// weight as evenly as possible (the paper's balancing routine);
+    /// creates a new root if `nid` was the root.
+    fn split(&mut self, nid: NodeId) {
+        self.stats.splits += 1;
+        let new_id = self.nodes.len() as NodeId;
+        if self.nodes[nid as usize].is_leaf() {
+            let node = &mut self.nodes[nid as usize];
+            let mid = node.msgs.len() / 2;
+            let right_msgs = node.msgs.split_off(mid);
+            let pivot = right_msgs[0].key;
+            let w = right_msgs.len();
+            node.weight -= w;
+            let parent = node.parent;
+            let mut r = Node::new_leaf(parent);
+            r.msgs = right_msgs;
+            r.weight = w;
+            self.nodes.push(r);
+            self.attach_sibling(nid, new_id, pivot);
+            return;
+        }
+        // Internal node: cut the child list so both sides get roughly
+        // half the weight (at least one child each).
+        let child_weights: Vec<usize> = self.nodes[nid as usize]
+            .children
+            .iter()
+            .map(|&c| self.nodes[c as usize].weight)
+            .collect();
+        let total: usize = child_weights.iter().sum();
+        let mut acc = 0usize;
+        let mut cut = 1usize;
+        for (i, &w) in child_weights.iter().enumerate() {
+            acc += w;
+            if acc * 2 >= total {
+                cut = i + 1;
+                break;
+            }
+        }
+        cut = cut.clamp(1, child_weights.len() - 1);
+        let right_weight: usize = child_weights[cut..].iter().sum();
+
+        let (pivot, right) = {
+            let node = &mut self.nodes[nid as usize];
+            let right_children = node.children.split_off(cut);
+            let right_chains: Vec<Chain> = node.chains.split_off(cut);
+            let mut right_pivots = node.pivots.split_off(cut - 1);
+            let pivot = right_pivots.remove(0);
+            node.weight -= right_weight;
+            let r = Node {
+                parent: node.parent,
+                height: node.height,
+                weight: right_weight,
+                pivots: right_pivots,
+                children: right_children,
+                chains: right_chains,
+                msgs: Vec::new(),
+                addr: 0,
+            };
+            (pivot, r)
+        };
+        self.nodes.push(right);
+        let kids: Vec<NodeId> = self.nodes[new_id as usize].children.clone();
+        for c in kids {
+            self.nodes[c as usize].parent = new_id;
+        }
+        self.attach_sibling(nid, new_id, pivot);
+    }
+
+    /// Inserts `new_id` as the right sibling of `nid` under its parent
+    /// (creating a new root if needed) and splits the parent edge's
+    /// buffer chain by `pivot`.
+    fn attach_sibling(&mut self, nid: NodeId, new_id: NodeId, pivot: u64) {
+        let parent = self.nodes[nid as usize].parent;
+        let child_height = self.nodes[nid as usize].height;
+        if parent == NIL {
+            // New root above the old one.
+            let root_id = self.nodes.len() as NodeId;
+            let w = self.nodes[nid as usize].weight + self.nodes[new_id as usize].weight;
+            let chain_a = self.fresh_chain(child_height);
+            let chain_b = self.fresh_chain(child_height);
+            let root = Node {
+                parent: NIL,
+                height: child_height + 1,
+                weight: w,
+                pivots: vec![pivot],
+                children: vec![nid, new_id],
+                chains: vec![chain_a, chain_b],
+                msgs: Vec::new(),
+                addr: 0,
+            };
+            self.nodes.push(root);
+            self.nodes[nid as usize].parent = root_id;
+            self.nodes[new_id as usize].parent = root_id;
+            self.root = root_id;
+            return;
+        }
+        self.nodes[new_id as usize].parent = parent;
+        let e = {
+            let p = &self.nodes[parent as usize];
+            p.children
+                .iter()
+                .position(|&c| c == nid)
+                .expect("child not under parent")
+        };
+        // Split the edge's buffer chain contents by the new pivot: drain
+        // everything, repartition into the LARGEST buffer of each side
+        // (smaller buffers stay empty, keeping smaller-is-newer intact).
+        let old_chain = std::mem::replace(
+            &mut self.nodes[parent as usize].chains[e],
+            Chain::default(),
+        );
+        let mut msgs = Vec::new();
+        for b in old_chain.bufs {
+            msgs.extend(b.tree.into_msgs_boxed());
+        }
+        msgs.sort_unstable_by_key(|m| m.seq);
+        let mut left_chain = self.fresh_chain(child_height);
+        let mut right_chain = self.fresh_chain(child_height);
+        for m in msgs {
+            let chain = if m.key < pivot { &mut left_chain } else { &mut right_chain };
+            if let Some(last) = chain.bufs.last_mut() {
+                last.tree.insert_raw(m);
+            } else {
+                // No buffers on this edge (tiny Fibonacci factor): deliver
+                // directly to the child.
+                let child = if m.key < pivot { nid } else { new_id };
+                self.insert_msg(child, m);
+            }
+        }
+        let p = &mut self.nodes[parent as usize];
+        p.chains[e] = left_chain;
+        p.pivots.insert(e, pivot);
+        p.children.insert(e + 1, new_id);
+        p.chains.insert(e + 1, right_chain);
+    }
+
+    // ---- search ----
+
+    /// Point lookup.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        match self.search(key) {
+            Some(m) if !m.del => Some(m.val),
+            _ => None,
+        }
+    }
+
+    fn search(&mut self, key: u64) -> Option<Msg> {
+        let mut nid = self.root;
+        loop {
+            if self.nodes[nid as usize].is_leaf() {
+                let n = &self.nodes[nid as usize];
+                return n
+                    .msgs
+                    .binary_search_by_key(&key, |m| m.key)
+                    .ok()
+                    .map(|i| n.msgs[i]);
+            }
+            let e = self.route(nid, key);
+            let nb = self.nodes[nid as usize].chains[e].bufs.len();
+            for i in 0..nb {
+                self.stats.buffers_searched += 1;
+                // Buffers are searched smallest (newest) first.
+                let found = self.nodes[nid as usize].chains[e].bufs[i]
+                    .tree
+                    .search_ref(key);
+                if found.is_some() {
+                    return found;
+                }
+            }
+            nid = self.nodes[nid as usize].children[e];
+        }
+    }
+
+    /// Immutable search used for buffer trees (no stats mutation needed
+    /// beyond the caller's).
+    fn search_ref(&self, key: u64) -> Option<Msg> {
+        let mut nid = self.root;
+        loop {
+            let n = &self.nodes[nid as usize];
+            if n.is_leaf() {
+                return n
+                    .msgs
+                    .binary_search_by_key(&key, |m| m.key)
+                    .ok()
+                    .map(|i| n.msgs[i]);
+            }
+            let e = n.pivots.partition_point(|&p| p <= key);
+            for b in &n.chains[e].bufs {
+                if let Some(m) = b.tree.search_ref(key) {
+                    return Some(m);
+                }
+            }
+            nid = n.children[e];
+        }
+    }
+
+    // ---- range ----
+
+    /// All live pairs with `lo <= key <= hi`, in key order, merging leaf
+    /// records with in-flight buffered messages (newest wins).
+    pub fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let mut msgs = Vec::new();
+        self.collect_range(self.root, lo, hi, &mut msgs);
+        // Newest version per key wins; drop tombstones.
+        msgs.sort_unstable_by(|a, b| a.key.cmp(&b.key).then(b.seq.cmp(&a.seq)));
+        let mut out = Vec::new();
+        let mut last: Option<u64> = None;
+        for m in msgs {
+            if last == Some(m.key) {
+                continue;
+            }
+            last = Some(m.key);
+            if !m.del {
+                out.push((m.key, m.val));
+            }
+        }
+        out
+    }
+
+    fn collect_range(&self, nid: NodeId, lo: u64, hi: u64, out: &mut Vec<Msg>) {
+        let n = &self.nodes[nid as usize];
+        if n.is_leaf() {
+            let start = n.msgs.partition_point(|m| m.key < lo);
+            for m in &n.msgs[start..] {
+                if m.key > hi {
+                    break;
+                }
+                out.push(*m);
+            }
+            return;
+        }
+        let from = n.pivots.partition_point(|&p| p <= lo);
+        let to = n.pivots.partition_point(|&p| p <= hi);
+        for e in from..=to {
+            for b in &n.chains[e].bufs {
+                b.tree.collect_range(b.tree.root, lo, hi, out);
+            }
+            self.collect_range(n.children[e], lo, hi, out);
+        }
+    }
+
+    // ---- draining (buffer overflow) ----
+
+    /// Collects every message (leaf records and in-flight), resetting the
+    /// tree to empty.
+    fn into_msgs(mut self: Box<Self>) -> Vec<Msg> {
+        let mut out = Vec::new();
+        let nodes = std::mem::take(&mut self.nodes);
+        for node in nodes {
+            out.extend(node.msgs);
+            for chain in node.chains {
+                for b in chain.bufs {
+                    out.extend(b.tree.into_msgs());
+                }
+            }
+        }
+        out
+    }
+
+    fn into_msgs_boxed(self: Box<Self>) -> Vec<Msg> {
+        self.into_msgs()
+    }
+
+    // ---- accounting / invariants ----
+
+    /// Total insert/delete operations accepted.
+    pub fn operations(&self) -> u64 {
+        self.n
+    }
+
+    /// Live keys delivered to leaves (in-flight messages excluded).
+    pub fn live_delivered(&self) -> usize {
+        self.live
+    }
+
+    /// Verifies the SWBST and chain invariants; panics on violation.
+    pub fn check_invariants(&self) {
+        self.check_node(self.root, None, None);
+        assert_eq!(self.nodes[self.root as usize].parent, NIL);
+    }
+
+    fn check_node(&self, nid: NodeId, lo: Option<u64>, hi: Option<u64>) -> usize {
+        let n = &self.nodes[nid as usize];
+        if n.is_leaf() {
+            assert_eq!(n.height, 1);
+            for w in n.msgs.windows(2) {
+                assert!(w[0].key < w[1].key, "leaf keys must be strictly increasing");
+            }
+            for m in &n.msgs {
+                if let Some(l) = lo {
+                    assert!(m.key >= l);
+                }
+                if let Some(h) = hi {
+                    assert!(m.key < h);
+                }
+                if !self.is_buffer {
+                    assert!(!m.del, "top-level leaves must not store tombstones");
+                }
+            }
+            assert_eq!(n.weight, n.msgs.len());
+            return n.weight;
+        }
+        assert_eq!(n.children.len(), n.pivots.len() + 1);
+        assert_eq!(n.chains.len(), n.children.len());
+        for w in n.pivots.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Chains: caps strictly increasing; all heights within soft caps
+        // are not asserted (split repartition may transiently exceed).
+        for ch in &n.chains {
+            for w in ch.bufs.windows(2) {
+                assert!(w[0].cap < w[1].cap, "chain caps must increase");
+            }
+        }
+        let mut total = 0usize;
+        for (i, &c) in n.children.iter().enumerate() {
+            assert_eq!(self.nodes[c as usize].parent, nid, "parent pointer");
+            assert_eq!(self.nodes[c as usize].height, n.height - 1, "uniform depth");
+            let clo = if i == 0 { lo } else { Some(n.pivots[i - 1]) };
+            let chi = if i == n.pivots.len() { hi } else { Some(n.pivots[i]) };
+            total += self.check_node(c, clo, chi);
+        }
+        assert_eq!(n.weight, total, "weight bookkeeping");
+        assert!(
+            n.weight <= self.max_weight(n.height) + self.max_weight(n.height - 1),
+            "node too heavy: {} at height {}",
+            n.weight,
+            n.height
+        );
+        total
+    }
+}
+
+impl cosbt_core::Dictionary for ShuttleTree {
+    fn insert(&mut self, key: u64, val: u64) {
+        ShuttleTree::insert(self, key, val)
+    }
+
+    fn delete(&mut self, key: u64) {
+        ShuttleTree::delete(self, key)
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        ShuttleTree::get(self, key)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        ShuttleTree::range(self, lo, hi)
+    }
+
+    fn physical_len(&self) -> usize {
+        self.n as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "shuttle-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leaf_basics() {
+        let mut t = ShuttleTree::new(4);
+        assert_eq!(t.height(), 1);
+        t.insert(5, 50);
+        t.insert(3, 30);
+        assert_eq!(t.get(5), Some(50));
+        assert_eq!(t.get(3), Some(30));
+        assert_eq!(t.get(4), None);
+        t.delete(5);
+        assert_eq!(t.get(5), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn grows_and_stays_balanced() {
+        let mut t = ShuttleTree::new(4);
+        for i in 0..5000u64 {
+            t.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i);
+            if i % 911 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        assert!(t.height() >= 4, "tree should have grown: h={}", t.height());
+        // Weight balance implies height is O(log_c n).
+        assert!(t.height() <= 12);
+    }
+
+    #[test]
+    fn buffers_engage_on_deep_trees() {
+        let mut t = ShuttleTree::new(4);
+        for i in 0..30_000u64 {
+            t.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i);
+        }
+        assert!(t.has_buffers(), "edges at Fibonacci heights must have chains");
+        assert!(t.stats().drains > 0, "buffers must have overflowed");
+        assert!(t.stats().msgs_shuttled > 0);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn in_flight_messages_visible() {
+        let mut t = ShuttleTree::new(4);
+        // Grow the tree until the root has buffer chains, then insert and
+        // immediately query.
+        let mut i = 0u64;
+        while !t.has_buffers() && i < 200_000 {
+            t.insert(i.wrapping_mul(0x9E3779B97F4A7C15) | 1, i);
+            i += 1;
+        }
+        assert!(t.has_buffers());
+        t.insert(42, 4242); // even key: fresh
+        assert_eq!(t.get(42), Some(4242), "buffered message must be found");
+        t.delete(42);
+        assert_eq!(t.get(42), None, "buffered tombstone must win");
+    }
+
+    #[test]
+    fn matches_model_with_upserts_and_deletes() {
+        let mut t = ShuttleTree::new(4);
+        let mut model = std::collections::BTreeMap::new();
+        let mut x: u64 = 9;
+        for i in 0..40_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 10_000;
+            match x % 5 {
+                0 => {
+                    t.delete(k);
+                    model.remove(&k);
+                }
+                _ => {
+                    t.insert(k, i);
+                    model.insert(k, i);
+                }
+            }
+            if i % 4999 == 0 {
+                for probe in [0u64, 5000, 9999, k] {
+                    assert_eq!(t.get(probe), model.get(&probe).copied(), "probe {probe} @ {i}");
+                }
+                t.check_invariants();
+            }
+        }
+        for probe in (0..10_000u64).step_by(11) {
+            assert_eq!(t.get(probe), model.get(&probe).copied());
+        }
+    }
+
+    #[test]
+    fn range_merges_leaves_and_buffers() {
+        let mut t = ShuttleTree::new(4);
+        let mut model = std::collections::BTreeMap::new();
+        for i in 0..20_000u64 {
+            let k = (i * 37) % 50_000;
+            t.insert(k, i);
+            model.insert(k, i);
+        }
+        // Fresh inserts that are still buffered must appear in ranges.
+        for k in 100..120u64 {
+            t.insert(k * 2 + 1_000_000, k);
+            model.insert(k * 2 + 1_000_000, k);
+        }
+        for (lo, hi) in [(0u64, 49_999u64), (1000, 2000), (999_000, 1_100_000)] {
+            let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(t.range(lo, hi), want, "range {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn sorted_insertions() {
+        for desc in [false, true] {
+            let mut t = ShuttleTree::new(4);
+            let n = 20_000u64;
+            for i in 0..n {
+                let k = if desc { n - 1 - i } else { i };
+                t.insert(k, k);
+            }
+            t.check_invariants();
+            for k in (0..n).step_by(173) {
+                assert_eq!(t.get(k), Some(k), "desc={desc} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_heights_follow_fibonacci_factors() {
+        let mut t = ShuttleTree::new(3); // smaller fanout → taller tree
+        for i in 0..60_000u64 {
+            t.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i);
+        }
+        // Every edge's chain must match buffer_heights(child height).
+        for n in &t.nodes {
+            if n.is_leaf() {
+                continue;
+            }
+            let want = crate::fib::buffer_heights(BufferProfile::Practical, n.height - 1);
+            for ch in &n.chains {
+                let got: Vec<u64> = ch.bufs.iter().map(|b| b.cap).collect();
+                assert_eq!(got, want, "chain caps at height {}", n.height);
+            }
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn splits_preserve_buffered_messages() {
+        // Hammer one key region so edge splits occur while messages are
+        // in flight, then verify nothing was lost.
+        let mut t = ShuttleTree::new(4);
+        let mut model = std::collections::BTreeMap::new();
+        let mut x: u64 = 3;
+        for i in 0..50_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 512; // heavy duplication forces churn in one region
+            t.insert(k, i);
+            model.insert(k, i);
+        }
+        for k in 0..512u64 {
+            assert_eq!(t.get(k), model.get(&k).copied(), "key {k}");
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn delivered_vs_inflight_accounting() {
+        let mut t = ShuttleTree::new(4);
+        for i in 0..10_000u64 {
+            t.insert(i, i);
+        }
+        // Everything inserted is either delivered or in flight; the two
+        // reunite in range().
+        let all = t.range(0, u64::MAX);
+        assert_eq!(all.len(), 10_000);
+        assert!(t.live_delivered() <= 10_000);
+        assert_eq!(t.operations(), 10_000);
+    }
+}

@@ -1,0 +1,141 @@
+//! Stress and property tests of the shuttle tree beyond the unit suite:
+//! buffer-profile variants, fanout sweeps, heavy churn in narrow key
+//! ranges (maximum split pressure with in-flight messages), and layout
+//! idempotence.
+
+use cosbt_shuttle::fib::BufferProfile;
+use cosbt_shuttle::layout::trace_search;
+use cosbt_shuttle::{LayoutImage, ShuttleTree};
+use proptest::prelude::*;
+
+#[test]
+fn fanout_sweep_model_equivalence() {
+    for c in [2usize, 3, 4, 8] {
+        let mut t = ShuttleTree::new(c);
+        let mut model = std::collections::BTreeMap::new();
+        let mut x = c as u64;
+        for i in 0..15_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 6_000;
+            if x % 6 == 0 {
+                t.delete(k);
+                model.remove(&k);
+            } else {
+                t.insert(k, i);
+                model.insert(k, i);
+            }
+        }
+        for probe in (0..6_000u64).step_by(13) {
+            assert_eq!(t.get(probe), model.get(&probe).copied(), "c={c} key {probe}");
+        }
+        t.check_invariants();
+    }
+}
+
+#[test]
+fn paper_profile_runs_bufferless_at_small_scale() {
+    // The faithful H(j) only spawns buffers at astronomical heights, so a
+    // paper-profile tree at laptop scale is a plain SWBST — and must
+    // still be a correct dictionary.
+    let mut t = ShuttleTree::with_profile(4, BufferProfile::Paper);
+    for i in 0..20_000u64 {
+        t.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i);
+    }
+    assert!(!t.has_buffers(), "paper profile has no buffers at this height");
+    assert_eq!(t.stats().drains, 0);
+    for i in (0..20_000u64).step_by(173) {
+        assert_eq!(t.get(i.wrapping_mul(0x9E3779B97F4A7C15)), Some(i));
+    }
+    t.check_invariants();
+}
+
+#[test]
+fn narrow_range_churn_splits_edges_with_inflight_messages() {
+    // All traffic lands in one subtree: edges there split constantly
+    // while their chains hold messages; nothing may be lost or reordered.
+    let mut t = ShuttleTree::new(4);
+    let mut model = std::collections::BTreeMap::new();
+    // Pre-grow a wide tree.
+    for i in 0..50_000u64 {
+        t.insert(i * 1000, i);
+        model.insert(i * 1000, i);
+    }
+    // Hammer a narrow band between two existing keys.
+    let mut x = 5u64;
+    for i in 0..50_000u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let k = 25_000_000 + (x % 999);
+        t.insert(k, i);
+        model.insert(k, i);
+    }
+    for (&k, &v) in model.iter().step_by(211) {
+        assert_eq!(t.get(k), Some(v), "key {k}");
+    }
+    t.check_invariants();
+    let band: Vec<(u64, u64)> = model
+        .range(25_000_000..=25_001_000)
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    assert_eq!(t.range(25_000_000, 25_001_000), band);
+}
+
+#[test]
+fn layout_assign_is_idempotent_and_traces_stable() {
+    let mut t = ShuttleTree::new(4);
+    for i in 0..30_000u64 {
+        t.insert(i.wrapping_mul(0x9E3779B97F4A7C15) | 1, i);
+    }
+    let img1 = LayoutImage::assign(&mut t);
+    let mut tr1 = Vec::new();
+    let r1 = trace_search(&t, 12345 | 1, &mut tr1);
+    let img2 = LayoutImage::assign(&mut t);
+    let mut tr2 = Vec::new();
+    let r2 = trace_search(&t, 12345 | 1, &mut tr2);
+    assert_eq!(img1.total_bytes, img2.total_bytes);
+    assert_eq!(img1.records, img2.records);
+    assert_eq!(r1, r2);
+    assert_eq!(tr1, tr2, "same tree, same layout, same trace");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn shuttle_random_ops_match_model(
+        ops in proptest::collection::vec((0u8..10, 0u64..128, any::<u64>()), 1..600)
+    ) {
+        let mut t = ShuttleTree::new(3);
+        let mut model = std::collections::BTreeMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0..=6 => {
+                    t.insert(k, v);
+                    model.insert(k, v);
+                }
+                7..=8 => {
+                    t.delete(k);
+                    model.remove(&k);
+                }
+                _ => {
+                    prop_assert_eq!(t.get(k), model.get(&k).copied());
+                }
+            }
+        }
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(t.range(0, u64::MAX), want);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn weights_track_live_count(n in 1u64..3000) {
+        let mut t = ShuttleTree::new(4);
+        for i in 0..n {
+            t.insert(i, i);
+        }
+        // After enough follow-on traffic everything reaches the leaves;
+        // in general delivered ≤ total, and range() reunites both.
+        prop_assert!(t.delivered_len() as u64 <= n);
+        prop_assert_eq!(t.range(0, u64::MAX).len() as u64, n);
+        t.check_invariants();
+    }
+}

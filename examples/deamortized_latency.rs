@@ -1,0 +1,90 @@
+//! Deamortization in action (Theorems 22 & 24): the amortized COLA has
+//! inserts that occasionally rewrite the entire structure; the
+//! deamortized COLAs bound every insert by O(log N) moved cells.
+//!
+//! ```text
+//! cargo run --release --example deamortized_latency [N]
+//! ```
+//!
+//! Prints a per-insert cell-movement histogram for the amortized basic
+//! COLA vs the two deamortized variants — the "tail latency" picture a
+//! production system cares about.
+
+use cosbt::cola::{BasicCola, DeamortBasicCola, DeamortCola, Dictionary};
+
+fn histogram(name: &str, deltas: &mut Vec<u64>) {
+    deltas.sort_unstable();
+    let n = deltas.len();
+    let pct = |p: f64| deltas[((n as f64 - 1.0) * p) as usize];
+    let avg = deltas.iter().sum::<u64>() as f64 / n as f64;
+    println!(
+        "{:>26}  avg {:>8.2}   p50 {:>6}   p99 {:>6}   p99.9 {:>8}   max {:>10}",
+        name,
+        avg,
+        pct(0.50),
+        pct(0.99),
+        pct(0.999),
+        deltas[n - 1]
+    );
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 17);
+    let keys: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    println!("per-insert moved cells over N = {n} random inserts (log N = {:.0}):\n", (n as f64).log2());
+
+    let mut amort = BasicCola::new_plain();
+    let mut deltas = Vec::with_capacity(keys.len());
+    let mut prev = 0;
+    for (i, &k) in keys.iter().enumerate() {
+        amort.insert(k, i as u64);
+        let now = amort.stats().cells_written;
+        deltas.push(now - prev);
+        prev = now;
+    }
+    histogram("amortized basic COLA", &mut deltas);
+
+    let mut db = DeamortBasicCola::new_plain();
+    let mut deltas = Vec::with_capacity(keys.len());
+    let mut prev = 0;
+    for (i, &k) in keys.iter().enumerate() {
+        db.insert(k, i as u64);
+        let now = db.stats().cells_written;
+        deltas.push(now - prev);
+        prev = now;
+    }
+    histogram("deamortized basic COLA", &mut deltas);
+    println!(
+        "{:>26}  (mover budget m = 2k+2 = {}, worst observed {})",
+        "",
+        2 * db.num_levels() + 2,
+        db.max_moves_per_insert()
+    );
+
+    let mut dc = DeamortCola::new_plain();
+    let mut deltas = Vec::with_capacity(keys.len());
+    let mut prev = 0;
+    for (i, &k) in keys.iter().enumerate() {
+        dc.insert(k, i as u64);
+        let now = dc.stats().cells_written;
+        deltas.push(now - prev);
+        prev = now;
+    }
+    histogram("deamortized COLA", &mut deltas);
+
+    println!(
+        "\nreading it: all three do the same amortized work, but the\n\
+         amortized COLA's max is Θ(N) — a full-structure merge on one\n\
+         unlucky insert — while the deamortized maxima stay at O(log N)."
+    );
+
+    // Sanity: all agree on content.
+    for probe in keys.iter().step_by(997) {
+        assert_eq!(amort.get(*probe), db.get(*probe));
+        assert_eq!(amort.get(*probe), dc.get(*probe));
+    }
+    println!("content agreement across all three: ok");
+}

@@ -1,0 +1,82 @@
+//! A guided tour of the shuttle tree (Section 2): the Fibonacci buffer
+//! hierarchy, the shuttling of inserted elements, and the van Emde Boas /
+//! Fibonacci layout's effect on search transfers.
+//!
+//! ```text
+//! cargo run --release --example shuttle_tour [N]
+//! ```
+
+use cosbt::dam::CacheConfig;
+use cosbt::shuttle::fib::{buffer_heights, fib, fib_factor, BufferProfile};
+use cosbt::shuttle::layout::measure_searches;
+use cosbt::shuttle::{LayoutImage, ShuttleTree};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    // 1. The Fibonacci machinery that sizes the buffers.
+    println!("Fibonacci factors and buffer heights (practical profile):");
+    println!("{:>8} {:>8} {:>24}", "height", "x(h)", "buffer heights F_H(j)");
+    for h in 1..=13u64 {
+        println!(
+            "{:>8} {:>8} {:>24}",
+            h,
+            fib_factor(h),
+            format!("{:?}", buffer_heights(BufferProfile::Practical, h))
+        );
+    }
+    println!(
+        "(a node whose children sit at height F_k carries buffers up to \
+         height F_{{k-2}}; e.g. F_10 = {} → largest buffer height {})\n",
+        fib(10),
+        fib(8)
+    );
+
+    // 2. Build a tree and watch elements shuttle.
+    let mut t = ShuttleTree::new(4);
+    for i in 0..n {
+        t.insert(i.wrapping_mul(0x9E3779B97F4A7C15) | 1, i);
+    }
+    let s = t.stats();
+    println!("built: N = {n}, height = {}, nodes = {}", t.height(), t.node_count());
+    println!(
+        "shuttling: {} buffer drains moved {} messages ({:.2} moves/element); {} node splits",
+        s.drains,
+        s.msgs_shuttled,
+        s.msgs_shuttled as f64 / n as f64,
+        s.splits
+    );
+    println!(
+        "buffers searched per lookup (avg over inserts so far): {:.2}\n",
+        s.buffers_searched as f64 / s.inserts.max(1) as f64
+    );
+
+    // 3. Queries see through the buffers.
+    t.insert(42, 4242);
+    assert_eq!(t.get(42), Some(4242), "in-flight message visible");
+    t.delete(42);
+    assert_eq!(t.get(42), None, "in-flight tombstone wins");
+    println!("in-flight visibility: ok (fresh insert and delete observed immediately)");
+
+    // 4. The vEB/Fibonacci layout vs a random placement.
+    let probes: Vec<u64> = (0..500u64)
+        .map(|i| (i * 131).wrapping_mul(0x9E3779B97F4A7C15) | 1)
+        .collect();
+    let cfg = CacheConfig::new(4096, 16);
+    let img = LayoutImage::assign(&mut t);
+    let veb = measure_searches(&t, &probes, cfg);
+    LayoutImage::assign_random(&mut t, 1);
+    let rnd = measure_searches(&t, &probes, cfg);
+    println!(
+        "\nlayout ({} records, {:.1} MiB image): vEB/Fibonacci {:.2} fetches/search \
+         vs random placement {:.2} ({}x better)",
+        img.records,
+        img.total_bytes as f64 / (1 << 20) as f64,
+        veb.fetches as f64 / probes.len() as f64,
+        rnd.fetches as f64 / probes.len() as f64,
+        rnd.fetches / veb.fetches.max(1)
+    );
+}

@@ -1,0 +1,43 @@
+//! # cosbt — Cache-Oblivious Streaming B-trees
+//!
+//! A from-scratch Rust reproduction of *Cache-Oblivious Streaming B-trees*
+//! (Bender, Farach-Colton, Fineman, Fogel, Kuszmaul, Nelson — SPAA 2007):
+//! the cache-oblivious lookahead array (COLA) family, the shuttle tree,
+//! their substrates (DAM-model simulator, packed-memory array), and the
+//! baselines the paper compares against (B-tree, buffered repository tree).
+//!
+//! This facade crate re-exports every sub-crate under one roof; see the
+//! workspace `README.md` for a tour and `DESIGN.md` for the system map.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cosbt::cola::{Dictionary, GCola};
+//!
+//! // The paper's experimental structure: a 4-COLA (growth factor 4).
+//! let mut map = GCola::new_plain(4);
+//! for k in 0..10_000u64 {
+//!     map.insert(k * 2654435761 % 1_000_003, k);
+//! }
+//! assert_eq!(map.get(2654435761 % 1_000_003), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// DAM-model simulator and storage substrates.
+pub use cosbt_dam as dam;
+
+/// Packed-memory array.
+pub use cosbt_pma as pma;
+
+/// The COLA family (the paper's Section 3 and 4).
+pub use cosbt_core as cola;
+
+/// Baseline B+-tree (the comparator of Figures 2–4).
+pub use cosbt_btree as btree;
+
+/// Buffered repository tree baseline.
+pub use cosbt_brt as brt;
+
+/// The shuttle tree (the paper's Section 2).
+pub use cosbt_shuttle as shuttle;

@@ -1,0 +1,161 @@
+//! Integration tests of the DAM-model claims that span crates: the
+//! Figure-2 shape (COLA beats B-tree on random inserts by a factor that
+//! grows with B), the search ordering (B-tree ≤ COLA ≤ basic COLA), and
+//! cache-obliviousness (the same COLA binary enjoys smaller per-insert
+//! transfer counts as the block size grows, without being told B).
+
+use cosbt::brt::Brt;
+use cosbt::btree::BTree;
+use cosbt::cola::{BasicCola, Cell, Dictionary, GCola};
+use cosbt::dam::{new_shared_sim, CacheConfig, SimMem, SimPages};
+
+// N - 1 keys keeps every COLA level occupied (N = 2^k is the
+// degenerate single-level binary-counter state).
+const N: u64 = (1 << 15) - 1;
+
+fn keys() -> Vec<u64> {
+    (0..N).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) | 1).collect()
+}
+
+fn cola_insert_transfers(block: usize, mem_blocks: usize) -> f64 {
+    let sim = new_shared_sim(CacheConfig::new(block, mem_blocks));
+    let mem: SimMem<Cell> = SimMem::with_elem_bytes(sim.clone(), 32);
+    let mut c = GCola::new(mem, 2, 0.125);
+    for (i, &k) in keys().iter().enumerate() {
+        c.insert(k, i as u64);
+    }
+    let t = sim.borrow().stats().transfers() as f64 / N as f64;
+    t
+}
+
+fn btree_insert_transfers(block: usize, mem_blocks: usize) -> f64 {
+    let sim = new_shared_sim(CacheConfig::new(block, mem_blocks));
+    let mut t = BTree::new(SimPages::new(sim.clone(), block));
+    for (i, &k) in keys().iter().enumerate() {
+        t.insert(k, i as u64);
+    }
+    let t = sim.borrow().stats().transfers() as f64 / N as f64;
+    t
+}
+
+#[test]
+fn figure2_shape_cola_beats_btree_out_of_core() {
+    // Out-of-core: memory holds 32 blocks of 4 KiB while the data is
+    // ~1 MiB of cells / ~0.5 MiB of leaves.
+    let cola = cola_insert_transfers(4096, 32);
+    let btree = btree_insert_transfers(4096, 32);
+    assert!(
+        cola * 10.0 < btree,
+        "COLA should beat the B-tree by an order of magnitude on random \
+         inserts: {cola:.4} vs {btree:.4} transfers/insert"
+    );
+}
+
+#[test]
+fn cache_obliviousness_insert_cost_scales_with_b() {
+    // The SAME implementation, unaware of B, must get cheaper per insert
+    // as blocks grow: O((log N)/B).
+    let t512 = cola_insert_transfers(512, 256);
+    let t4096 = cola_insert_transfers(4096, 32);
+    let t16384 = cola_insert_transfers(16384, 8);
+    assert!(
+        t512 > t4096 && t4096 > t16384,
+        "insert transfers must fall as B grows: {t512:.4} / {t4096:.4} / {t16384:.4}"
+    );
+    // And roughly linearly in 1/B (allow generous constant-factor slack):
+    let ratio = t512 / t16384;
+    assert!(ratio > 4.0, "expected ~32x improvement 512→16384, got {ratio:.1}x");
+}
+
+#[test]
+fn search_cost_ordering_matches_theory() {
+    // Searches: B-tree O(log_B N) ≤ COLA O(log N) ≤ basic COLA O(log² N).
+    let block = 4096usize;
+    // Probe missing keys (all generated keys are odd after |1 below), so
+    // every structure pays a full root-to-bottom descent.
+    let probes: Vec<u64> = (0..400u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & !1).collect();
+
+    let sim_bt = new_shared_sim(CacheConfig::new(block, 8));
+    let mut bt = BTree::new(SimPages::new(sim_bt.clone(), block));
+    let sim_c = new_shared_sim(CacheConfig::new(block, 8));
+    let mem: SimMem<Cell> = SimMem::with_elem_bytes(sim_c.clone(), 32);
+    let mut cola = GCola::new(mem, 2, 0.125);
+    let sim_b = new_shared_sim(CacheConfig::new(block, 8));
+    let memb: SimMem<Cell> = SimMem::with_elem_bytes(sim_b.clone(), 32);
+    let mut basic = BasicCola::new(memb);
+
+    for (i, &k) in keys().iter().enumerate() {
+        bt.insert(k, i as u64);
+        cola.insert(k, i as u64);
+        basic.insert(k, i as u64);
+    }
+    for (sim, _) in [(&sim_bt, "bt"), (&sim_c, "cola"), (&sim_b, "basic")] {
+        sim.borrow_mut().drop_cache();
+        sim.borrow_mut().reset_stats();
+    }
+    for &p in &probes {
+        assert_eq!(bt.get(p), cola.get(p));
+        assert_eq!(bt.get(p), basic.get(p));
+    }
+    // bt.get was called twice; halve its count.
+    let f_bt = sim_bt.borrow().stats().fetches as f64 / 2.0 / probes.len() as f64;
+    let f_cola = sim_c.borrow().stats().fetches as f64 / probes.len() as f64;
+    let f_basic = sim_b.borrow().stats().fetches as f64 / probes.len() as f64;
+    assert!(
+        f_bt <= f_cola + 0.5 && f_cola < f_basic,
+        "expected B-tree ≤ COLA < basic: {f_bt:.2} / {f_cola:.2} / {f_basic:.2}"
+    );
+}
+
+#[test]
+fn brt_and_cola_share_the_write_optimized_point() {
+    // The COLA matches the BRT's bounds cache-obliviously: both should
+    // land within a small constant factor on insert transfers.
+    let block = 4096usize;
+    let sim_brt = new_shared_sim(CacheConfig::new(block, 32));
+    let mut brt = Brt::new(SimPages::new(sim_brt.clone(), block));
+    for (i, &k) in keys().iter().enumerate() {
+        brt.insert(k, i as u64);
+    }
+    let f_brt = sim_brt.borrow().stats().transfers() as f64 / N as f64;
+    let f_cola = cola_insert_transfers(block, 32);
+    let ratio = if f_brt > f_cola { f_brt / f_cola } else { f_cola / f_brt };
+    assert!(
+        ratio < 16.0,
+        "COLA and BRT insert transfers should be within a constant: \
+         {f_cola:.4} vs {f_brt:.4}"
+    );
+}
+
+#[test]
+fn range_queries_exploit_contiguity() {
+    // "For disk-based storage systems, range queries are likely to be
+    // faster for a lookahead array than for a BRT because the data is
+    // stored contiguously in arrays."
+    let block = 4096usize;
+    let n = 1u64 << 15;
+
+    let sim_c = new_shared_sim(CacheConfig::new(block, 8));
+    let mem: SimMem<Cell> = SimMem::with_elem_bytes(sim_c.clone(), 32);
+    let mut cola = GCola::new(mem, 2, 0.125);
+    let sim_brt = new_shared_sim(CacheConfig::new(block, 8));
+    let mut brt = Brt::new(SimPages::new(sim_brt.clone(), block));
+    for i in 0..n {
+        cola.insert(i * 3, i);
+        brt.insert(i * 3, i);
+    }
+    sim_c.borrow_mut().drop_cache();
+    sim_c.borrow_mut().reset_stats();
+    sim_brt.borrow_mut().drop_cache();
+    sim_brt.borrow_mut().reset_stats();
+
+    let a = cola.range(0, 3 * n);
+    let b = brt.range(0, 3 * n);
+    assert_eq!(a, b);
+    let f_cola = sim_c.borrow().stats().fetches;
+    let f_brt = sim_brt.borrow().stats().fetches;
+    assert!(
+        f_cola <= f_brt,
+        "full scan should cost the COLA no more blocks: {f_cola} vs {f_brt}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Property-based tests: arbitrary operation sequences against a
+//! `BTreeMap` model, one suite per structure, plus PMA-specific
+//! properties. Shrinking gives minimal counterexamples if an invariant
+//! ever breaks.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use cosbt::brt::Brt;
+use cosbt::btree::BTree;
+use cosbt::cola::{BasicCola, DeamortBasicCola, DeamortCola, Dictionary, GCola};
+use cosbt::shuttle::ShuttleTree;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0..key_space).prop_map(Op::Delete),
+        2 => (0..key_space).prop_map(Op::Get),
+        1 => (0..key_space, 0..key_space).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+fn check_model(dict: &mut dyn Dictionary, ops: &[Op]) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                dict.insert(k, v);
+                model.insert(k, v);
+            }
+            Op::Delete(k) => {
+                dict.delete(k);
+                model.remove(&k);
+            }
+            Op::Get(k) => {
+                assert_eq!(dict.get(k), model.get(&k).copied(), "{} get({k})", dict.name());
+            }
+            Op::Range(lo, hi) => {
+                let want: Vec<(u64, u64)> =
+                    model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(dict.range(lo, hi), want, "{} range({lo},{hi})", dict.name());
+            }
+        }
+    }
+    let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(dict.range(0, u64::MAX), want, "{} final", dict.name());
+}
+
+macro_rules! dict_props {
+    ($name:ident, $make:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn $name(ops in proptest::collection::vec(op_strategy(64), 1..400)) {
+                let mut d = $make;
+                check_model(&mut d, &ops);
+            }
+        }
+    };
+}
+
+dict_props!(basic_cola_matches_model, BasicCola::new_plain());
+dict_props!(gcola2_matches_model, GCola::new_plain(2));
+dict_props!(gcola4_matches_model, GCola::new_plain(4));
+dict_props!(gcola_dense_pointers_matches_model, {
+    // Stress the lookahead machinery with an extreme pointer density.
+    use cosbt::dam::PlainMem;
+    GCola::new(PlainMem::new(), 2, 0.5)
+});
+dict_props!(deamort_basic_matches_model, DeamortBasicCola::new_plain());
+dict_props!(deamort_matches_model, DeamortCola::new_plain());
+dict_props!(btree_matches_model, BTree::new_plain());
+dict_props!(brt_matches_model, Brt::new_plain());
+dict_props!(shuttle_matches_model, ShuttleTree::new(2));
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Structural invariants hold after arbitrary insert bursts.
+    #[test]
+    fn invariants_after_bursts(keys in proptest::collection::vec(any::<u64>(), 1..2000)) {
+        let mut basic = BasicCola::new_plain();
+        let mut g = GCola::new_plain(4);
+        let mut db = DeamortBasicCola::new_plain();
+        let mut dc = DeamortCola::new_plain();
+        let mut st = ShuttleTree::new(4);
+        let mut bt = BTree::new_plain();
+        for (i, &k) in keys.iter().enumerate() {
+            basic.insert(k, i as u64);
+            g.insert(k, i as u64);
+            db.insert(k, i as u64);
+            dc.insert(k, i as u64);
+            st.insert(k, i as u64);
+            bt.insert(k, i as u64);
+        }
+        basic.check_invariants();
+        g.check_invariants();
+        db.check_invariants();
+        dc.check_invariants();
+        st.check_invariants();
+        bt.check_invariants();
+    }
+
+    /// The deamortized COLAs never exceed their per-insert move budget.
+    #[test]
+    fn deamortized_budget_respected(keys in proptest::collection::vec(any::<u64>(), 1..3000)) {
+        let mut db = DeamortBasicCola::new_plain();
+        let mut dc = DeamortCola::new_plain();
+        for (i, &k) in keys.iter().enumerate() {
+            db.insert(k, i as u64);
+            dc.insert(k, i as u64);
+        }
+        let levels = db.num_levels() as u64;
+        prop_assert!(db.max_moves_per_insert() <= 2 * levels + 2);
+        let levels = dc.num_levels() as u64;
+        prop_assert!(dc.max_moves_per_insert() <= 6 * levels + 16);
+    }
+}

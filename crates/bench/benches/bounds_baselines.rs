@@ -48,7 +48,12 @@ fn main() {
         let s_bt = sim.borrow().stats().fetches as f64 / probes.len() as f64;
         println!(
             "{:>10} {:>10} {:>14.4} {:>14.2} {:>14.3} {:>14.3}",
-            n, "B-tree", ins_bt, s_bt, s_bt / log_b, s_bt / lg
+            n,
+            "B-tree",
+            ins_bt,
+            s_bt,
+            s_bt / log_b,
+            s_bt / lg
         );
         writeln!(csv, "btree,{n},{ins_bt:.6},{s_bt:.4},{lg:.2},{log_b:.3}").unwrap();
 
@@ -66,7 +71,12 @@ fn main() {
         let s_brt = sim.borrow().stats().fetches as f64 / probes.len() as f64;
         println!(
             "{:>10} {:>10} {:>14.4} {:>14.2} {:>14.3} {:>14.3}",
-            n, "BRT", ins_brt, s_brt, s_brt / log_b, s_brt / lg
+            n,
+            "BRT",
+            ins_brt,
+            s_brt,
+            s_brt / log_b,
+            s_brt / lg
         );
         writeln!(csv, "brt,{n},{ins_brt:.6},{s_brt:.4},{lg:.2},{log_b:.3}").unwrap();
 

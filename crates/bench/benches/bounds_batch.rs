@@ -1,0 +1,151 @@
+//! **E12** — batched updates vs per-key inserts.
+//!
+//! The API-level payoff of the streaming structures: `insert_batch`
+//! absorbs a sorted run in one carry cascade (g-COLA) or one buffer-chunk
+//! walk (BRT), where per-key `insert` pays one cascade per key. The
+//! B-tree baseline has no merge path (its batch is the per-key loop), so
+//! it anchors the comparison.
+//!
+//! For each structure and batch size the table prints wall-clock
+//! throughput over plain memory and DAM-simulator transfers per key, for
+//! sorted and random batches.
+
+use std::time::Instant;
+
+use cosbt_bench::measure::results_dir;
+use cosbt_bench::{random_keys, scaled};
+use cosbt_core::entry::Cell;
+use cosbt_core::{Dictionary, GCola};
+use cosbt_dam::{new_shared_sim, CacheConfig, SimMem, SimPages};
+use std::io::Write as _;
+
+const BLOCK: usize = 4096;
+const MEM_BLOCKS: usize = 64;
+
+/// Splits `keys` into batches of `batch` and feeds them through
+/// `insert_batch` (sorting each batch first when `sort` is set) or, for
+/// `batch == 1`, through per-key `insert`.
+fn drive(dict: &mut dyn Dictionary, keys: &[u64], batch: usize, sort: bool) {
+    if batch <= 1 {
+        for (i, &k) in keys.iter().enumerate() {
+            dict.insert(k, i as u64);
+        }
+        return;
+    }
+    for (c, chunk) in keys.chunks(batch).enumerate() {
+        let mut run: Vec<(u64, u64)> = chunk.iter().map(|&k| (k, c as u64)).collect();
+        if sort {
+            run.sort_unstable_by_key(|&(k, _)| k);
+        }
+        dict.insert_batch(&run);
+    }
+}
+
+struct Row {
+    structure: &'static str,
+    order: &'static str,
+    batch: usize,
+    wall_mops: f64,
+    transfers_per_key: f64,
+}
+
+fn measure_gcola(keys: &[u64], batch: usize, sort: bool, order: &'static str) -> Row {
+    // Wall clock over plain memory.
+    let mut plain = GCola::new_plain(4);
+    let t = Instant::now();
+    drive(&mut plain, keys, batch, sort);
+    let wall = t.elapsed().as_secs_f64();
+
+    // Transfers in the DAM simulator.
+    let sim = new_shared_sim(CacheConfig::new(BLOCK, MEM_BLOCKS));
+    let mem: SimMem<Cell> = SimMem::with_elem_bytes(sim.clone(), 32);
+    let mut cola = GCola::new(mem, 4, 0.1);
+    drive(&mut cola, keys, batch, sort);
+    let transfers = sim.borrow().stats().transfers();
+    Row {
+        structure: "4-COLA",
+        order,
+        batch,
+        wall_mops: keys.len() as f64 / wall / 1e6,
+        transfers_per_key: transfers as f64 / keys.len() as f64,
+    }
+}
+
+fn measure_btree(keys: &[u64], batch: usize, sort: bool, order: &'static str) -> Row {
+    let mut plain = cosbt_btree::BTree::new_plain();
+    let t = Instant::now();
+    drive(&mut plain, keys, batch, sort);
+    let wall = t.elapsed().as_secs_f64();
+
+    let sim = new_shared_sim(CacheConfig::new(BLOCK, MEM_BLOCKS));
+    let mut bt = cosbt_btree::BTree::new(SimPages::new(sim.clone(), BLOCK));
+    drive(&mut bt, keys, batch, sort);
+    let transfers = sim.borrow().stats().transfers();
+    Row {
+        structure: "B-tree",
+        order,
+        batch,
+        wall_mops: keys.len() as f64 / wall / 1e6,
+        transfers_per_key: transfers as f64 / keys.len() as f64,
+    }
+}
+
+fn main() {
+    let n = scaled(1 << 16, 1 << 20);
+    let keys = random_keys(n, 0xBA7C);
+    let sorted: Vec<u64> = {
+        let mut s = keys.clone();
+        s.sort_unstable();
+        s
+    };
+
+    let csv_path = results_dir().join("bounds_batch.csv");
+    std::fs::create_dir_all(results_dir()).ok();
+    let mut csv = std::fs::File::create(&csv_path).unwrap();
+    writeln!(csv, "structure,order,batch,wall_mops,transfers_per_key").unwrap();
+
+    println!("== E12: insert_batch vs per-key insert (N = {n}, B = 128 cells / 4 KiB pages) ==");
+    println!(
+        "{:>10} {:>8} {:>8} {:>14} {:>18}",
+        "structure", "order", "batch", "wall Mops/s", "transfers/key"
+    );
+    let mut rows = Vec::new();
+    for &batch in &[1usize, 64, 1024, 16 * 1024] {
+        // Random key stream, batches sorted locally before ingestion.
+        rows.push(measure_gcola(&keys, batch, true, "random"));
+        rows.push(measure_btree(&keys, batch, true, "random"));
+        // Globally sorted stream (bulk-load shape).
+        rows.push(measure_gcola(&sorted, batch, false, "sorted"));
+        rows.push(measure_btree(&sorted, batch, false, "sorted"));
+    }
+    for r in &rows {
+        println!(
+            "{:>10} {:>8} {:>8} {:>14.2} {:>18.4}",
+            r.structure, r.order, r.batch, r.wall_mops, r.transfers_per_key
+        );
+        writeln!(
+            csv,
+            "{},{},{},{:.4},{:.6}",
+            r.structure, r.order, r.batch, r.wall_mops, r.transfers_per_key
+        )
+        .unwrap();
+    }
+
+    // Headline: the batched COLA vs its own per-key path.
+    let per_key = rows
+        .iter()
+        .find(|r| r.structure == "4-COLA" && r.order == "random" && r.batch == 1)
+        .unwrap();
+    let batched = rows
+        .iter()
+        .find(|r| r.structure == "4-COLA" && r.order == "random" && r.batch == 16 * 1024)
+        .unwrap();
+    println!(
+        "\n4-COLA random inserts: 16k-batches move {:.1}x fewer blocks than per-key \
+         ({:.4} vs {:.4} transfers/key)",
+        per_key.transfers_per_key / batched.transfers_per_key.max(1e-12),
+        batched.transfers_per_key,
+        per_key.transfers_per_key
+    );
+    println!("csv: {}", csv_path.display());
+}

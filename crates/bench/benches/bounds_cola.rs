@@ -78,7 +78,12 @@ fn main() {
         let search_b = sim.borrow().stats().fetches as f64 / probes.len() as f64;
         println!(
             "{:>10} {:>12} {:>14.4} {:>14} {:>16.2} {:>16.3}  (basic; shape = tps/lg^2)",
-            "", "", ins_b, "", search_b, search_b / (lg * lg)
+            "",
+            "",
+            ins_b,
+            "",
+            search_b,
+            search_b / (lg * lg)
         );
         writeln!(csv, "basic,{n},{ins_b:.6},{search_b:.4},{lg:.2},{b_cells}").unwrap();
 

@@ -19,7 +19,11 @@ fn main() {
     let csv_path = results_dir().join("bounds_shuttle.csv");
     std::fs::create_dir_all(results_dir()).ok();
     let mut csv = std::fs::File::create(&csv_path).unwrap();
-    writeln!(csv, "n,veb_tps,random_tps,height,shuttled_per_insert,splits").unwrap();
+    writeln!(
+        csv,
+        "n,veb_tps,random_tps,height,shuttled_per_insert,splits"
+    )
+    .unwrap();
 
     println!("== E10: shuttle tree layout & insert shape (B = {BLOCK} B) ==");
     println!(

@@ -20,7 +20,11 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
-fn profile(name: &str, mut writes_of: impl FnMut(u64) -> u64, keys: &[u64]) -> (f64, u64, u64, u64) {
+fn profile(
+    name: &str,
+    mut writes_of: impl FnMut(u64) -> u64,
+    keys: &[u64],
+) -> (f64, u64, u64, u64) {
     let mut deltas = Vec::with_capacity(keys.len());
     let mut prev = 0u64;
     for (i, &_k) in keys.iter().enumerate() {

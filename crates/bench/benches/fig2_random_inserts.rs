@@ -35,14 +35,9 @@ fn main() {
     ] {
         let mut ooc = OutOfCore::create(kind, &dir, cache);
         let probe = ooc.probe();
-        let series = insert_throughput(
-            &kind.label(),
-            &mut *ooc.dict,
-            &keys,
-            &cps,
-            cap,
-            &|| probe.stats(),
-        );
+        let series = insert_throughput(&kind.label(), &mut ooc.dict, &keys, &cps, cap, &|| {
+            probe.stats()
+        });
         series.print();
         series.write_csv(&csv);
         finals.push((kind.label(), series.final_disk_rate()));
@@ -50,6 +45,12 @@ fn main() {
     }
     let cola = finals.iter().find(|(n, _)| n == "2-COLA").unwrap().1;
     let btree = finals.iter().find(|(n, _)| n == "B-tree").unwrap().1;
-    print_ratio("random inserts (paper: 790x)", "2-COLA", cola, "B-tree", btree);
+    print_ratio(
+        "random inserts (paper: 790x)",
+        "2-COLA",
+        cola,
+        "B-tree",
+        btree,
+    );
     println!("csv: {}", csv.display());
 }

@@ -30,14 +30,9 @@ fn main() {
     ] {
         let mut ooc = OutOfCore::create(kind, &dir, cache);
         let probe = ooc.probe();
-        let series = insert_throughput(
-            &kind.label(),
-            &mut *ooc.dict,
-            &keys,
-            &cps,
-            cap,
-            &|| probe.stats(),
-        );
+        let series = insert_throughput(&kind.label(), &mut ooc.dict, &keys, &cps, cap, &|| {
+            probe.stats()
+        });
         series.print();
         series.write_csv(&csv);
         finals.push((kind.label(), series.final_disk_rate()));
@@ -45,6 +40,12 @@ fn main() {
     }
     let cola = finals.iter().find(|(n, _)| n == "4-COLA").unwrap().1;
     let btree = finals.iter().find(|(n, _)| n == "B-tree").unwrap().1;
-    print_ratio("sorted inserts (paper: 3.1x)", "4-COLA", cola, "B-tree", btree);
+    print_ratio(
+        "sorted inserts (paper: 3.1x)",
+        "4-COLA",
+        cola,
+        "B-tree",
+        btree,
+    );
     println!("csv: {}", csv.display());
 }

@@ -31,7 +31,7 @@ fn main() {
     for (name, keys) in workloads {
         let mut ooc = OutOfCore::create(DictKind::GCola(4), &dir, cache);
         let probe = ooc.probe();
-        let series = insert_throughput(name, &mut *ooc.dict, &keys, &cps, cap, &|| probe.stats());
+        let series = insert_throughput(name, &mut ooc.dict, &keys, &cps, cap, &|| probe.stats());
         series.print();
         series.write_csv(&csv);
         finals.push((name.to_string(), series.final_disk_rate()));
@@ -40,8 +40,26 @@ fn main() {
     let asc = finals[0].1;
     let desc = finals[1].1;
     let rnd = finals[2].1;
-    print_ratio("descending vs ascending (paper: 1.1x)", "descending", desc, "ascending", asc);
-    print_ratio("descending vs random (paper: 1.1x)", "descending", desc, "random", rnd);
-    print_ratio("ascending vs random (paper: 1.02x)", "ascending", asc, "random", rnd);
+    print_ratio(
+        "descending vs ascending (paper: 1.1x)",
+        "descending",
+        desc,
+        "ascending",
+        asc,
+    );
+    print_ratio(
+        "descending vs random (paper: 1.1x)",
+        "descending",
+        desc,
+        "random",
+        rnd,
+    );
+    print_ratio(
+        "ascending vs random (paper: 1.02x)",
+        "ascending",
+        asc,
+        "random",
+        rnd,
+    );
     println!("csv: {}", csv.display());
 }

@@ -13,15 +13,47 @@
 use std::process::Command;
 
 const EXPERIMENTS: &[(&str, &str, &str)] = &[
-    ("fig2", "fig2_random_inserts", "Figure 2: random inserts, COLAs vs B-tree (E1)"),
-    ("fig3", "fig3_sorted_inserts", "Figure 3: sorted inserts (E2)"),
+    (
+        "fig2",
+        "fig2_random_inserts",
+        "Figure 2: random inserts, COLAs vs B-tree (E1)",
+    ),
+    (
+        "fig3",
+        "fig3_sorted_inserts",
+        "Figure 3: sorted inserts (E2)",
+    ),
     ("fig4", "fig4_searches", "Figure 4: random searches (E3)"),
-    ("fig5", "fig5_insert_patterns", "Figure 5: insert patterns (E4)"),
-    ("bounds-cola", "bounds_cola", "E6: COLA transfer bounds (Lemmas 19/20)"),
-    ("bounds-baselines", "bounds_baselines", "E7: B-tree & BRT bounds"),
-    ("tradeoff", "bounds_tradeoff", "E8: B^eps growth-factor tradeoff"),
-    ("deamort", "deamort_worst_case", "E9: deamortized worst case (Thms 22/24)"),
-    ("shuttle", "bounds_shuttle", "E10: shuttle tree layout & inserts"),
+    (
+        "fig5",
+        "fig5_insert_patterns",
+        "Figure 5: insert patterns (E4)",
+    ),
+    (
+        "bounds-cola",
+        "bounds_cola",
+        "E6: COLA transfer bounds (Lemmas 19/20)",
+    ),
+    (
+        "bounds-baselines",
+        "bounds_baselines",
+        "E7: B-tree & BRT bounds",
+    ),
+    (
+        "tradeoff",
+        "bounds_tradeoff",
+        "E8: B^eps growth-factor tradeoff",
+    ),
+    (
+        "deamort",
+        "deamort_worst_case",
+        "E9: deamortized worst case (Thms 22/24)",
+    ),
+    (
+        "shuttle",
+        "bounds_shuttle",
+        "E10: shuttle tree layout & inserts",
+    ),
     ("pma", "pma_moves", "E11: PMA amortized moves"),
 ];
 

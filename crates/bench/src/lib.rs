@@ -4,8 +4,8 @@
 //!
 //! Every figure/table of the paper's Section 4 and every bound of
 //! Sections 2–3 has a bench target in `benches/` built from these pieces;
-//! the `figures` binary drives full parameter sweeps. See EXPERIMENTS.md
-//! for the experiment index and recorded results.
+//! the `figures` binary drives full parameter sweeps. CSV output lands in
+//! `results/`; the README lists the bench targets.
 
 pub mod measure;
 pub mod setup;
@@ -18,7 +18,9 @@ pub use workloads::{ascending, descending, random_keys, search_probes};
 /// Scale knob: `COSBT_SCALE=full` enlarges every experiment; default is a
 /// laptop-quick configuration.
 pub fn full_scale() -> bool {
-    std::env::var("COSBT_SCALE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("COSBT_SCALE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 /// Picks `quick` or `full` based on [`full_scale`].

@@ -64,7 +64,11 @@ impl Series {
 
     /// Prints a table in the paper's axes (N, avg ops/sec).
     pub fn print(&self) {
-        println!("# {}{}", self.name, if self.capped { "  (time-capped)" } else { "" });
+        println!(
+            "# {}{}",
+            self.name,
+            if self.capped { "  (time-capped)" } else { "" }
+        );
         println!(
             "{:>12} {:>12} {:>14} {:>14} {:>12} {:>10} {:>14}",
             "N", "elapsed_s", "avg_ops/s", "window_ops/s", "transfers", "seeks", "disk-model/s"
@@ -261,8 +265,10 @@ mod tests {
         fn get(&mut self, key: u64) -> Option<u64> {
             self.0.get(&key).copied()
         }
-        fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-            self.0.range(lo..=hi).map(|(&k, &v)| (k, v)).collect()
+        fn cursor(&mut self, lo: u64, hi: u64) -> cosbt_core::Cursor<'_> {
+            cosbt_core::Cursor::new(cosbt_core::VecCursor::new(
+                self.0.range(lo..=hi).map(|(&k, &v)| (k, v)).collect(),
+            ))
         }
         fn physical_len(&self) -> usize {
             self.0.len()
@@ -296,7 +302,10 @@ mod tests {
         assert_eq!(s.points[0].transfers, 7);
         assert_eq!(s.points[0].seeks, 2);
         assert!(s.final_disk_rate() > 0.0);
-        assert!(s.final_disk_rate() < s.final_rate(), "disk model must slow things down");
+        assert!(
+            s.final_disk_rate() < s.final_rate(),
+            "disk model must slow things down"
+        );
     }
 
     #[test]

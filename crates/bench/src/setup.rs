@@ -2,14 +2,15 @@
 //! the paper's experimental setup: 32-byte elements for the COLAs, 4 KiB
 //! blocks for the trees, data on disk, and an explicit (user-space)
 //! memory budget standing in for the machine's RAM.
+//!
+//! Everything here is a thin layer over [`cosbt::DbBuilder`] — the bench
+//! harness configures structures exactly the way library users do, plus
+//! delete-on-drop data files and the paper's legend labels.
 
 use std::path::{Path, PathBuf};
 
-use cosbt_brt::Brt;
-use cosbt_btree::BTree;
-use cosbt_core::entry::Cell;
-use cosbt_core::{BasicCola, DeamortBasicCola, DeamortCola, Dictionary, GCola};
-use cosbt_dam::{FileMem, FilePages, IoStats, RcFileMem, RcFilePages, DEFAULT_PAGE_SIZE};
+use cosbt::{Backend, Db, DbBuilder, IoProbe, Structure};
+use cosbt_dam::IoStats;
 
 /// Which dictionary to construct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,23 @@ pub enum DictKind {
 }
 
 impl DictKind {
+    /// The [`DbBuilder`] configuration for this kind (memory backend;
+    /// callers override the backend).
+    pub fn builder(&self) -> DbBuilder {
+        match *self {
+            DictKind::GCola(g) => DbBuilder::new().structure(Structure::GCola { g }),
+            DictKind::Basic => DbBuilder::new().structure(Structure::BasicCola),
+            DictKind::DeamortBasic => DbBuilder::new()
+                .structure(Structure::BasicCola)
+                .deamortized(),
+            DictKind::Deamort => DbBuilder::new()
+                .structure(Structure::GCola { g: 2 })
+                .deamortized(),
+            DictKind::BTree => DbBuilder::new().structure(Structure::BTree),
+            DictKind::Brt => DbBuilder::new().structure(Structure::Brt),
+        }
+    }
+
     /// Display label matching the paper's legends ("2-COLA", "B-tree", …).
     pub fn label(&self) -> String {
         match self {
@@ -42,41 +60,12 @@ impl DictKind {
     }
 }
 
-#[derive(Clone)]
-enum IoHandle {
-    Mem(RcFileMem<Cell>),
-    Pages(RcFilePages),
-}
-
-/// A cheap cloneable reader of an [`OutOfCore`]'s I/O counters, usable
-/// while the dictionary itself is mutably borrowed.
-#[derive(Clone)]
-pub struct IoProbe {
-    inner: IoHandle,
-}
-
-impl IoProbe {
-    /// Current counters.
-    pub fn stats(&self) -> IoStats {
-        match &self.inner {
-            IoHandle::Mem(m) => m.stats(),
-            IoHandle::Pages(p) => p.stats(),
-        }
-    }
-
-    /// Cumulative block transfers (fetches + writebacks).
-    pub fn transfers(&self) -> u64 {
-        self.stats().transfers()
-    }
-}
-
 /// An out-of-core dictionary: file-backed storage behind a bounded
 /// user-space page cache, plus a handle for I/O statistics and cache
 /// control. The backing file is deleted on drop.
 pub struct OutOfCore {
     /// The dictionary under test.
-    pub dict: Box<dyn Dictionary>,
-    handle: IoHandle,
+    pub dict: Db,
     path: PathBuf,
 }
 
@@ -90,81 +79,36 @@ impl OutOfCore {
             kind.label().to_lowercase().replace(' ', "-"),
             std::process::id()
         ));
-        let cache_pages = (cache_bytes / DEFAULT_PAGE_SIZE).max(2);
-        match kind {
-            DictKind::BTree => {
-                let store = RcFilePages::new(
-                    FilePages::create(&path, DEFAULT_PAGE_SIZE, cache_pages).expect("file store"),
-                );
-                let dict = Box::new(BTree::new(store.clone()));
-                OutOfCore {
-                    dict,
-                    handle: IoHandle::Pages(store),
-                    path,
-                }
-            }
-            DictKind::Brt => {
-                let store = RcFilePages::new(
-                    FilePages::create(&path, DEFAULT_PAGE_SIZE, cache_pages).expect("file store"),
-                );
-                let dict = Box::new(Brt::new(store.clone()));
-                OutOfCore {
-                    dict,
-                    handle: IoHandle::Pages(store),
-                    path,
-                }
-            }
-            _ => {
-                let mem = RcFileMem::new(
-                    FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, cache_pages, 32)
-                        .expect("file store"),
-                );
-                let dict: Box<dyn Dictionary> = match kind {
-                    DictKind::GCola(g) => Box::new(GCola::new(mem.clone(), g, 0.1)),
-                    DictKind::Basic => Box::new(BasicCola::new(mem.clone())),
-                    DictKind::DeamortBasic => Box::new(DeamortBasicCola::new(mem.clone())),
-                    DictKind::Deamort => Box::new(DeamortCola::new(mem.clone())),
-                    DictKind::BTree | DictKind::Brt => unreachable!(),
-                };
-                OutOfCore {
-                    dict,
-                    handle: IoHandle::Mem(mem),
-                    path,
-                }
-            }
-        }
+        let dict = kind
+            .builder()
+            .backend(Backend::File(path.clone()))
+            .cache_bytes(cache_bytes)
+            .build()
+            .expect("out-of-core configuration must build");
+        OutOfCore { dict, path }
     }
 
     /// A cloneable counter reader decoupled from the dictionary borrow.
     pub fn probe(&self) -> IoProbe {
-        IoProbe {
-            inner: self.handle.clone(),
-        }
+        self.dict
+            .io_probe()
+            .expect("file backend always has a probe")
     }
 
     /// Real-I/O counters of the backing store.
     pub fn io_stats(&self) -> IoStats {
-        match &self.handle {
-            IoHandle::Mem(m) => m.stats(),
-            IoHandle::Pages(p) => p.stats(),
-        }
+        self.dict.io_stats()
     }
 
     /// Resets the I/O counters.
     pub fn reset_stats(&self) {
-        match &self.handle {
-            IoHandle::Mem(m) => m.reset_stats(),
-            IoHandle::Pages(p) => p.reset_stats(),
-        }
+        self.dict.reset_io_stats()
     }
 
     /// Empties the user-space page cache — the paper's "remounted the
     /// RAID array's file system … to clear the file cache".
     pub fn drop_cache(&self) {
-        match &self.handle {
-            IoHandle::Mem(m) => m.drop_cache(),
-            IoHandle::Pages(p) => p.drop_cache(),
-        }
+        self.dict.drop_cache()
     }
 }
 
@@ -207,5 +151,17 @@ mod tests {
         assert_eq!(DictKind::GCola(2).label(), "2-COLA");
         assert_eq!(DictKind::GCola(8).label(), "8-COLA");
         assert_eq!(DictKind::BTree.label(), "B-tree");
+    }
+
+    #[test]
+    fn batched_updates_reach_disk() {
+        let dir = std::env::temp_dir().join("cosbt-setup-test");
+        for kind in [DictKind::GCola(4), DictKind::Basic, DictKind::Brt] {
+            let mut ooc = OutOfCore::create(kind, &dir, 64 * 1024);
+            let run: Vec<(u64, u64)> = (0..4096u64).map(|k| (k * 2, k)).collect();
+            ooc.dict.insert_batch(&run);
+            ooc.drop_cache();
+            assert_eq!(ooc.dict.get(4096), Some(2048), "{}", kind.label());
+        }
     }
 }

@@ -4,14 +4,13 @@
 //! ascending `[0, …, N−1]`, and descending `[N−1, …, 0]`. Search probes
 //! are uniformly random existing keys.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cosbt::testkit::Rng;
 
 /// `n` pseudorandom 64-bit keys (duplicates possible, as in the paper's
 /// "N random elements").
 pub fn random_keys(n: u64, seed: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen()).collect()
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
 }
 
 /// Keys `0, 1, …, n−1`.
@@ -28,10 +27,8 @@ pub fn descending(n: u64) -> Vec<u64> {
 /// `count` random probes drawn from `keys` (with replacement), as in the
 /// paper's 2^15 random searches.
 pub fn search_probes(keys: &[u64], count: u64, seed: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..count)
-        .map(|_| keys[rng.gen_range(0..keys.len())])
-        .collect()
+    let mut rng = Rng::new(seed);
+    (0..count).map(|_| keys[rng.index(keys.len())]).collect()
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use cosbt_core::entry::Cell;
-use cosbt_core::Dictionary;
+use cosbt_core::{Cursor, Dictionary, UpdateBatch, VecCursor};
 use cosbt_dam::{PageStore, VecPages, DEFAULT_PAGE_SIZE};
 
 /// Page byte layout.
@@ -176,7 +176,13 @@ impl<P: PageStore> Brt<P> {
 
     fn insert_cell(&mut self, cell: Cell) {
         self.n += 1;
-        if let Some(split) = self.push(self.root, vec![cell]) {
+        self.push_root(vec![cell]);
+    }
+
+    /// Pushes `cells` (oldest first, at most `buf_cap` many) into the
+    /// root, growing a new root on split.
+    fn push_root(&mut self, cells: Vec<Cell>) {
+        if let Some(split) = self.push(self.root, cells) {
             let old_root = self.root;
             let new_root = self.store.alloc_page();
             self.store.with_page_mut(new_root, |pg| {
@@ -186,6 +192,18 @@ impl<P: PageStore> Brt<P> {
                 set_children(pg, &[old_root, split.right]);
             });
             self.root = new_root;
+        }
+    }
+
+    /// The batched write path: message chunks of up to a full buffer enter
+    /// the root together, so a batch pays one root-buffer append (and at
+    /// most one flush cascade) per `buf_cap` messages instead of one walk
+    /// per message.
+    fn apply_cells(&mut self, cells: &[Cell]) {
+        let cap = buf_cap(self.store.page_size());
+        for chunk in cells.chunks(cap) {
+            self.n += chunk.len() as u64;
+            self.push_root(chunk.to_vec());
         }
     }
 
@@ -392,8 +410,7 @@ impl<P: PageStore> Brt<P> {
                             hi = mid;
                         }
                     }
-                    let found = (lo < n && leaf_pair(pg, lo).0 == key)
-                        .then(|| leaf_pair(pg, lo).1);
+                    let found = (lo < n && leaf_pair(pg, lo).0 == key).then(|| leaf_pair(pg, lo).1);
                     return Step::Leaf(found);
                 }
                 // Newest matching message wins: scan the buffer backwards.
@@ -442,9 +459,12 @@ impl<P: PageStore> Brt<P> {
                     let kids = get_children(pg);
                     for (i, &child) in kids.iter().enumerate() {
                         let clo = if i == 0 { None } else { Some(pivots[i - 1]) };
-                        let chi = if i == pivots.len() { None } else { Some(pivots[i]) };
-                        let overlaps = clo.map_or(true, |c| c <= hi)
-                            && chi.map_or(true, |c| c > lo);
+                        let chi = if i == pivots.len() {
+                            None
+                        } else {
+                            Some(pivots[i])
+                        };
+                        let overlaps = clo.is_none_or(|c| c <= hi) && chi.is_none_or(|c| c > lo);
                         if overlaps {
                             stack.push((child, depth + 1));
                         }
@@ -453,7 +473,8 @@ impl<P: PageStore> Brt<P> {
             });
         }
         // Apply messages newest-first on top of the records.
-        let mut map: std::collections::BTreeMap<u64, Option<u64>> = std::collections::BTreeMap::new();
+        let mut map: std::collections::BTreeMap<u64, Option<u64>> =
+            std::collections::BTreeMap::new();
         for (k, v) in recs {
             map.insert(k, Some(v));
         }
@@ -469,7 +490,6 @@ impl<P: PageStore> Brt<P> {
     }
 }
 
-
 impl<P: PageStore> Dictionary for Brt<P> {
     fn insert(&mut self, key: u64, val: u64) {
         self.insert_cell(Cell::item(key, val));
@@ -483,7 +503,30 @@ impl<P: PageStore> Dictionary for Brt<P> {
         self.get_impl(key)
     }
 
+    fn cursor(&mut self, lo: u64, hi: u64) -> Cursor<'_> {
+        // Pending messages live in buffers at arbitrary depths, so a range
+        // scan must merge the whole overlap anyway; the cursor streams a
+        // merged snapshot of it.
+        Cursor::new(VecCursor::new(self.range_impl(lo, hi)))
+    }
+
+    fn apply(&mut self, batch: &mut UpdateBatch) {
+        let cells = cosbt_core::dict::batch_to_cells(batch);
+        self.apply_cells(&cells);
+        batch.clear();
+    }
+
+    fn insert_batch(&mut self, sorted: &[(u64, u64)]) {
+        let cells = cosbt_core::dict::sorted_pairs_to_cells(sorted);
+        self.apply_cells(&cells);
+    }
+
     fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        // The cursor is already a materialized snapshot; skip the default
+        // method's second copy through it.
+        if lo > hi {
+            return Vec::new();
+        }
         self.range_impl(lo, hi)
     }
 
@@ -513,7 +556,9 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut x: u64 = 77;
         for i in 0..40_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 15_000;
             t.insert(k, i);
             model.insert(k, i);
@@ -585,7 +630,9 @@ mod tests {
         let mut t = Brt::new(SimPages::new(sim.clone(), 4096));
         let mut x: u64 = 5;
         for i in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             t.insert(x, i);
         }
         let per = sim.borrow().stats().transfers() as f64 / n as f64;
@@ -607,7 +654,9 @@ mod tests {
         let probes = 200u64;
         let mut x = 9u64;
         for _ in 0..probes {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             t.get(x);
         }
         let per = sim.borrow().stats().fetches as f64 / probes as f64;

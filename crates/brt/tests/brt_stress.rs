@@ -4,7 +4,7 @@
 
 use cosbt_brt::Brt;
 use cosbt_core::Dictionary;
-use proptest::prelude::*;
+use cosbt_testkit::{check_cases, Rng};
 
 #[test]
 fn sorted_input_split_storm() {
@@ -61,16 +61,14 @@ fn deep_tree_buffered_recency() {
     assert_eq!(t.get(1), Some(1));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn brt_random_ops_match_model(
-        ops in proptest::collection::vec((0u8..10, 0u64..256, any::<u64>()), 1..700)
-    ) {
+#[test]
+fn brt_random_ops_match_model() {
+    check_cases("brt_random_ops_match_model", 48, |rng: &mut Rng| {
+        let len = 1 + rng.index(699);
         let mut t = Brt::new_plain();
         let mut model = std::collections::BTreeMap::new();
-        for (op, k, v) in ops {
+        for _ in 0..len {
+            let (op, k, v) = (rng.below(10), rng.below(256), rng.next_u64());
             match op {
                 0..=6 => {
                     t.insert(k, v);
@@ -80,10 +78,10 @@ proptest! {
                     t.delete(k);
                     model.remove(&k);
                 }
-                _ => prop_assert_eq!(t.get(k), model.get(&k).copied()),
+                _ => assert_eq!(t.get(k), model.get(&k).copied()),
             }
         }
         let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
-        prop_assert_eq!(t.range(0, u64::MAX), want);
-    }
+        assert_eq!(t.range(0, u64::MAX), want);
+    });
 }

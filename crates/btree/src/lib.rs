@@ -19,4 +19,4 @@
 pub mod node;
 pub mod tree;
 
-pub use tree::BTree;
+pub use tree::{BTree, BTreeCursor};

@@ -1,5 +1,6 @@
 //! The B+-tree proper.
 
+use cosbt_core::{Cursor, CursorOps};
 use cosbt_dam::{PageStore, VecPages, DEFAULT_PAGE_SIZE};
 
 use crate::node::*;
@@ -125,12 +126,10 @@ impl<P: PageStore> BTree<P> {
             return self.insert_leaf(page, key, val);
         }
         let ps = self.store.page_size();
-        let (idx, child) = self
-            .store
-            .with_page(page, |pg| {
-                let i = branch_descend(pg, key);
-                (i, branch_child(pg, i))
-            });
+        let (idx, child) = self.store.with_page(page, |pg| {
+            let i = branch_descend(pg, key);
+            (i, branch_child(pg, i))
+        });
         let (sep, right) = self.insert_rec(child, height - 1, key, val)?;
         let fits = self.store.with_page_mut(page, |pg| {
             if count(pg) < branch_cap(ps) {
@@ -212,8 +211,9 @@ impl<P: PageStore> BTree<P> {
                 let (tail, old_next) = self.store.with_page_mut(page, |pg| {
                     let n = count(pg);
                     let mid = n / 2;
-                    let tail: Vec<(u64, u64)> =
-                        (mid..n).map(|i| (leaf_key(pg, i), leaf_val(pg, i))).collect();
+                    let tail: Vec<(u64, u64)> = (mid..n)
+                        .map(|i| (leaf_key(pg, i), leaf_val(pg, i)))
+                        .collect();
                     set_count(pg, mid);
                     let nx = next_leaf(pg);
                     set_next_leaf(pg, right);
@@ -259,30 +259,49 @@ impl<P: PageStore> BTree<P> {
         removed
     }
 
-    /// All pairs with `lo <= key <= hi`, in key order, via the leaf chain.
+    /// All pairs with `lo <= key <= hi`, in key order — the materializing
+    /// convenience over [`BTreeCursor`]'s leaf-chain walk.
     pub fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        let mut out = Vec::new();
-        let mut page = self.leaf_for(lo);
-        loop {
-            let (done, next) = self.store.with_page(page, |pg| {
-                let n = count(pg);
-                let mut i = leaf_lower_bound(pg, lo);
-                while i < n {
-                    let k = leaf_key(pg, i);
-                    if k > hi {
-                        return (true, NO_PAGE);
-                    }
-                    out.push((k, leaf_val(pg, i)));
-                    i += 1;
-                }
-                (false, next_leaf(pg))
-            });
-            if done || next == NO_PAGE {
-                break;
-            }
-            page = next;
+        if lo > hi {
+            return Vec::new();
         }
-        out
+        Cursor::new(BTreeCursor::new(self, lo, hi)).collect()
+    }
+
+    /// The last entry with key ≤ `ub`, if any — the backward-step
+    /// primitive of [`BTreeCursor`]. Descends one root-to-leaf path,
+    /// falling back to earlier siblings when lazy deletion left leaves
+    /// empty.
+    fn last_le(&mut self, ub: u64) -> Option<(u64, u64)> {
+        self.last_le_rec(self.root, self.height, ub)
+    }
+
+    fn last_le_rec(&mut self, page: u32, height: u32, ub: u64) -> Option<(u64, u64)> {
+        if height == 1 {
+            return self.store.with_page(page, |pg| {
+                // First index with key > ub.
+                let (mut lo, mut hi) = (0usize, count(pg));
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if leaf_key(pg, mid) <= ub {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                (lo > 0).then(|| (leaf_key(pg, lo - 1), leaf_val(pg, lo - 1)))
+            });
+        }
+        let kids: Vec<u32> = self.store.with_page(page, |pg| {
+            let start = branch_descend(pg, ub);
+            (0..=start).map(|i| branch_child(pg, i)).collect()
+        });
+        for &child in kids.iter().rev() {
+            if let Some(hit) = self.last_le_rec(child, height - 1, ub) {
+                return Some(hit);
+            }
+        }
+        None
     }
 
     /// Builds a tree from sorted, strictly-increasing `(key, value)` pairs
@@ -298,7 +317,10 @@ impl<P: PageStore> BTree<P> {
             return;
         }
         for w in pairs.windows(2) {
-            assert!(w[0].0 < w[1].0, "bulk_load input must be strictly increasing");
+            assert!(
+                w[0].0 < w[1].0,
+                "bulk_load input must be strictly increasing"
+            );
         }
         let ps = self.store.page_size();
         let lcap = leaf_cap(ps);
@@ -404,6 +426,97 @@ impl<P: PageStore> BTree<P> {
     }
 }
 
+/// A streaming cursor over a [`BTree`]'s entries in `[lo, hi]`.
+///
+/// Forward steps walk the leaf chain in place — `O(1)` amortized page
+/// touches per entry. Backward steps re-descend from the root (the leaf
+/// chain is singly linked), costing `O(log_B N)` page touches each.
+pub struct BTreeCursor<'a, P: PageStore> {
+    tree: &'a mut BTree<P>,
+    lo: u64,
+    hi: u64,
+    /// Gap bound: the next ascending result has key ≥ this (`None` = past
+    /// the end of the key space).
+    gap: Option<u64>,
+    /// Cached forward position: leaf page + entry index for the gap.
+    fwd: Option<(u32, usize)>,
+}
+
+impl<'a, P: PageStore> BTreeCursor<'a, P> {
+    fn new(tree: &'a mut BTree<P>, lo: u64, hi: u64) -> Self {
+        BTreeCursor {
+            tree,
+            lo,
+            hi,
+            gap: Some(lo),
+            fwd: None,
+        }
+    }
+}
+
+impl<P: PageStore> CursorOps for BTreeCursor<'_, P> {
+    fn seek(&mut self, key: u64) {
+        self.gap = Some(key.max(self.lo));
+        self.fwd = None;
+    }
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let g = self.gap?;
+        let (mut page, mut idx) = match self.fwd {
+            Some(pos) => pos,
+            None => {
+                let leaf = self.tree.leaf_for(g);
+                let idx = self
+                    .tree
+                    .store
+                    .with_page(leaf, |pg| leaf_lower_bound(pg, g));
+                (leaf, idx)
+            }
+        };
+        loop {
+            let (entry, next) = self.tree.store.with_page(page, |pg| {
+                let entry = (idx < count(pg)).then(|| (leaf_key(pg, idx), leaf_val(pg, idx)));
+                (entry, next_leaf(pg))
+            });
+            match entry {
+                Some((k, v)) if k <= self.hi => {
+                    self.fwd = Some((page, idx + 1));
+                    self.gap = k.checked_add(1);
+                    return Some((k, v));
+                }
+                Some(_) => {
+                    self.fwd = Some((page, idx));
+                    return None;
+                }
+                None if next == NO_PAGE => {
+                    self.fwd = Some((page, idx));
+                    return None;
+                }
+                None => {
+                    page = next;
+                    idx = 0;
+                }
+            }
+        }
+    }
+
+    fn prev(&mut self) -> Option<(u64, u64)> {
+        self.fwd = None;
+        let ub = match self.gap {
+            None => self.hi,
+            Some(0) => return None,
+            Some(g) => self.hi.min(g - 1),
+        };
+        match self.tree.last_le(ub) {
+            Some((k, v)) if k >= self.lo => {
+                self.gap = Some(k);
+                Some((k, v))
+            }
+            _ => None,
+        }
+    }
+}
+
 impl<P: PageStore> cosbt_core::Dictionary for BTree<P> {
     fn insert(&mut self, key: u64, val: u64) {
         BTree::insert(self, key, val)
@@ -417,8 +530,8 @@ impl<P: PageStore> cosbt_core::Dictionary for BTree<P> {
         BTree::get(self, key)
     }
 
-    fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        BTree::range(self, lo, hi)
+    fn cursor(&mut self, lo: u64, hi: u64) -> Cursor<'_> {
+        Cursor::new(BTreeCursor::new(self, lo, hi))
     }
 
     fn physical_len(&self) -> usize {
@@ -450,7 +563,9 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut x: u64 = 1;
         for i in 0..30_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 10_000;
             t.insert(k, i);
             model.insert(k, i);
@@ -546,7 +661,9 @@ mod tests {
         let mut x: u64 = 5;
         let probes = 500u64;
         for _ in 0..probes {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             t.get(x % 200_000);
         }
         let per = sim.borrow().stats().fetches as f64 / probes as f64;

@@ -3,7 +3,7 @@
 //! randomized inputs, and leaf-chain integrity after heavy deletion.
 
 use cosbt_btree::BTree;
-use proptest::prelude::*;
+use cosbt_testkit::{check_cases, Rng};
 
 #[test]
 fn three_level_tree_and_full_scan() {
@@ -57,46 +57,53 @@ fn boundary_separator_keys() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn bulk_load_equals_incremental_random() {
+    check_cases(
+        "bulk_load_equals_incremental_random",
+        24,
+        |rng: &mut Rng| {
+            let n = 1 + rng.index(2999);
+            let keys: std::collections::BTreeSet<u64> = (0..n).map(|_| rng.next_u64()).collect();
+            let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xFF)).collect();
+            let mut bulk = BTree::new_plain();
+            bulk.bulk_load(&pairs);
+            let mut inc = BTree::new_plain();
+            // Insert in a scrambled order.
+            let mut scrambled = pairs.clone();
+            scrambled.sort_by_key(|&(k, _)| k.wrapping_mul(0x9E3779B97F4A7C15));
+            for &(k, v) in &scrambled {
+                inc.insert(k, v);
+            }
+            bulk.check_invariants();
+            inc.check_invariants();
+            assert_eq!(bulk.range(0, u64::MAX), inc.range(0, u64::MAX));
+            if let Some(&first) = keys.iter().next() {
+                assert_eq!(bulk.get(first), inc.get(first));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn bulk_load_equals_incremental_random(mut keys in proptest::collection::btree_set(any::<u64>(), 1..3000)) {
-        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xFF)).collect();
-        let mut bulk = BTree::new_plain();
-        bulk.bulk_load(&pairs);
-        let mut inc = BTree::new_plain();
-        // Insert in a scrambled order.
-        let mut scrambled = pairs.clone();
-        scrambled.sort_by_key(|&(k, _)| k.wrapping_mul(0x9E3779B97F4A7C15));
-        for &(k, v) in &scrambled {
-            inc.insert(k, v);
-        }
-        bulk.check_invariants();
-        inc.check_invariants();
-        prop_assert_eq!(bulk.range(0, u64::MAX), inc.range(0, u64::MAX));
-        if let Some(&first) = keys.iter().next() {
-            prop_assert_eq!(bulk.get(first), inc.get(first));
-            keys.remove(&first);
-        }
-    }
-
-    #[test]
-    fn random_ops_match_model(ops in proptest::collection::vec((any::<bool>(), 0u64..512, any::<u64>()), 1..800)) {
+#[test]
+fn random_ops_match_model() {
+    check_cases("random_ops_match_model", 24, |rng: &mut Rng| {
+        let len = 1 + rng.index(799);
         let mut t = BTree::new_plain();
         let mut model = std::collections::BTreeMap::new();
-        for (ins, k, v) in ops {
+        for _ in 0..len {
+            let (ins, k, v) = (rng.flag(), rng.below(512), rng.next_u64());
             if ins {
                 t.insert(k, v);
                 model.insert(k, v);
             } else {
                 let got = t.delete(k);
-                prop_assert_eq!(got, model.remove(&k).is_some());
+                assert_eq!(got, model.remove(&k).is_some());
             }
         }
-        prop_assert_eq!(t.len(), model.len());
+        assert_eq!(t.len(), model.len());
         let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
-        prop_assert_eq!(t.range(0, u64::MAX), want);
+        assert_eq!(t.range(0, u64::MAX), want);
         t.check_invariants();
-    }
+    });
 }

@@ -23,7 +23,8 @@
 
 use cosbt_dam::{Mem, PlainMem};
 
-use crate::dict::Dictionary;
+use crate::cursor::{Run, RunMergeCursor};
+use crate::dict::{Cursor, Dictionary, UpdateBatch};
 use crate::entry::Cell;
 use crate::stats::ColaStats;
 
@@ -130,14 +131,18 @@ impl<M: Mem<Cell>> BasicCola<M> {
         let target_base = level_off(t);
         // Place the new element as the initial 1-cell run. Its side must be
         // opposite to step 0's output side.
-        let step0_target = (t - 1) % 2 == 0;
+        let step0_target = (t - 1).is_multiple_of(2);
         let mut run_base = if step0_target { 0 } else { target_base };
         let mut run_len = 1usize;
         self.mem.set(run_base, cell);
         self.stats.cells_written += 1;
 
         for j in 0..t {
-            let out_base = if (t - 1 - j) % 2 == 0 { target_base } else { 0 };
+            let out_base = if (t - 1 - j).is_multiple_of(2) {
+                target_base
+            } else {
+                0
+            };
             debug_assert_ne!(out_base, run_base, "run and output must alternate");
             let lvl_base = level_off(j);
             let lvl_len = 1usize << j;
@@ -178,6 +183,102 @@ impl<M: Mem<Cell>> BasicCola<M> {
         self.stats.max_cells_per_insert = self.stats.max_cells_per_insert.max(w);
     }
 
+    /// Absorbs a sorted batch of cells (one per key, newest versions) in a
+    /// single carry cascade: one k-way merge of the batch with the full
+    /// levels it displaces, instead of one cascade per key.
+    ///
+    /// The merge targets the first *empty* level `t` with `2^t ≥ batch`;
+    /// everything below `t` plus the batch re-sorts into the levels named
+    /// by the binary decomposition of the new occupancy, assigning
+    /// ascending key chunks to ascending level indices so that — when a
+    /// key's versions straddle a chunk boundary — the newest version lands
+    /// in the earlier-searched level. Invariant 1 (level k full ⇔ bit k of
+    /// N) is preserved because the carry stops exactly at bit `t`.
+    fn insert_cells_batch(&mut self, batch: &[Cell]) {
+        debug_assert!(batch.windows(2).all(|w| w[0].key < w[1].key));
+        let b = batch.len();
+        match b {
+            0 => return,
+            1 => return self.insert_cell(batch[0]),
+            _ => {}
+        }
+        let before = self.stats.cells_written;
+
+        // Target: first empty level big enough for the whole batch.
+        let mut t = 0usize;
+        loop {
+            self.ensure_levels(t + 1);
+            if !self.full[t] && (1usize << t) >= b {
+                break;
+            }
+            t += 1;
+        }
+
+        // Sources, newest first: the batch, then levels 0..t ascending.
+        let mut sources: Vec<Vec<Cell>> = Vec::with_capacity(t + 1);
+        sources.push(batch.to_vec());
+        for j in 0..t {
+            if self.full[j] {
+                let base = level_off(j);
+                sources.push((0..1usize << j).map(|i| self.mem.get(base + i)).collect());
+            }
+        }
+
+        // Stable k-way merge: among equal keys, the earlier (newer) source
+        // goes first, preserving the leftmost-is-newest level layout.
+        let mut idx = vec![0usize; sources.len()];
+        let total: usize = sources.iter().map(|s| s.len()).sum();
+        let mut merged = Vec::with_capacity(total);
+        for _ in 0..total {
+            let mut best: Option<(u64, usize)> = None;
+            for (r, src) in sources.iter().enumerate() {
+                if idx[r] < src.len() {
+                    let k = src[idx[r]].key;
+                    if best.is_none_or(|(bk, _)| k < bk) {
+                        best = Some((k, r));
+                    }
+                }
+            }
+            let (_, r) = best.expect("total counted");
+            merged.push(sources[r][idx[r]]);
+            idx[r] += 1;
+        }
+
+        // Redistribute over the binary decomposition of the new low bits:
+        // ascending chunks to ascending set bits, newest-within-key kept
+        // in the earlier-searched (smaller) level.
+        self.n += b as u64;
+        self.stats.inserts += b as u64;
+        self.stats.merges += 1;
+        let mut start = 0usize;
+        for k in 0..=t {
+            let full = total >> k & 1 == 1;
+            self.full[k] = full;
+            if full {
+                let base = level_off(k);
+                for i in 0..(1usize << k) {
+                    self.mem.set(base + i, merged[start + i]);
+                }
+                self.stats.cells_written += 1u64 << k;
+                start += 1 << k;
+            }
+        }
+        debug_assert_eq!(start, total);
+        let w = self.stats.cells_written - before;
+        self.stats.max_cells_per_insert = self.stats.max_cells_per_insert.max(w);
+    }
+
+    /// The cursor's merge sources: every full level, newest first.
+    fn runs(&self) -> Vec<Run> {
+        (0..self.full.len())
+            .filter(|&k| self.full[k])
+            .map(|k| Run {
+                base: level_off(k),
+                len: 1 << k,
+            })
+            .collect()
+    }
+
     /// Leftmost cell with key == `key` in level `k`, if any (the newest
     /// version within the level).
     fn search_level(&mut self, k: usize, key: u64) -> Option<Cell> {
@@ -203,49 +304,11 @@ impl<M: Mem<Cell>> BasicCola<M> {
         None
     }
 
-    /// All live pairs in `[lo, hi]`: k-way merge across levels with
-    /// newest-wins duplicate resolution and tombstone filtering.
-    fn range_impl(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        // Collect per-level in-range runs, newest level first.
-        let mut runs: Vec<Vec<Cell>> = Vec::new();
-        for k in 0..self.full.len() {
-            if !self.full[k] {
-                continue;
-            }
-            let base = level_off(k);
-            let len = 1usize << k;
-            // lower bound for lo
-            let (mut a, mut b) = (0usize, len);
-            while a < b {
-                let mid = (a + b) / 2;
-                if self.mem.get(base + mid).key < lo {
-                    a = mid + 1;
-                } else {
-                    b = mid;
-                }
-            }
-            let mut run = Vec::new();
-            let mut i = a;
-            while i < len {
-                let c = self.mem.get(base + i);
-                if c.key > hi {
-                    break;
-                }
-                run.push(c);
-                i += 1;
-            }
-            if !run.is_empty() {
-                runs.push(run);
-            }
-        }
-        merge_runs_newest_first(runs)
-    }
-
     /// Rebuilds the structure keeping only live entries (drops shadowed
     /// versions and tombstones). Extension: the paper's COLA never removes
     /// anything; compaction restores `physical_len == live keys`.
     pub fn compact(&mut self) {
-        let live = self.range_impl(0, u64::MAX);
+        let live = self.range(0, u64::MAX);
         for f in self.full.iter_mut() {
             *f = false;
         }
@@ -305,42 +368,6 @@ impl<M: Mem<Cell>> BasicCola<M> {
     }
 }
 
-/// Merges per-level runs (newest level first; within a level cells are
-/// already newest-first among equal keys) resolving duplicates newest-wins
-/// and dropping tombstones.
-pub(crate) fn merge_runs_newest_first(runs: Vec<Vec<Cell>>) -> Vec<(u64, u64)> {
-    let mut idx = vec![0usize; runs.len()];
-    let mut out = Vec::new();
-    loop {
-        // Find the smallest key among run heads; among equal keys, the
-        // earliest run (newest) wins.
-        let mut best: Option<(u64, usize)> = None;
-        for (r, run) in runs.iter().enumerate() {
-            if idx[r] < run.len() {
-                let k = run[idx[r]].key;
-                if best.map_or(true, |(bk, _)| k < bk) {
-                    best = Some((k, r));
-                }
-            }
-        }
-        let (key, r) = match best {
-            Some(b) => b,
-            None => break,
-        };
-        let cell = runs[r][idx[r]];
-        // Consume every cell with this key from all runs.
-        for (r2, run) in runs.iter().enumerate() {
-            while idx[r2] < run.len() && run[idx[r2]].key == key {
-                idx[r2] += 1;
-            }
-        }
-        if !cell.is_tombstone() {
-            out.push((key, cell.val));
-        }
-    }
-    out
-}
-
 impl<M: Mem<Cell>> Dictionary for BasicCola<M> {
     fn insert(&mut self, key: u64, val: u64) {
         self.insert_cell(Cell::item(key, val));
@@ -362,8 +389,20 @@ impl<M: Mem<Cell>> Dictionary for BasicCola<M> {
         None
     }
 
-    fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        self.range_impl(lo, hi)
+    fn cursor(&mut self, lo: u64, hi: u64) -> Cursor<'_> {
+        let runs = self.runs();
+        Cursor::new(RunMergeCursor::new(&self.mem, runs, lo, hi))
+    }
+
+    fn apply(&mut self, batch: &mut UpdateBatch) {
+        let cells = crate::dict::batch_to_cells(batch);
+        self.insert_cells_batch(&cells);
+        batch.clear();
+    }
+
+    fn insert_batch(&mut self, sorted: &[(u64, u64)]) {
+        let cells = crate::dict::sorted_pairs_to_cells(sorted);
+        self.insert_cells_batch(&cells);
     }
 
     fn physical_len(&self) -> usize {
@@ -411,7 +450,9 @@ mod tests {
         let mut x: u64 = 42;
         let mut keys = Vec::new();
         for i in 0..1000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             keys.push(x);
             c.insert(x, i);
         }
@@ -551,18 +592,5 @@ mod tests {
         // B = 512/32 = 16 cells: far below 1 per insert.
         let per = transfers as f64 / 4096.0;
         assert!(per < 12.0 / 16.0 * 4.0, "transfers/insert = {per}");
-    }
-
-    #[test]
-    fn merge_runs_prefers_newest() {
-        let runs = vec![
-            vec![Cell::item(1, 10), Cell::item(5, 50)],
-            vec![Cell::item(1, 11), Cell::tombstone(3), Cell::item(5, 51)],
-            vec![Cell::item(3, 33), Cell::item(7, 77)],
-        ];
-        assert_eq!(
-            merge_runs_newest_first(runs),
-            vec![(1, 10), (5, 50), (7, 77)]
-        );
     }
 }

@@ -1,0 +1,363 @@
+//! Streaming k-way merge cursor over COLA level runs.
+//!
+//! Every COLA variant stores its data as a small set of sorted,
+//! contiguous runs of [`Cell`]s in one flat [`Mem`] array (levels, or the
+//! level's arrays for the deamortized variants), ordered newest-first both
+//! across runs and — among equal keys — within a run. [`RunMergeCursor`]
+//! walks those runs directly: each `next`/`prev` reads only the run heads,
+//! so a scan of `r` results over `k` runs costs `O(k · r)` cell reads
+//! (`O(k + r/B)` block transfers per run with sequential layout) instead
+//! of materializing every overlapping cell up front.
+//!
+//! Duplicate resolution matches point lookups exactly: the newest run
+//! containing a key supplies its value (its leftmost real cell among
+//! equals), and tombstones suppress the key. Redundant (lookahead) cells
+//! are skipped — they are routing metadata, not data.
+
+use cosbt_dam::Mem;
+
+use crate::dict::CursorOps;
+use crate::entry::Cell;
+
+/// One sorted, contiguous run of cells; runs are supplied newest first.
+#[derive(Debug, Clone, Copy)]
+pub struct Run {
+    /// First slot of the run in the backing array.
+    pub base: usize,
+    /// Number of occupied cells.
+    pub len: usize,
+}
+
+/// The gap position of the cursor (see [`CursorOps`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gap {
+    /// Before the first live key ≥ this bound.
+    Before(u64),
+    /// Past the end of the interval.
+    AtEnd,
+}
+
+/// Streaming merge cursor over [`Run`]s of one [`Mem`] array.
+#[derive(Debug)]
+pub struct RunMergeCursor<'a, M: Mem<Cell>> {
+    mem: &'a M,
+    runs: Vec<Run>,
+    lo: u64,
+    hi: u64,
+    gap: Gap,
+    /// Per-run index; when `positioned`, every *real* cell below `idx[r]`
+    /// has key < gap and every real cell at or above it has key ≥ gap.
+    idx: Vec<usize>,
+    positioned: bool,
+}
+
+impl<'a, M: Mem<Cell>> RunMergeCursor<'a, M> {
+    /// A cursor over `runs` (newest first) bounded to `[lo, hi]`.
+    pub fn new(mem: &'a M, runs: Vec<Run>, lo: u64, hi: u64) -> Self {
+        let idx = vec![0; runs.len()];
+        RunMergeCursor {
+            mem,
+            runs,
+            lo,
+            hi,
+            gap: Gap::Before(lo),
+            idx,
+            positioned: false,
+        }
+    }
+
+    /// Binary search: first index in `run` whose key ≥ `key`.
+    fn lower_bound(&self, run: Run, key: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, run.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.mem.get(run.base + mid).key < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// First index in `run` whose key > `key`.
+    fn upper_bound(&self, run: Run, key: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, run.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.mem.get(run.base + mid).key <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn position(&mut self) {
+        if self.positioned {
+            return;
+        }
+        for r in 0..self.runs.len() {
+            self.idx[r] = match self.gap {
+                Gap::Before(g) => self.lower_bound(self.runs[r], g),
+                Gap::AtEnd => self.upper_bound(self.runs[r], self.hi),
+            };
+        }
+        self.positioned = true;
+    }
+
+    /// One ascending merge step: the newest real cell of the smallest key
+    /// ≥ the gap (tombstones included; caller filters). Advances every run
+    /// past the returned key.
+    fn step_forward(&mut self) -> Option<Cell> {
+        if self.gap == Gap::AtEnd {
+            return None;
+        }
+        // Find the minimum head key; skip redundant cells permanently
+        // (they are never output and sit between real cells).
+        let mut best: Option<(u64, usize)> = None;
+        for r in 0..self.runs.len() {
+            let run = self.runs[r];
+            while self.idx[r] < run.len && self.mem.get(run.base + self.idx[r]).is_redundant() {
+                self.idx[r] += 1;
+            }
+            if self.idx[r] < run.len {
+                let k = self.mem.get(run.base + self.idx[r]).key;
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, r));
+                }
+            }
+        }
+        let (key, winner) = best?;
+        if key > self.hi {
+            return None;
+        }
+        let cell = self.mem.get(self.runs[winner].base + self.idx[winner]);
+        // Consume the key from every run.
+        for r in 0..self.runs.len() {
+            let run = self.runs[r];
+            while self.idx[r] < run.len && self.mem.get(run.base + self.idx[r]).key <= key {
+                self.idx[r] += 1;
+            }
+        }
+        self.gap = if key == u64::MAX {
+            Gap::AtEnd
+        } else {
+            Gap::Before(key + 1)
+        };
+        Some(cell)
+    }
+
+    /// One descending merge step: the newest real cell of the largest key
+    /// below the gap. Rewinds every run before the returned key.
+    fn step_backward(&mut self) -> Option<Cell> {
+        // Find the maximum key strictly below the gap among run tails,
+        // skipping redundant cells permanently.
+        let mut best_key: Option<u64> = None;
+        for r in 0..self.runs.len() {
+            let run = self.runs[r];
+            while self.idx[r] > 0 && self.mem.get(run.base + self.idx[r] - 1).is_redundant() {
+                self.idx[r] -= 1;
+            }
+            if self.idx[r] > 0 {
+                let k = self.mem.get(run.base + self.idx[r] - 1).key;
+                if best_key.is_none_or(|bk| k > bk) {
+                    best_key = Some(k);
+                }
+            }
+        }
+        let key = best_key?;
+        if key < self.lo {
+            return None;
+        }
+        // Rewind every run past the key, remembering the newest version:
+        // the lowest-ranked (newest) run containing the key wins, and
+        // within it the leftmost real cell (scanned last going down).
+        let mut winner: Option<(usize, Cell)> = None;
+        for r in 0..self.runs.len() {
+            let run = self.runs[r];
+            while self.idx[r] > 0 {
+                let c = self.mem.get(run.base + self.idx[r] - 1);
+                if c.key < key {
+                    break;
+                }
+                self.idx[r] -= 1;
+                if c.is_real() && winner.is_none_or(|(wr, _)| r <= wr) {
+                    winner = Some((r, c));
+                }
+            }
+        }
+        self.gap = Gap::Before(key);
+        Some(winner.expect("a real cell produced the candidate key").1)
+    }
+}
+
+impl<M: Mem<Cell>> CursorOps for RunMergeCursor<'_, M> {
+    fn seek(&mut self, key: u64) {
+        // Clamp into the bounds on both sides: seeking past `hi` places
+        // the gap after the interval's last entry, so a following prev()
+        // still yields only in-bounds entries.
+        self.gap = if key > self.hi {
+            Gap::AtEnd
+        } else {
+            Gap::Before(key.max(self.lo))
+        };
+        self.positioned = false;
+    }
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        self.position();
+        loop {
+            let cell = self.step_forward()?;
+            if !cell.is_tombstone() {
+                return Some((cell.key, cell.val));
+            }
+        }
+    }
+
+    fn prev(&mut self) -> Option<(u64, u64)> {
+        self.position();
+        loop {
+            let cell = self.step_backward()?;
+            if !cell.is_tombstone() {
+                return Some((cell.key, cell.val));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::{Cursor, CursorOps};
+    use cosbt_dam::PlainMem;
+
+    /// Lays runs out in one array and returns (mem, runs).
+    fn build(runs: &[Vec<Cell>]) -> (PlainMem<Cell>, Vec<Run>) {
+        let mut mem = PlainMem::new();
+        let mut out = Vec::new();
+        let mut base = 0usize;
+        for run in runs {
+            mem.resize(base + run.len(), Cell::default());
+            for (i, &c) in run.iter().enumerate() {
+                mem.set(base + i, c);
+            }
+            out.push(Run {
+                base,
+                len: run.len(),
+            });
+            base += run.len();
+        }
+        (mem, out)
+    }
+
+    #[test]
+    fn merges_newest_first_and_filters_tombstones() {
+        let (mem, runs) = build(&[
+            vec![Cell::item(1, 10), Cell::item(5, 50)],
+            vec![Cell::item(1, 11), Cell::tombstone(3), Cell::item(5, 51)],
+            vec![Cell::item(3, 33), Cell::item(7, 77)],
+        ]);
+        let mut c = RunMergeCursor::new(&mem, runs.clone(), 0, u64::MAX);
+        let mut got = Vec::new();
+        while let Some(kv) = CursorOps::next(&mut c) {
+            got.push(kv);
+        }
+        assert_eq!(got, vec![(1, 10), (5, 50), (7, 77)]);
+
+        // Same content backward.
+        let mut c = RunMergeCursor::new(&mem, runs, 0, u64::MAX);
+        c.seek(u64::MAX);
+        let mut back = Vec::new();
+        while let Some(kv) = CursorOps::prev(&mut c) {
+            back.push(kv);
+        }
+        back.reverse();
+        assert_eq!(back, got);
+    }
+
+    #[test]
+    fn skips_redundant_cells_both_directions() {
+        let (mem, runs) = build(&[
+            vec![
+                Cell::lookahead(2, 0),
+                Cell::item(2, 20),
+                Cell::lookahead(4, 1),
+                Cell::item(6, 60),
+            ],
+            vec![Cell::item(4, 40)],
+        ]);
+        let mut c = RunMergeCursor::new(&mem, runs, 0, u64::MAX);
+        assert_eq!(CursorOps::next(&mut c), Some((2, 20)));
+        assert_eq!(CursorOps::next(&mut c), Some((4, 40)));
+        assert_eq!(CursorOps::prev(&mut c), Some((4, 40)));
+        assert_eq!(CursorOps::prev(&mut c), Some((2, 20)));
+        assert_eq!(CursorOps::prev(&mut c), None);
+    }
+
+    #[test]
+    fn bounds_and_seek() {
+        let (mem, runs) = build(&[vec![
+            Cell::item(10, 1),
+            Cell::item(20, 2),
+            Cell::item(30, 3),
+            Cell::item(40, 4),
+        ]]);
+        let mut c = Cursor::new(RunMergeCursor::new(&mem, runs, 15, 35));
+        assert_eq!(c.next(), Some((20, 2)));
+        assert_eq!(c.next(), Some((30, 3)));
+        assert_eq!(c.next(), None, "40 is out of bounds");
+        assert_eq!(c.prev(), Some((30, 3)));
+        c.seek(0);
+        assert_eq!(c.next(), Some((20, 2)), "seek clamps to lo");
+        assert_eq!(c.prev(), Some((20, 2)));
+        assert_eq!(c.prev(), None, "10 is out of bounds");
+    }
+
+    #[test]
+    fn direction_switches_mid_stream() {
+        let (mem, runs) = build(&[
+            vec![Cell::item(1, 1), Cell::item(3, 3), Cell::item(5, 5)],
+            vec![Cell::item(2, 2), Cell::item(4, 4)],
+        ]);
+        let mut c = RunMergeCursor::new(&mem, runs, 0, u64::MAX);
+        assert_eq!(CursorOps::next(&mut c), Some((1, 1)));
+        assert_eq!(CursorOps::next(&mut c), Some((2, 2)));
+        assert_eq!(CursorOps::prev(&mut c), Some((2, 2)));
+        assert_eq!(CursorOps::prev(&mut c), Some((1, 1)));
+        assert_eq!(CursorOps::prev(&mut c), None);
+        assert_eq!(CursorOps::next(&mut c), Some((1, 1)));
+        assert_eq!(CursorOps::next(&mut c), Some((2, 2)));
+        assert_eq!(CursorOps::next(&mut c), Some((3, 3)));
+        assert_eq!(CursorOps::next(&mut c), Some((4, 4)));
+        assert_eq!(CursorOps::next(&mut c), Some((5, 5)));
+        assert_eq!(CursorOps::next(&mut c), None);
+    }
+
+    #[test]
+    fn seek_past_hi_stays_in_bounds() {
+        // Regression: seeking beyond the upper bound must clamp, so a
+        // following prev() yields the last in-bounds entry — not a stored
+        // key above `hi`.
+        let (mem, runs) = build(&[vec![Cell::item(15, 1), Cell::item(25, 2)]]);
+        let mut c = RunMergeCursor::new(&mem, runs, 10, 20);
+        c.seek(30);
+        assert_eq!(CursorOps::next(&mut c), None);
+        assert_eq!(
+            CursorOps::prev(&mut c),
+            Some((15, 1)),
+            "25 is out of bounds"
+        );
+        assert_eq!(CursorOps::prev(&mut c), None);
+    }
+
+    #[test]
+    fn u64_max_key_terminates() {
+        let (mem, runs) = build(&[vec![Cell::item(u64::MAX, 9)]]);
+        let mut c = RunMergeCursor::new(&mem, runs, 0, u64::MAX);
+        assert_eq!(CursorOps::next(&mut c), Some((u64::MAX, 9)));
+        assert_eq!(CursorOps::next(&mut c), None);
+        assert_eq!(CursorOps::prev(&mut c), Some((u64::MAX, 9)));
+    }
+}

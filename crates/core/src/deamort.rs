@@ -37,8 +37,8 @@
 
 use cosbt_dam::{Mem, PlainMem};
 
-use crate::basic::merge_runs_newest_first;
-use crate::dict::Dictionary;
+use crate::cursor::{Run, RunMergeCursor};
+use crate::dict::{Cursor, Dictionary};
 use crate::entry::Cell;
 use crate::stats::ColaStats;
 
@@ -253,8 +253,7 @@ impl<M: Mem<Cell>> DeamortCola<M> {
         for i in 0..d.len {
             ptrs.push(self.mem.get(base + i));
         }
-        let total =
-            self.arrs[k][src[0]].items + self.arrs[k][src[1]].items + ptrs.len();
+        let total = self.arrs[k][src[0]].items + self.arrs[k][src[1]].items + ptrs.len();
         debug_assert!(total <= arr_cap(k + 1), "destination overflow");
         self.phase[k] = Some(Phase::Merge {
             src,
@@ -345,16 +344,15 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                         // Pointers first among equal keys, then the newer
                         // source.
                         let cell = match (ka, kb, kp) {
-                            (a_k, b_k, Some(p)) if a_k.map_or(true, |x| p <= x)
-                                && b_k.map_or(true, |x| p <= x) =>
+                            (a_k, b_k, Some(p))
+                                if a_k.is_none_or(|x| p <= x) && b_k.is_none_or(|x| p <= x) =>
                             {
                                 let c = ptrs[*ip];
                                 *ip += 1;
                                 c
                             }
-                            (Some(x), b_k, _) if b_k.map_or(true, |y| {
-                                x < y || (x == y && newer_a)
-                            }) =>
+                            (Some(x), b_k, _)
+                                if b_k.is_none_or(|y| x < y || (x == y && newer_a)) =>
                             {
                                 let c = self.mem.get(a_base + *ia);
                                 *ia += 1;
@@ -503,7 +501,7 @@ impl<M: Mem<Cell>> DeamortCola<M> {
             .filter(|&a| self.arrs[k][a].vis == Vis::Visible && self.arrs[k][a].len > 0)
             .map(|a| (self.arrs[k][a].seq, a))
             .collect();
-        v.sort_unstable_by(|x, y| y.0.cmp(&x.0));
+        v.sort_unstable_by_key(|x| std::cmp::Reverse(x.0));
         v.into_iter().map(|(_, a)| a).collect()
     }
 
@@ -557,7 +555,10 @@ impl<M: Mem<Cell>> DeamortCola<M> {
         for k in 0..self.arrs.len() {
             for a in 0..3 {
                 let ar = self.arrs[k][a];
-                assert!(ar.start + ar.len <= arr_cap(k), "level {k} array {a} bounds");
+                assert!(
+                    ar.start + ar.len <= arr_cap(k),
+                    "level {k} array {a} bounds"
+                );
                 // An in-flight merge writes into its destination (and a
                 // pointer copy into its target) before the bookkeeping is
                 // updated, so mid-operation their slots legitimately mix
@@ -615,39 +616,22 @@ impl<M: Mem<Cell>> Dictionary for DeamortCola<M> {
         None
     }
 
-    fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+    fn cursor(&mut self, lo: u64, hi: u64) -> Cursor<'_> {
+        // Visible arrays only, newest first per level — the same snapshot
+        // point lookups read; shadow arrays (including in-flight merge
+        // destinations) stay hidden, and pointer cells are skipped by the
+        // merge cursor.
         let mut runs = Vec::new();
         for k in 0..self.arrs.len() {
             for a in self.visible_arrays(k) {
                 let ar = self.arrs[k][a];
-                let base = arr_off(k, a) + ar.start;
-                let (mut x, mut y) = (0usize, ar.len);
-                while x < y {
-                    let mid = (x + y) / 2;
-                    if self.mem.get(base + mid).key < lo {
-                        x = mid + 1;
-                    } else {
-                        y = mid;
-                    }
-                }
-                let mut run = Vec::new();
-                let mut i = x;
-                while i < ar.len {
-                    let c = self.mem.get(base + i);
-                    if c.key > hi {
-                        break;
-                    }
-                    if c.is_real() {
-                        run.push(c);
-                    }
-                    i += 1;
-                }
-                if !run.is_empty() {
-                    runs.push(run);
-                }
+                runs.push(Run {
+                    base: arr_off(k, a) + ar.start,
+                    len: ar.len,
+                });
             }
         }
-        merge_runs_newest_first(runs)
+        Cursor::new(RunMergeCursor::new(&self.mem, runs, lo, hi))
     }
 
     fn physical_len(&self) -> usize {
@@ -682,14 +666,20 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut x: u64 = 11;
         for i in 0..6000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 2500;
             c.insert(k, i);
             model.insert(k, i);
             if i % 509 == 0 {
                 c.check_invariants();
                 for probe in [0u64, 1000, 2499, k] {
-                    assert_eq!(c.get(probe), model.get(&probe).copied(), "probe {probe} at {i}");
+                    assert_eq!(
+                        c.get(probe),
+                        model.get(&probe).copied(),
+                        "probe {probe} at {i}"
+                    );
                 }
             }
         }

@@ -17,8 +17,8 @@
 
 use cosbt_dam::{Mem, PlainMem};
 
-use crate::basic::merge_runs_newest_first;
-use crate::dict::Dictionary;
+use crate::cursor::{Run, RunMergeCursor};
+use crate::dict::{Cursor, Dictionary};
 use crate::entry::Cell;
 use crate::stats::ColaStats;
 
@@ -29,7 +29,9 @@ type Side = usize; // 0 or 1
 enum ArrState {
     Empty,
     /// Holds `2^k` sorted items; `seq` orders recency within the level.
-    Full { seq: u64 },
+    Full {
+        seq: u64,
+    },
     /// Being written by an incoming merge; invisible to queries.
     Filling,
 }
@@ -268,7 +270,7 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
                 _ => None,
             })
             .collect();
-        sides.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        sides.sort_unstable_by_key(|s| std::cmp::Reverse(s.0));
         sides.into_iter().map(|(_, s)| s).collect()
     }
 
@@ -331,37 +333,21 @@ impl<M: Mem<Cell>> Dictionary for DeamortBasicCola<M> {
         None
     }
 
-    fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+    fn cursor(&mut self, lo: u64, hi: u64) -> Cursor<'_> {
+        // Completed (full) arrays only, smaller levels and newer sides
+        // first — the same visibility and recency order point lookups use.
+        // In-flight merge destinations are invisible until commit, so the
+        // cursor never observes a half-written array.
         let mut runs = Vec::new();
         for k in 0..self.state.len() {
             for side in self.full_sides(k) {
-                let base = arr_off(k, side);
-                let len = 1usize << k;
-                let (mut a, mut b) = (0usize, len);
-                while a < b {
-                    let mid = (a + b) / 2;
-                    if self.mem.get(base + mid).key < lo {
-                        a = mid + 1;
-                    } else {
-                        b = mid;
-                    }
-                }
-                let mut run = Vec::new();
-                let mut i = a;
-                while i < len {
-                    let c = self.mem.get(base + i);
-                    if c.key > hi {
-                        break;
-                    }
-                    run.push(c);
-                    i += 1;
-                }
-                if !run.is_empty() {
-                    runs.push(run);
-                }
+                runs.push(Run {
+                    base: arr_off(k, side),
+                    len: 1usize << k,
+                });
             }
         }
-        merge_runs_newest_first(runs)
+        Cursor::new(RunMergeCursor::new(&self.mem, runs, lo, hi))
     }
 
     fn physical_len(&self) -> usize {
@@ -395,7 +381,9 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut x: u64 = 3;
         for i in 0..5000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 2000;
             c.insert(k, i);
             model.insert(k, i);
@@ -474,10 +462,7 @@ mod tests {
             c.insert(k, i);
             model.insert(k, i);
         }
-        let want: Vec<(u64, u64)> = model
-            .range(100..=400)
-            .map(|(&k, &v)| (k, v))
-            .collect();
+        let want: Vec<(u64, u64)> = model.range(100..=400).map(|(&k, &v)| (k, v)).collect();
         assert_eq!(c.range(100, 400), want);
     }
 
@@ -489,6 +474,9 @@ mod tests {
             c.insert(i, i);
         }
         let per = c.stats().cells_written as f64 / n as f64;
-        assert!(per < 2.0 * 13.0, "amortized writes {per} should stay O(log N)");
+        assert!(
+            per < 2.0 * 13.0,
+            "amortized writes {per} should stay O(log N)"
+        );
     }
 }

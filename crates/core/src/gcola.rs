@@ -33,8 +33,8 @@ use std::collections::BinaryHeap;
 
 use cosbt_dam::{Mem, PlainMem};
 
-use crate::basic::merge_runs_newest_first;
-use crate::dict::Dictionary;
+use crate::cursor::{Run, RunMergeCursor};
+use crate::dict::{Cursor, Dictionary, UpdateBatch};
 use crate::entry::{Cell, NO_PTR};
 use crate::stats::ColaStats;
 
@@ -158,15 +158,11 @@ impl<M: Mem<Cell>> GCola<M> {
             (1, 0)
         } else {
             let cap = 2 * (self.g - 1) * self.g.pow(idx as u32 - 1);
-            let red = (2.0 * self.p * (self.g - 1) as f64
-                * (self.g as f64).powi(idx as i32 - 1))
-            .floor() as usize;
+            let red = (2.0 * self.p * (self.g - 1) as f64 * (self.g as f64).powi(idx as i32 - 1))
+                .floor() as usize;
             (cap, red)
         };
-        let off = self
-            .levels
-            .last()
-            .map_or(1, |l| l.off + l.slots); // slot 0 spare, as in the paper
+        let off = self.levels.last().map_or(1, |l| l.off + l.slots); // slot 0 spare, as in the paper
         self.levels.push(Level {
             off,
             slots: cap + red_cap,
@@ -227,8 +223,8 @@ impl<M: Mem<Cell>> GCola<M> {
         for w in 0..occ {
             // Weave by key; put lookaheads first among equals so a real
             // cell's left-copy includes pointers at its own key.
-            let take_la = b < lookaheads.len()
-                && (a == items.len() || lookaheads[b].0 <= items[a].key);
+            let take_la =
+                b < lookaheads.len() && (a == items.len() || lookaheads[b].0 <= items[a].key);
             let cell = if take_la {
                 let (key, tgt) = lookaheads[b];
                 b += 1;
@@ -248,13 +244,24 @@ impl<M: Mem<Cell>> GCola<M> {
     }
 
     fn insert_cell(&mut self, cell: Cell) {
-        self.n += 1;
-        self.stats.inserts += 1;
+        self.insert_run(&[cell]);
+    }
+
+    /// Absorbs a sorted run of cells (one per key, newer than everything
+    /// stored) in a single carry cascade — the batched write path. A
+    /// one-cell run is exactly the paper's insertion.
+    fn insert_run(&mut self, run: &[Cell]) {
+        debug_assert!(run.windows(2).all(|w| w[0].key < w[1].key));
+        if run.is_empty() {
+            return;
+        }
+        self.n += run.len() as u64;
+        self.stats.inserts += run.len() as u64;
         let before = self.stats.cells_written;
 
         // Target level: the smallest ℓ whose spare item capacity absorbs
-        // the carry (everything below plus the new element).
-        let mut carry = 1usize;
+        // the carry (everything below plus the new run).
+        let mut carry = run.len();
         let mut t = 0usize;
         while carry + self.levels[t].items > self.levels[t].cap {
             carry += self.levels[t].items;
@@ -268,20 +275,20 @@ impl<M: Mem<Cell>> GCola<M> {
             // Level 0 holds no lookahead cells (its redundancy is 0), so
             // this is a single right-justified write.
             debug_assert_eq!(self.levels[0].items, 0);
-            self.write_level(0, &[cell], &[]);
+            self.write_level(0, run, &[]);
             let w = self.stats.cells_written - before;
             self.stats.max_cells_per_insert = self.stats.max_cells_per_insert.max(w);
             return;
         }
         self.stats.merges += 1;
 
-        // k-way merge: the new cell (newest), then levels 0..t-1, then the
+        // k-way merge: the new run (newest), then levels 0..t-1, then the
         // target's own items (oldest). Sources are read in place; the
         // target's run is staged so the right-justified rewrite can't
         // overwrite unread input.
         let target_old = self.read_items(t);
         let mut sources: Vec<Vec<Cell>> = Vec::with_capacity(t + 2);
-        sources.push(vec![cell]);
+        sources.push(run.to_vec());
         for j in 0..t {
             sources.push(self.read_items(j));
         }
@@ -420,47 +427,10 @@ impl<M: Mem<Cell>> GCola<M> {
         None
     }
 
-    fn range_impl(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        let mut runs: Vec<Vec<Cell>> = Vec::new();
-        for l in 0..self.levels.len() {
-            let lv = self.levels[l];
-            let occ = lv.occ();
-            if lv.items == 0 {
-                continue;
-            }
-            let base = lv.run_base();
-            let (mut a, mut b) = (0usize, occ);
-            while a < b {
-                let mid = (a + b) / 2;
-                if self.mem.get(base + mid).key < lo {
-                    a = mid + 1;
-                } else {
-                    b = mid;
-                }
-            }
-            let mut run = Vec::new();
-            let mut i = a;
-            while i < occ {
-                let c = self.mem.get(base + i);
-                if c.key > hi {
-                    break;
-                }
-                if c.is_real() {
-                    run.push(c);
-                }
-                i += 1;
-            }
-            if !run.is_empty() {
-                runs.push(run);
-            }
-        }
-        merge_runs_newest_first(runs)
-    }
-
     /// Rebuilds the structure keeping only live entries (drops shadowed
     /// versions and tombstones); see [`crate::BasicCola::compact`].
     pub fn compact(&mut self) {
-        let live = self.range_impl(0, u64::MAX);
+        let live = self.range(0, u64::MAX);
         let g = self.g;
         let p = self.p;
         self.mem.resize(0, Cell::default());
@@ -552,8 +522,30 @@ impl<M: Mem<Cell>> Dictionary for GCola<M> {
         self.get_impl(key)
     }
 
-    fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        self.range_impl(lo, hi)
+    fn cursor(&mut self, lo: u64, hi: u64) -> Cursor<'_> {
+        // Every occupied level is a sorted run, newest first; the merge
+        // cursor skips the interleaved lookahead cells itself.
+        let runs: Vec<Run> = self
+            .levels
+            .iter()
+            .filter(|lv| lv.occ() > 0)
+            .map(|lv| Run {
+                base: lv.run_base(),
+                len: lv.occ(),
+            })
+            .collect();
+        Cursor::new(RunMergeCursor::new(&self.mem, runs, lo, hi))
+    }
+
+    fn apply(&mut self, batch: &mut UpdateBatch) {
+        let cells = crate::dict::batch_to_cells(batch);
+        self.insert_run(&cells);
+        batch.clear();
+    }
+
+    fn insert_batch(&mut self, sorted: &[(u64, u64)]) {
+        let cells = crate::dict::sorted_pairs_to_cells(sorted);
+        self.insert_run(&cells);
     }
 
     fn physical_len(&self) -> usize {
@@ -621,12 +613,21 @@ mod tests {
 
     #[test]
     fn get_finds_everything_various_g_and_p() {
-        for &(g, p) in &[(2usize, 0.0), (2, 0.125), (2, 0.1), (4, 0.1), (8, 0.1), (3, 0.4)] {
+        for &(g, p) in &[
+            (2usize, 0.0),
+            (2, 0.125),
+            (2, 0.1),
+            (4, 0.1),
+            (8, 0.1),
+            (3, 0.4),
+        ] {
             let mut c = plain(g, p);
             let mut x: u64 = 7;
             let mut keys = Vec::new();
             for i in 0..2000u64 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 keys.push(x);
                 c.insert(x, i);
                 if i % 499 == 0 {
@@ -673,14 +674,16 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut x: u64 = 99;
         for i in 0..3000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 1000;
             c.insert(k, i);
             model.insert(k, i);
         }
         for (lo, hi) in [(0u64, 999u64), (100, 200), (500, 500), (990, 2000), (7, 3)] {
             let want: Vec<(u64, u64)> = model
-                .range(lo..=hi.max(lo).min(u64::MAX))
+                .range(lo..=hi.max(lo))
                 .map(|(&k, &v)| (k, v))
                 .filter(|(k, _)| *k >= lo && *k <= hi)
                 .collect();

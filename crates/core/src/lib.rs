@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod basic;
+pub mod cursor;
 pub mod deamort;
 pub mod deamort_basic;
 pub mod dict;
@@ -28,9 +29,10 @@ pub mod gcola;
 pub mod stats;
 
 pub use basic::BasicCola;
+pub use cursor::{Run, RunMergeCursor};
 pub use deamort::DeamortCola;
 pub use deamort_basic::DeamortBasicCola;
-pub use dict::Dictionary;
+pub use dict::{BatchOp, Cursor, CursorOps, Dictionary, UpdateBatch, VecCursor};
 pub use entry::Cell;
 pub use gcola::GCola;
 pub use stats::ColaStats;

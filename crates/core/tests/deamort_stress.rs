@@ -35,7 +35,11 @@ fn queries_between_every_insert() {
         model.insert(k, i);
         // Probe a moving window of keys after every single insert.
         for probe in [k, (k + 512) % 1024, 0, 1023] {
-            assert_eq!(dc.get(probe), model.get(&probe).copied(), "probe {probe} after insert {i}");
+            assert_eq!(
+                dc.get(probe),
+                model.get(&probe).copied(),
+                "probe {probe} after insert {i}"
+            );
         }
     }
 }
@@ -72,9 +76,11 @@ fn deamortized_matches_amortized_content_forever() {
     let mut dc = DeamortCola::new_plain();
     let mut x = 17u64;
     for i in 0..30_000u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let k = x % 10_000;
-        if x % 11 == 0 {
+        if x.is_multiple_of(11) {
             a.delete(k);
             db.delete(k);
             dc.delete(k);
@@ -107,7 +113,10 @@ fn worst_case_stays_flat_while_amortized_spikes_grow() {
         let aw = a.stats().max_cells_per_insert;
         let dw = d.max_moves_per_insert();
         if last_amort_worst > 0 {
-            assert!(aw >= last_amort_worst * 3, "amortized worst should ~4x: {aw}");
+            assert!(
+                aw >= last_amort_worst * 3,
+                "amortized worst should ~4x: {aw}"
+            );
             assert!(
                 dw <= last_deamort_worst + 8,
                 "deamortized worst should grow additively: {dw} vs {last_deamort_worst}"

@@ -5,7 +5,7 @@
 use cosbt_core::entry::Cell;
 use cosbt_core::{Dictionary, GCola};
 use cosbt_dam::PlainMem;
-use proptest::prelude::*;
+use cosbt_testkit::{check_cases, Rng};
 
 fn plain(g: usize, p: f64) -> GCola<PlainMem<Cell>> {
     GCola::new(PlainMem::new(), g, p)
@@ -54,7 +54,11 @@ fn delete_then_reinsert_cycles() {
             c.delete(k);
         }
         for k in 0..100u64 {
-            let want = if k % 2 == 0 { None } else { Some(round * 1000 + k) };
+            let want = if k % 2 == 0 {
+                None
+            } else {
+                Some(round * 1000 + k)
+            };
             assert_eq!(c.get(k), want, "round {round} key {k}");
         }
     }
@@ -90,36 +94,39 @@ fn extreme_growth_factor() {
     for i in (0..20_000u64).step_by(371) {
         assert_eq!(c.get(i.wrapping_mul(0x9E3779B97F4A7C15)), Some(i));
     }
-    assert!(c.num_levels() <= 4, "g=64 should stay shallow: {}", c.num_levels());
+    assert!(
+        c.num_levels() <= 4,
+        "g=64 should stay shallow: {}",
+        c.num_levels()
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The windowed lookahead search agrees with the recency semantics on
-    /// arbitrary duplicate-heavy streams.
-    #[test]
-    fn windowed_search_agrees_with_model(
-        keys in proptest::collection::vec(0u64..32, 1..500),
-        probe in 0u64..40,
-    ) {
+/// The windowed lookahead search agrees with the recency semantics on
+/// arbitrary duplicate-heavy streams.
+#[test]
+fn windowed_search_agrees_with_model() {
+    check_cases("windowed_search_agrees_with_model", 48, |rng: &mut Rng| {
+        let keys = rng.vec_below(1, 500, 32);
+        let probe = rng.below(40);
         let mut c = plain(2, 0.25);
         let mut model = std::collections::BTreeMap::new();
         for (i, &k) in keys.iter().enumerate() {
             c.insert(k, i as u64);
             model.insert(k, i as u64);
         }
-        prop_assert_eq!(c.get(probe), model.get(&probe).copied());
-    }
+        assert_eq!(c.get(probe), model.get(&probe).copied());
+    });
+}
 
-    /// Compaction preserves exactly the live content.
-    #[test]
-    fn compact_preserves_content(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..64, any::<u64>()), 1..300)
-    ) {
+/// Compaction preserves exactly the live content.
+#[test]
+fn compact_preserves_content() {
+    check_cases("compact_preserves_content", 48, |rng: &mut Rng| {
+        let len = 1 + rng.index(299);
         let mut c = plain(4, 0.1);
         let mut model = std::collections::BTreeMap::new();
-        for (ins, k, v) in ops {
+        for _ in 0..len {
+            let (ins, k, v) = (rng.flag(), rng.below(64), rng.next_u64());
             if ins {
                 c.insert(k, v);
                 model.insert(k, v);
@@ -130,20 +137,23 @@ proptest! {
         }
         let before: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
         c.compact();
-        prop_assert_eq!(c.range(0, u64::MAX), before);
-        prop_assert_eq!(c.physical_len(), model.len());
+        assert_eq!(c.range(0, u64::MAX), before);
+        assert_eq!(c.physical_len(), model.len());
         c.check_invariants();
-    }
+    });
+}
 
-    /// Level occupancy accounting never drifts: the sum of per-level item
-    /// counts equals inserts (without compaction, nothing is dropped).
-    #[test]
-    fn physical_len_equals_operations(n in 1u64..2000) {
+/// Level occupancy accounting never drifts: the sum of per-level item
+/// counts equals inserts (without compaction, nothing is dropped).
+#[test]
+fn physical_len_equals_operations() {
+    check_cases("physical_len_equals_operations", 48, |rng: &mut Rng| {
+        let n = rng.range(1, 2000);
         let mut c = plain(2, 0.125);
         for i in 0..n {
             c.insert(i, i);
         }
-        prop_assert_eq!(c.physical_len() as u64, n);
-        prop_assert_eq!(c.insertions(), n);
-    }
+        assert_eq!(c.physical_len() as u64, n);
+        assert_eq!(c.insertions(), n);
+    });
 }

@@ -10,9 +10,9 @@
 //! below the data size reproduces the out-of-core regime of Figures 2–4.
 
 use std::fs::{File, OpenOptions};
+use std::io::Write;
 #[cfg(not(unix))]
 use std::io::{Read, Seek, SeekFrom};
-use std::io::Write;
 use std::path::Path;
 
 use crate::lru::{Access, LruCache};
@@ -267,7 +267,7 @@ impl<T: Pod> FileMem<T> {
     ) -> std::io::Result<Self> {
         assert!(elem_bytes >= T::BYTES, "elem_bytes must fit the element");
         assert!(
-            page_size % elem_bytes == 0,
+            page_size.is_multiple_of(elem_bytes),
             "elements must not straddle pages"
         );
         Ok(FileMem {

@@ -266,7 +266,11 @@ mod tests {
                 model.push_front((b, d || write));
                 true
             } else {
-                let evicted = if model.len() == 4 { model.pop_back() } else { None };
+                let evicted = if model.len() == 4 {
+                    model.pop_back()
+                } else {
+                    None
+                };
                 model.push_front((block, write));
                 match (c.access(block, write), evicted) {
                     (Access::Miss { evicted: got }, want) => assert_eq!(got, want),

@@ -70,7 +70,9 @@ impl<T: Copy> PlainMem<T> {
 
     /// Creates an array of `n` copies of `fill`.
     pub fn with_len(n: usize, fill: T) -> Self {
-        PlainMem { data: vec![fill; n] }
+        PlainMem {
+            data: vec![fill; n],
+        }
     }
 
     /// Borrows the underlying slice (useful in tests).
@@ -159,13 +161,17 @@ impl<T: Copy> Mem<T> for SimMem<T> {
 
     #[inline]
     fn get(&self, i: usize) -> T {
-        self.sim.borrow_mut().touch(self.addr(i), self.elem_bytes, false);
+        self.sim
+            .borrow_mut()
+            .touch(self.addr(i), self.elem_bytes, false);
         self.data[i]
     }
 
     #[inline]
     fn set(&mut self, i: usize, v: T) {
-        self.sim.borrow_mut().touch(self.addr(i), self.elem_bytes, true);
+        self.sim
+            .borrow_mut()
+            .touch(self.addr(i), self.elem_bytes, true);
         self.data[i] = v;
     }
 

@@ -58,7 +58,8 @@ impl PageStore for VecPages {
     }
 
     fn alloc_page(&mut self) -> u32 {
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        self.pages
+            .push(vec![0u8; self.page_size].into_boxed_slice());
         (self.pages.len() - 1) as u32
     }
 

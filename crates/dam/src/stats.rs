@@ -48,7 +48,12 @@ impl IoStats {
     /// This is the paper's measurement idiom ("We estimated disk time d as
     /// d = w − u − k"; their RAID streamed at 120 MiB/s) transplanted to
     /// the explicit page cache, where the OS cannot hide the pattern.
-    pub fn modeled_disk_seconds(&self, block_bytes: usize, seek_ms: f64, bw_bytes_per_s: f64) -> f64 {
+    pub fn modeled_disk_seconds(
+        &self,
+        block_bytes: usize,
+        seek_ms: f64,
+        bw_bytes_per_s: f64,
+    ) -> f64 {
         self.seeks as f64 * seek_ms / 1e3
             + (self.transfers() as f64 * block_bytes as f64) / bw_bytes_per_s
     }

@@ -5,41 +5,42 @@
 use cosbt_dam::{
     new_shared_sim, CacheConfig, FilePages, LruCache, Mem, PageStore, PlainMem, SimMem,
 };
-use proptest::prelude::*;
+use cosbt_testkit::{check_cases, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// SimMem behaves exactly like PlainMem content-wise, whatever the
-    /// cache geometry.
-    #[test]
-    fn sim_mem_mirrors_plain_mem(
-        ops in proptest::collection::vec((any::<bool>(), 0usize..64, any::<u64>()), 1..300),
-        blk_pow in 4u32..10,
-        blocks in 1usize..16,
-    ) {
+/// SimMem behaves exactly like PlainMem content-wise, whatever the
+/// cache geometry.
+#[test]
+fn sim_mem_mirrors_plain_mem() {
+    check_cases("sim_mem_mirrors_plain_mem", 64, |rng: &mut Rng| {
+        let blk_pow = rng.range(4, 10) as u32;
+        let blocks = 1 + rng.index(15);
+        let len = 1 + rng.index(299);
         let sim = new_shared_sim(CacheConfig::new(1 << blk_pow, blocks));
         let mut a: SimMem<u64> = SimMem::new(sim);
         let mut b: PlainMem<u64> = PlainMem::new();
         a.resize(64, 0);
         b.resize(64, 0);
-        for (write, i, v) in ops {
+        for _ in 0..len {
+            let (write, i, v) = (rng.flag(), rng.index(64), rng.next_u64());
             if write {
                 a.set(i, v);
                 b.set(i, v);
             } else {
-                prop_assert_eq!(a.get(i), b.get(i));
+                assert_eq!(a.get(i), b.get(i));
             }
         }
         for i in 0..64 {
-            prop_assert_eq!(a.get(i), b.get(i));
+            assert_eq!(a.get(i), b.get(i));
         }
-    }
+    });
+}
 
-    /// Sequential scans cost exactly ceil(len/B) fetches on a cold cache.
-    #[test]
-    fn scan_cost_exact(len in 1usize..2000, blk_pow in 4u32..9) {
-        let block = 1usize << blk_pow;
+/// Sequential scans cost exactly ceil(len/B) fetches on a cold cache.
+#[test]
+fn scan_cost_exact() {
+    check_cases("scan_cost_exact", 64, |rng: &mut Rng| {
+        let len = 1 + rng.index(1999);
+        let block = 1usize << rng.range(4, 9);
         let sim = new_shared_sim(CacheConfig::new(block, 4));
         let mut m: SimMem<u8> = SimMem::new(sim.clone());
         m.resize(len, 0);
@@ -47,13 +48,17 @@ proptest! {
             let _ = m.get(i);
         }
         let want = len.div_ceil(block) as u64;
-        prop_assert_eq!(sim.borrow().stats().fetches, want);
-    }
+        assert_eq!(sim.borrow().stats().fetches, want);
+    });
+}
 
-    /// LRU capacity is respected: residency never exceeds capacity, and a
-    /// working set of at most `cap` distinct blocks never misses twice.
-    #[test]
-    fn lru_capacity_and_inclusion(cap in 1usize..12, trace in proptest::collection::vec(0u64..8, 1..400)) {
+/// LRU capacity is respected: residency never exceeds capacity, and a
+/// working set of at most `cap` distinct blocks never misses twice.
+#[test]
+fn lru_capacity_and_inclusion() {
+    check_cases("lru_capacity_and_inclusion", 64, |rng: &mut Rng| {
+        let cap = 1 + rng.index(11);
+        let trace = rng.vec_below(1, 400, 8);
         let mut c = LruCache::new(cap);
         let distinct: std::collections::HashSet<u64> = trace.iter().copied().collect();
         let mut misses = 0;
@@ -61,20 +66,21 @@ proptest! {
             if matches!(c.access(b, false), cosbt_dam::lru::Access::Miss { .. }) {
                 misses += 1;
             }
-            prop_assert!(c.len() <= cap);
+            assert!(c.len() <= cap);
         }
         if distinct.len() <= cap {
-            prop_assert_eq!(misses as usize, distinct.len(), "only compulsory misses");
+            assert_eq!(misses as usize, distinct.len(), "only compulsory misses");
         }
-    }
+    });
+}
 
-    /// The file store round-trips arbitrary page writes through arbitrary
-    /// cache pressure.
-    #[test]
-    fn file_pages_mirror_memory(
-        writes in proptest::collection::vec((0u32..16, 0usize..64, any::<u8>()), 1..200),
-        cache in 1usize..8,
-    ) {
+/// The file store round-trips arbitrary page writes through arbitrary
+/// cache pressure.
+#[test]
+fn file_pages_mirror_memory() {
+    check_cases("file_pages_mirror_memory", 64, |rng: &mut Rng| {
+        let cache = 1 + rng.index(7);
+        let writes = 1 + rng.index(199);
         let mut path = std::env::temp_dir();
         path.push(format!("cosbt-prop-{}-{}", std::process::id(), cache));
         let mut fp = FilePages::create(&path, 64, cache).unwrap();
@@ -82,17 +88,18 @@ proptest! {
         for _ in 0..16 {
             fp.alloc_page();
         }
-        for (pg, off, val) in writes {
+        for _ in 0..writes {
+            let (pg, off, val) = (rng.below(16) as u32, rng.index(64), rng.below(256) as u8);
             fp.with_page_mut(pg, |p| p[off] = val);
             mirror[pg as usize][off] = val;
         }
         fp.drop_cache();
         for pg in 0..16u32 {
             let got = fp.with_page(pg, |p| p.to_vec());
-            prop_assert_eq!(&got[..], &mirror[pg as usize][..]);
+            assert_eq!(&got[..], &mirror[pg as usize][..]);
         }
         std::fs::remove_file(path).ok();
-    }
+    });
 }
 
 #[test]
@@ -110,11 +117,16 @@ fn seek_model_distinguishes_patterns() {
     }
     fp.sync();
     let seq_seeks = fp.stats().seeks;
-    assert!(seq_seeks <= 8, "sequential fill should barely seek: {seq_seeks}");
+    assert!(
+        seq_seeks <= 8,
+        "sequential fill should barely seek: {seq_seeks}"
+    );
 
     let mut x = 1u64;
     for _ in 0..512 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let pg = (x % 512) as u32;
         fp.with_page_mut(pg, |p| p[1] = 2);
     }

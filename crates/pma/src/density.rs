@@ -56,8 +56,14 @@ impl DensityProfile {
 
     /// Validates the classic ordering constraints.
     pub fn validate(&self) {
-        assert!(self.rho_leaf < self.rho_root, "rho must tighten toward root");
-        assert!(self.tau_root < self.tau_leaf, "tau must loosen toward leaves");
+        assert!(
+            self.rho_leaf < self.rho_root,
+            "rho must tighten toward root"
+        );
+        assert!(
+            self.tau_root < self.tau_leaf,
+            "tau must loosen toward leaves"
+        );
         assert!(
             self.rho_root < self.tau_root,
             "root window needs slack between rho and tau"

@@ -181,12 +181,21 @@ mod tests {
         assert_eq!(buffer_heights(BufferProfile::Practical, 8), vec![1, 2, 3]);
         assert_eq!(buffer_heights(BufferProfile::Practical, 5), vec![1, 2]);
         assert_eq!(buffer_heights(BufferProfile::Practical, 3), vec![1]);
-        assert_eq!(buffer_heights(BufferProfile::Practical, 13), vec![1, 2, 3, 5]);
+        assert_eq!(
+            buffer_heights(BufferProfile::Practical, 13),
+            vec![1, 2, 3, 5]
+        );
         // Non-Fibonacci heights use the Fibonacci factor: x(7)=2 -> F_2..F_{3-2}.
         assert_eq!(buffer_heights(BufferProfile::Practical, 7), vec![1]);
         // x(h)=1 means no buffers.
-        assert_eq!(buffer_heights(BufferProfile::Practical, 4), Vec::<u64>::new());
-        assert_eq!(buffer_heights(BufferProfile::Practical, 6), Vec::<u64>::new());
+        assert_eq!(
+            buffer_heights(BufferProfile::Practical, 4),
+            Vec::<u64>::new()
+        );
+        assert_eq!(
+            buffer_heights(BufferProfile::Practical, 6),
+            Vec::<u64>::new()
+        );
     }
 
     #[test]

@@ -230,12 +230,7 @@ fn collect_sizes(tree: &ShuttleTree, out: &mut Vec<u32>) {
     }
 }
 
-fn assign_by_order(
-    tree: &mut ShuttleTree,
-    idx: &mut usize,
-    offsets: &[u64],
-    order_of: &[usize],
-) {
+fn assign_by_order(tree: &mut ShuttleTree, idx: &mut usize, offsets: &[u64], order_of: &[usize]) {
     for n in tree.nodes.iter_mut() {
         n.addr = offsets[order_of[*idx]];
         *idx += 1;
@@ -381,7 +376,7 @@ mod tests {
     fn veb_layout_beats_random_layout_on_transfers() {
         let mut t = build(60_000);
         let keys: Vec<u64> = (0..800u64)
-            .map(|i| (i * 75) .wrapping_mul(0x9E3779B97F4A7C15) | 1)
+            .map(|i| (i * 75).wrapping_mul(0x9E3779B97F4A7C15) | 1)
             .collect();
         let cfg = CacheConfig::new(4096, 16);
 

@@ -276,7 +276,9 @@ impl ShuttleTree {
             }
             // Deposit into the smallest buffer of the chain, then cascade
             // overflows down the list and, last, into the child node.
-            self.nodes[nid as usize].chains[e].bufs[0].tree.insert_raw(m);
+            self.nodes[nid as usize].chains[e].bufs[0]
+                .tree
+                .insert_raw(m);
             self.cascade(nid, e);
             return;
         }
@@ -510,19 +512,20 @@ impl ShuttleTree {
         // Split the edge's buffer chain contents by the new pivot: drain
         // everything, repartition into the LARGEST buffer of each side
         // (smaller buffers stay empty, keeping smaller-is-newer intact).
-        let old_chain = std::mem::replace(
-            &mut self.nodes[parent as usize].chains[e],
-            Chain::default(),
-        );
+        let old_chain = std::mem::take(&mut self.nodes[parent as usize].chains[e]);
         let mut msgs = Vec::new();
         for b in old_chain.bufs {
-            msgs.extend(b.tree.into_msgs_boxed());
+            msgs.extend(b.tree.into_msgs());
         }
         msgs.sort_unstable_by_key(|m| m.seq);
         let mut left_chain = self.fresh_chain(child_height);
         let mut right_chain = self.fresh_chain(child_height);
         for m in msgs {
-            let chain = if m.key < pivot { &mut left_chain } else { &mut right_chain };
+            let chain = if m.key < pivot {
+                &mut left_chain
+            } else {
+                &mut right_chain
+            };
             if let Some(last) = chain.bufs.last_mut() {
                 last.tree.insert_raw(m);
             } else {
@@ -651,7 +654,7 @@ impl ShuttleTree {
 
     /// Collects every message (leaf records and in-flight), resetting the
     /// tree to empty.
-    fn into_msgs(mut self: Box<Self>) -> Vec<Msg> {
+    fn into_msgs(mut self) -> Vec<Msg> {
         let mut out = Vec::new();
         let nodes = std::mem::take(&mut self.nodes);
         for node in nodes {
@@ -663,10 +666,6 @@ impl ShuttleTree {
             }
         }
         out
-    }
-
-    fn into_msgs_boxed(self: Box<Self>) -> Vec<Msg> {
-        self.into_msgs()
     }
 
     // ---- accounting / invariants ----
@@ -725,7 +724,11 @@ impl ShuttleTree {
             assert_eq!(self.nodes[c as usize].parent, nid, "parent pointer");
             assert_eq!(self.nodes[c as usize].height, n.height - 1, "uniform depth");
             let clo = if i == 0 { lo } else { Some(n.pivots[i - 1]) };
-            let chi = if i == n.pivots.len() { hi } else { Some(n.pivots[i]) };
+            let chi = if i == n.pivots.len() {
+                hi
+            } else {
+                Some(n.pivots[i])
+            };
             total += self.check_node(c, clo, chi);
         }
         assert_eq!(n.weight, total, "weight bookkeeping");
@@ -752,7 +755,16 @@ impl cosbt_core::Dictionary for ShuttleTree {
         ShuttleTree::get(self, key)
     }
 
+    fn cursor(&mut self, lo: u64, hi: u64) -> cosbt_core::Cursor<'_> {
+        // In-flight messages sit in buffer trees at every level of the
+        // descent, so the overlap must be merged globally before it can be
+        // walked in key order; the cursor streams that merged snapshot.
+        cosbt_core::Cursor::new(cosbt_core::VecCursor::new(ShuttleTree::range(self, lo, hi)))
+    }
+
     fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        // The cursor is already a materialized snapshot; skip the default
+        // method's second copy through it.
         ShuttleTree::range(self, lo, hi)
     }
 
@@ -804,7 +816,10 @@ mod tests {
         for i in 0..30_000u64 {
             t.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i);
         }
-        assert!(t.has_buffers(), "edges at Fibonacci heights must have chains");
+        assert!(
+            t.has_buffers(),
+            "edges at Fibonacci heights must have chains"
+        );
         assert!(t.stats().drains > 0, "buffers must have overflowed");
         assert!(t.stats().msgs_shuttled > 0);
         t.check_invariants();
@@ -833,7 +848,9 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut x: u64 = 9;
         for i in 0..40_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 10_000;
             match x % 5 {
                 0 => {
@@ -847,7 +864,11 @@ mod tests {
             }
             if i % 4999 == 0 {
                 for probe in [0u64, 5000, 9999, k] {
-                    assert_eq!(t.get(probe), model.get(&probe).copied(), "probe {probe} @ {i}");
+                    assert_eq!(
+                        t.get(probe),
+                        model.get(&probe).copied(),
+                        "probe {probe} @ {i}"
+                    );
                 }
                 t.check_invariants();
             }
@@ -921,7 +942,9 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut x: u64 = 3;
         for i in 0..50_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 512; // heavy duplication forces churn in one region
             t.insert(k, i);
             model.insert(k, i);

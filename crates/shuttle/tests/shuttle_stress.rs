@@ -6,7 +6,7 @@
 use cosbt_shuttle::fib::BufferProfile;
 use cosbt_shuttle::layout::trace_search;
 use cosbt_shuttle::{LayoutImage, ShuttleTree};
-use proptest::prelude::*;
+use cosbt_testkit::{check_cases, Rng};
 
 #[test]
 fn fanout_sweep_model_equivalence() {
@@ -15,9 +15,11 @@ fn fanout_sweep_model_equivalence() {
         let mut model = std::collections::BTreeMap::new();
         let mut x = c as u64;
         for i in 0..15_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 6_000;
-            if x % 6 == 0 {
+            if x.is_multiple_of(6) {
                 t.delete(k);
                 model.remove(&k);
             } else {
@@ -26,7 +28,11 @@ fn fanout_sweep_model_equivalence() {
             }
         }
         for probe in (0..6_000u64).step_by(13) {
-            assert_eq!(t.get(probe), model.get(&probe).copied(), "c={c} key {probe}");
+            assert_eq!(
+                t.get(probe),
+                model.get(&probe).copied(),
+                "c={c} key {probe}"
+            );
         }
         t.check_invariants();
     }
@@ -41,7 +47,10 @@ fn paper_profile_runs_bufferless_at_small_scale() {
     for i in 0..20_000u64 {
         t.insert(i.wrapping_mul(0x9E3779B97F4A7C15), i);
     }
-    assert!(!t.has_buffers(), "paper profile has no buffers at this height");
+    assert!(
+        !t.has_buffers(),
+        "paper profile has no buffers at this height"
+    );
     assert_eq!(t.stats().drains, 0);
     for i in (0..20_000u64).step_by(173) {
         assert_eq!(t.get(i.wrapping_mul(0x9E3779B97F4A7C15)), Some(i));
@@ -63,7 +72,9 @@ fn narrow_range_churn_splits_edges_with_inflight_messages() {
     // Hammer a narrow band between two existing keys.
     let mut x = 5u64;
     for i in 0..50_000u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let k = 25_000_000 + (x % 999);
         t.insert(k, i);
         model.insert(k, i);
@@ -97,16 +108,14 @@ fn layout_assign_is_idempotent_and_traces_stable() {
     assert_eq!(tr1, tr2, "same tree, same layout, same trace");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn shuttle_random_ops_match_model(
-        ops in proptest::collection::vec((0u8..10, 0u64..128, any::<u64>()), 1..600)
-    ) {
+#[test]
+fn shuttle_random_ops_match_model() {
+    check_cases("shuttle_random_ops_match_model", 32, |rng: &mut Rng| {
+        let len = 1 + rng.index(599);
         let mut t = ShuttleTree::new(3);
         let mut model = std::collections::BTreeMap::new();
-        for (op, k, v) in ops {
+        for _ in 0..len {
+            let (op, k, v) = (rng.below(10), rng.below(128), rng.next_u64());
             match op {
                 0..=6 => {
                     t.insert(k, v);
@@ -117,25 +126,28 @@ proptest! {
                     model.remove(&k);
                 }
                 _ => {
-                    prop_assert_eq!(t.get(k), model.get(&k).copied());
+                    assert_eq!(t.get(k), model.get(&k).copied());
                 }
             }
         }
         let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
-        prop_assert_eq!(t.range(0, u64::MAX), want);
+        assert_eq!(t.range(0, u64::MAX), want);
         t.check_invariants();
-    }
+    });
+}
 
-    #[test]
-    fn weights_track_live_count(n in 1u64..3000) {
+#[test]
+fn weights_track_live_count() {
+    check_cases("weights_track_live_count", 32, |rng: &mut Rng| {
+        let n = rng.range(1, 3000);
         let mut t = ShuttleTree::new(4);
         for i in 0..n {
             t.insert(i, i);
         }
         // After enough follow-on traffic everything reaches the leaves;
         // in general delivered ≤ total, and range() reunites both.
-        prop_assert!(t.delivered_len() as u64 <= n);
-        prop_assert_eq!(t.range(0, u64::MAX).len() as u64, n);
+        assert!(t.delivered_len() as u64 <= n);
+        assert_eq!(t.range(0, u64::MAX).len() as u64, n);
         t.check_invariants();
-    }
+    });
 }

@@ -12,7 +12,7 @@
 
 use cosbt::cola::{BasicCola, DeamortBasicCola, DeamortCola, Dictionary};
 
-fn histogram(name: &str, deltas: &mut Vec<u64>) {
+fn histogram(name: &str, deltas: &mut [u64]) {
     deltas.sort_unstable();
     let n = deltas.len();
     let pct = |p: f64| deltas[((n as f64 - 1.0) * p) as usize];
@@ -24,7 +24,7 @@ fn histogram(name: &str, deltas: &mut Vec<u64>) {
         pct(0.50),
         pct(0.99),
         pct(0.999),
-        deltas[n - 1]
+        deltas[n - 1],
     );
 }
 
@@ -34,7 +34,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1 << 17);
     let keys: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
-    println!("per-insert moved cells over N = {n} random inserts (log N = {:.0}):\n", (n as f64).log2());
+    println!(
+        "per-insert moved cells over N = {n} random inserts (log N = {:.0}):\n",
+        (n as f64).log2()
+    );
 
     let mut amort = BasicCola::new_plain();
     let mut deltas = Vec::with_capacity(keys.len());

@@ -22,8 +22,15 @@ fn main() {
     let block = 4096usize; // B = 128 cells of 32 bytes
     let mem_blocks = 64usize;
 
-    println!("DAM model: B = {} cells, M = {} blocks, N = {n}", block / 32, mem_blocks);
-    println!("{:>6} {:>18} {:>18} {:>14}", "g", "insert transfers", "search transfers", "levels");
+    println!(
+        "DAM model: B = {} cells, M = {} blocks, N = {n}",
+        block / 32,
+        mem_blocks
+    );
+    println!(
+        "{:>6} {:>18} {:>18} {:>14}",
+        "g", "insert transfers", "search transfers", "levels"
+    );
 
     let keys: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
     for g in [2usize, 4, 8, 16, 32, 64, 128] {
@@ -43,7 +50,13 @@ fn main() {
         }
         let srch = sim.borrow().stats().fetches as f64
             / (keys.iter().step_by((n as usize / probes).max(1)).count() as f64);
-        println!("{:>6} {:>18.4} {:>18.2} {:>14}", g, ins, srch, la.num_levels());
+        println!(
+            "{:>6} {:>18.4} {:>18.2} {:>14}",
+            g,
+            ins,
+            srch,
+            la.num_levels()
+        );
     }
     println!(
         "\nreading the curve: g=2 minimizes insert transfers (BRT bounds,\n\

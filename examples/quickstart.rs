@@ -1,80 +1,88 @@
-//! Quickstart: the streaming B-tree dictionary API.
+//! Quickstart: the unified streaming B-tree dictionary API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Creates each structure the paper describes, exercises the common
-//! `Dictionary` interface (upsert, delete, point and range queries), and
-//! prints a small work-count summary.
+//! One builder configures every structure the paper describes; the shared
+//! `Dictionary` interface then exercises upserts, deletes, batched
+//! updates, point queries, and streaming cursors identically on each.
 
-use cosbt::brt::Brt;
-use cosbt::btree::BTree;
-use cosbt::cola::{BasicCola, DeamortBasicCola, DeamortCola, Dictionary, GCola};
-use cosbt::shuttle::ShuttleTree;
+use cosbt::{Db, DbBuilder, Structure, UpdateBatch};
 
-fn exercise(dict: &mut dyn Dictionary) {
+fn configs() -> Vec<DbBuilder> {
+    vec![
+        // The paper's implemented structure: g-COLA (Section 4). Growth
+        // factor 2 with lookahead pointers is the COLA of Lemma 20.
+        DbBuilder::new().structure(Structure::GCola { g: 2 }),
+        // The 4-COLA: the configuration the paper found best overall.
+        DbBuilder::new().structure(Structure::GCola { g: 4 }),
+        // Basic COLA (no lookahead pointers): O(log² N) searches.
+        DbBuilder::new().structure(Structure::BasicCola),
+        // Deamortized variants: same amortized cost, O(log N) worst case.
+        DbBuilder::new()
+            .structure(Structure::BasicCola)
+            .deamortized(),
+        DbBuilder::new()
+            .structure(Structure::GCola { g: 2 })
+            .deamortized(),
+        // The baselines the paper compares against.
+        DbBuilder::new().structure(Structure::BTree),
+        DbBuilder::new().structure(Structure::Brt),
+        // The shuttle tree (Section 2).
+        DbBuilder::new().structure(Structure::Shuttle { c: 4 }),
+    ]
+}
+
+fn exercise(db: &mut Db) {
     // Streaming upserts: newest version must win.
     for k in 0..50_000u64 {
-        dict.insert(k % 10_000, k);
+        db.insert(k % 10_000, k);
     }
     // Deletes are first-class (tombstones in the log-structured variants).
     for k in (0..10_000u64).step_by(100) {
-        dict.delete(k);
+        db.delete(k);
     }
-    assert_eq!(dict.get(1), Some(40_001));
-    assert_eq!(dict.get(100), None, "deleted");
-    let window = dict.range(500, 520);
-    assert_eq!(window.first(), Some(&(501, 40_501)));
+    // Batched updates: one merge pass instead of one cascade per key.
+    let mut batch = UpdateBatch::new();
+    for k in 20_000..21_000u64 {
+        batch.put(k, k * 2);
+    }
+    batch.delete(20_500);
+    db.apply(&mut batch);
+
+    assert_eq!(db.get(1), Some(40_001));
+    assert_eq!(db.get(100), None, "deleted");
+    assert_eq!(db.get(20_400), Some(40_800), "batched put");
+    assert_eq!(db.get(20_500), None, "batched delete");
+
+    // Streaming range scan: a bidirectional cursor, no materialization.
+    let mut cur = db.cursor(500, 520);
+    let first = cur.next();
+    assert_eq!(first, Some((501, 40_501)));
+    let mut in_window = 1;
+    while cur.next().is_some() {
+        in_window += 1;
+    }
+    assert_eq!(
+        cur.prev().map(|(k, _)| k),
+        Some(520),
+        "walks back from the end"
+    );
+    drop(cur);
+
     println!(
-        "{:>24}  live-range[500..=520]={:>2} entries, physical size {:>6}",
-        dict.name(),
-        window.len(),
-        dict.physical_len()
+        "{:>24}  live-range[500..=520]={in_window:>2} entries, physical size {:>6}",
+        db.label(),
+        db.physical_len()
     );
 }
 
 fn main() {
     println!("cache-oblivious streaming B-trees: quickstart\n");
-
-    // The paper's implemented structure: g-COLA (Section 4). Growth
-    // factor 2 with every-8th lookahead pointers is the COLA of Lemma 20.
-    let mut cola2 = GCola::new_plain(2);
-    exercise(&mut cola2);
-
-    // The 4-COLA: the configuration the paper found best overall.
-    let mut cola4 = GCola::new_plain(4);
-    exercise(&mut cola4);
-
-    // Basic COLA (no lookahead pointers): O(log^2 N) searches.
-    let mut basic = BasicCola::new_plain();
-    exercise(&mut basic);
-
-    // Deamortized variants: same amortized cost, O(log N) worst case.
-    let mut db = DeamortBasicCola::new_plain();
-    exercise(&mut db);
-    let mut dc = DeamortCola::new_plain();
-    exercise(&mut dc);
-
-    // The baselines the paper compares against.
-    let mut bt = BTree::new_plain();
-    exercise(&mut bt);
-    let mut brt = Brt::new_plain();
-    exercise(&mut brt);
-
-    // The shuttle tree (Section 2).
-    let mut st = ShuttleTree::new(4);
-    exercise(&mut st);
-
-    println!(
-        "\n4-COLA work counters: {} merges, {:.1} cells written/insert (amortized)",
-        cola4.stats().merges,
-        cola4.stats().amortized_writes()
-    );
-    println!(
-        "shuttle tree: height {}, {} buffer drains, {} messages shuttled",
-        st.height(),
-        st.stats().drains,
-        st.stats().msgs_shuttled
-    );
+    for builder in configs() {
+        let mut db = builder.build().expect("in-memory configs always build");
+        exercise(&mut db);
+    }
+    println!("\nsame API, six structures — see DESIGN.md for what differs underneath");
 }

@@ -19,7 +19,10 @@ fn main() {
 
     // 1. The Fibonacci machinery that sizes the buffers.
     println!("Fibonacci factors and buffer heights (practical profile):");
-    println!("{:>8} {:>8} {:>24}", "height", "x(h)", "buffer heights F_H(j)");
+    println!(
+        "{:>8} {:>8} {:>24}",
+        "height", "x(h)", "buffer heights F_H(j)"
+    );
     for h in 1..=13u64 {
         println!(
             "{:>8} {:>8} {:>24}",
@@ -41,7 +44,11 @@ fn main() {
         t.insert(i.wrapping_mul(0x9E3779B97F4A7C15) | 1, i);
     }
     let s = t.stats();
-    println!("built: N = {n}, height = {}, nodes = {}", t.height(), t.node_count());
+    println!(
+        "built: N = {n}, height = {}, nodes = {}",
+        t.height(),
+        t.node_count()
+    );
     println!(
         "shuttling: {} buffer drains moved {} messages ({:.2} moves/element); {} node splits",
         s.drains,

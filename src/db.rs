@@ -1,0 +1,584 @@
+//! The top-level handle: one builder configures any structure in the
+//! workspace over any storage backend.
+//!
+//! The per-crate constructors (`GCola::new`, `BTree::new(FilePages::…)`,
+//! …) remain available for code that needs a concrete type, but examples,
+//! tests, and benchmarks go through [`DbBuilder`] so switching structure
+//! or backend is a one-line change:
+//!
+//! ```
+//! use cosbt::{Backend, DbBuilder, Structure};
+//!
+//! let mut db = DbBuilder::new()
+//!     .structure(Structure::GCola { g: 4 })
+//!     .backend(Backend::Mem)
+//!     .build()
+//!     .unwrap();
+//! db.insert(1, 10);
+//! assert_eq!(db.get(1), Some(10));
+//! ```
+
+use std::path::PathBuf;
+
+use cosbt_brt::Brt;
+use cosbt_btree::BTree;
+use cosbt_core::entry::Cell;
+use cosbt_core::{
+    BasicCola, Cursor, DeamortBasicCola, DeamortCola, Dictionary, GCola, UpdateBatch,
+};
+use cosbt_dam::{FileMem, FilePages, IoStats, RcFileMem, RcFilePages, DEFAULT_PAGE_SIZE};
+use cosbt_shuttle::ShuttleTree;
+
+/// Which data structure a [`DbBuilder`] instantiates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Structure {
+    /// Section 3's basic COLA (no lookahead pointers).
+    BasicCola,
+    /// Section 4's lookahead array with growth factor `g` (the paper's
+    /// experimental structure; `g = 2` is the COLA of Lemma 20).
+    GCola {
+        /// Growth factor, at least 2.
+        g: usize,
+    },
+    /// The baseline B+-tree (4 KiB pages).
+    BTree,
+    /// The buffered repository tree.
+    Brt,
+    /// The shuttle tree with fanout parameter `c`.
+    Shuttle {
+        /// Fanout parameter, at least 2.
+        c: usize,
+    },
+}
+
+/// Where a [`DbBuilder`] puts the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Backend {
+    /// Plain heap memory (no instrumentation overhead).
+    Mem,
+    /// A file at the given path behind a bounded user-space page cache
+    /// (see [`DbBuilder::cache_bytes`]); the out-of-core regime of the
+    /// paper's experiments. The file is created (truncated) at build.
+    File(PathBuf),
+}
+
+/// Why a [`DbBuilder::build`] call failed.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The requested structure/modifier/backend combination does not
+    /// exist (e.g. a deamortized B-tree, or a file-backed shuttle tree).
+    Unsupported(String),
+    /// Creating the backing file failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Unsupported(what) => write!(f, "unsupported configuration: {what}"),
+            BuildError::Io(e) => write!(f, "backend I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<std::io::Error> for BuildError {
+    fn from(e: std::io::Error) -> Self {
+        BuildError::Io(e)
+    }
+}
+
+/// Builder for a [`Db`]; see the module docs for a walkthrough.
+#[derive(Debug, Clone)]
+pub struct DbBuilder {
+    structure: Structure,
+    backend: Backend,
+    cache_bytes: usize,
+    deamortized: bool,
+    pointer_density: f64,
+}
+
+impl Default for DbBuilder {
+    fn default() -> Self {
+        DbBuilder {
+            structure: Structure::GCola { g: 4 },
+            backend: Backend::Mem,
+            cache_bytes: 16 * 1024 * 1024,
+            deamortized: false,
+            pointer_density: 0.1,
+        }
+    }
+}
+
+impl DbBuilder {
+    /// A builder with the paper's defaults: an in-memory 4-COLA with
+    /// pointer density 0.1 and (for file backends) a 16 MiB cache budget.
+    pub fn new() -> DbBuilder {
+        DbBuilder::default()
+    }
+
+    /// Selects the data structure.
+    pub fn structure(mut self, s: Structure) -> DbBuilder {
+        self.structure = s;
+        self
+    }
+
+    /// Selects the storage backend.
+    pub fn backend(mut self, b: Backend) -> DbBuilder {
+        self.backend = b;
+        self
+    }
+
+    /// Memory budget of the user-space page cache for file backends
+    /// (ignored by [`Backend::Mem`]).
+    pub fn cache_bytes(mut self, bytes: usize) -> DbBuilder {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Requests the worst-case-bounded variant: [`Structure::BasicCola`]
+    /// becomes the two-array deamortization of Theorem 22 and
+    /// [`Structure::GCola`] the three-array shadow/visible deamortization
+    /// of Theorem 24 (which fixes growth factor 2). Tree structures have
+    /// no deamortized variant and fail at build.
+    pub fn deamortized(mut self) -> DbBuilder {
+        self.deamortized = true;
+        self
+    }
+
+    /// Lookahead-pointer density for [`Structure::GCola`] (default 0.1,
+    /// as in the paper's experiments; 0 disables the pointers).
+    pub fn pointer_density(mut self, p: f64) -> DbBuilder {
+        self.pointer_density = p;
+        self
+    }
+
+    /// Instantiates the configured dictionary.
+    pub fn build(self) -> Result<Db, BuildError> {
+        let label = self.label();
+        let cache_pages = (self.cache_bytes / DEFAULT_PAGE_SIZE).max(2);
+        let unsupported = |what: &str| BuildError::Unsupported(format!("{what} ({label})"));
+
+        if self.deamortized
+            && !matches!(
+                self.structure,
+                Structure::BasicCola | Structure::GCola { .. }
+            )
+        {
+            return Err(unsupported(
+                "deamortization exists only for the COLA family",
+            ));
+        }
+        if let Structure::GCola { g } = self.structure {
+            if g < 2 {
+                return Err(unsupported("growth factor must be at least 2"));
+            }
+            if self.deamortized && g != 2 {
+                return Err(unsupported("the deamortized COLA fixes growth factor 2"));
+            }
+            if !(0.0..1.0).contains(&self.pointer_density) {
+                return Err(unsupported("pointer density must be in [0, 1)"));
+            }
+        }
+        if let Structure::Shuttle { c } = self.structure {
+            if c < 2 {
+                return Err(unsupported("fanout parameter must be at least 2"));
+            }
+        }
+
+        let (dict, io): (Box<dyn Dictionary>, Option<IoHandle>) =
+            match (&self.backend, self.structure) {
+                (Backend::Mem, Structure::BasicCola) if self.deamortized => {
+                    (Box::new(DeamortBasicCola::new_plain()), None)
+                }
+                (Backend::Mem, Structure::BasicCola) => (Box::new(BasicCola::new_plain()), None),
+                (Backend::Mem, Structure::GCola { .. }) if self.deamortized => {
+                    (Box::new(DeamortCola::new_plain()), None)
+                }
+                (Backend::Mem, Structure::GCola { g }) => (
+                    Box::new(GCola::new(
+                        cosbt_dam::PlainMem::new(),
+                        g,
+                        self.pointer_density,
+                    )),
+                    None,
+                ),
+                (Backend::Mem, Structure::BTree) => (Box::new(BTree::new_plain()), None),
+                (Backend::Mem, Structure::Brt) => (Box::new(Brt::new_plain()), None),
+                (Backend::Mem, Structure::Shuttle { c }) => (Box::new(ShuttleTree::new(c)), None),
+                (Backend::File(path), structure) => {
+                    match structure {
+                        Structure::Shuttle { .. } => {
+                            return Err(unsupported(
+                                "the shuttle tree is in-memory only (its file layout is measured \
+                             through LayoutImage, not served from disk)",
+                            ))
+                        }
+                        Structure::BTree | Structure::Brt => {
+                            let store = RcFilePages::new(FilePages::create(
+                                path,
+                                DEFAULT_PAGE_SIZE,
+                                cache_pages,
+                            )?);
+                            let dict: Box<dyn Dictionary> = match structure {
+                                Structure::BTree => Box::new(BTree::new(store.clone())),
+                                _ => Box::new(Brt::new(store.clone())),
+                            };
+                            (dict, Some(IoHandle::Pages(store)))
+                        }
+                        Structure::BasicCola | Structure::GCola { .. } => {
+                            // 32-byte modeled elements, as in the paper.
+                            let mem = RcFileMem::new(FileMem::<Cell>::create(
+                                path,
+                                DEFAULT_PAGE_SIZE,
+                                cache_pages,
+                                32,
+                            )?);
+                            let dict: Box<dyn Dictionary> = match (structure, self.deamortized) {
+                                (Structure::BasicCola, false) => {
+                                    Box::new(BasicCola::new(mem.clone()))
+                                }
+                                (Structure::BasicCola, true) => {
+                                    Box::new(DeamortBasicCola::new(mem.clone()))
+                                }
+                                (Structure::GCola { g }, false) => {
+                                    Box::new(GCola::new(mem.clone(), g, self.pointer_density))
+                                }
+                                (Structure::GCola { .. }, true) => {
+                                    Box::new(DeamortCola::new(mem.clone()))
+                                }
+                                _ => unreachable!(),
+                            };
+                            (dict, Some(IoHandle::Mem(mem)))
+                        }
+                    }
+                }
+            };
+        Ok(Db { dict, io, label })
+    }
+
+    /// Display label of the configured structure ("4-COLA", "B-tree", …).
+    pub fn label(&self) -> String {
+        let base = match self.structure {
+            Structure::BasicCola => "basic-COLA".to_string(),
+            Structure::GCola { g } => format!("{g}-COLA"),
+            Structure::BTree => "B-tree".to_string(),
+            Structure::Brt => "BRT".to_string(),
+            Structure::Shuttle { c } => format!("shuttle({c})"),
+        };
+        if self.deamortized {
+            format!("deamortized-{base}")
+        } else {
+            base
+        }
+    }
+}
+
+/// Shared I/O-counter handle of a file-backed [`Db`].
+#[derive(Clone)]
+enum IoHandle {
+    Mem(RcFileMem<Cell>),
+    Pages(RcFilePages),
+}
+
+/// A cheap cloneable reader of a file-backed [`Db`]'s I/O counters,
+/// usable while the dictionary itself is mutably borrowed.
+#[derive(Clone)]
+pub struct IoProbe {
+    inner: IoHandle,
+}
+
+impl IoProbe {
+    /// Current counters.
+    pub fn stats(&self) -> IoStats {
+        match &self.inner {
+            IoHandle::Mem(m) => m.stats(),
+            IoHandle::Pages(p) => p.stats(),
+        }
+    }
+
+    /// Cumulative block transfers (fetches + writebacks).
+    pub fn transfers(&self) -> u64 {
+        self.stats().transfers()
+    }
+}
+
+/// A dictionary built by [`DbBuilder`]: any of the six structures behind
+/// the one [`Dictionary`] interface, with uniform access to the backing
+/// store's I/O counters and cache control when file-backed.
+pub struct Db {
+    dict: Box<dyn Dictionary>,
+    io: Option<IoHandle>,
+    label: String,
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db")
+            .field("label", &self.label)
+            .field("file_backed", &self.io.is_some())
+            .finish()
+    }
+}
+
+impl Db {
+    /// Starts a builder (same as [`DbBuilder::new`]).
+    pub fn builder() -> DbBuilder {
+        DbBuilder::new()
+    }
+
+    /// Display label of the structure configuration ("4-COLA", …).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn insert(&mut self, key: u64, val: u64) {
+        self.dict.insert(key, val)
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&mut self, key: u64) {
+        self.dict.delete(key)
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        self.dict.get(key)
+    }
+
+    /// A streaming cursor over live entries in `[lo, hi]`.
+    pub fn cursor(&mut self, lo: u64, hi: u64) -> Cursor<'_> {
+        self.dict.cursor(lo, hi)
+    }
+
+    /// All live entries in `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.dict.range(lo, hi)
+    }
+
+    /// Applies and drains a batch of updates.
+    pub fn apply(&mut self, batch: &mut UpdateBatch) {
+        self.dict.apply(batch)
+    }
+
+    /// Inserts a key-sorted run of pairs in one batched pass.
+    pub fn insert_batch(&mut self, sorted: &[(u64, u64)]) {
+        self.dict.insert_batch(sorted)
+    }
+
+    /// Number of physically stored entries (shadowed versions and
+    /// tombstones included for the log-structured structures).
+    pub fn physical_len(&self) -> usize {
+        self.dict.physical_len()
+    }
+
+    /// The inner dictionary, for interfaces that want the trait object.
+    pub fn dict_mut(&mut self) -> &mut dyn Dictionary {
+        self.dict.as_mut()
+    }
+
+    /// I/O-counter probe; `None` for memory backends.
+    pub fn io_probe(&self) -> Option<IoProbe> {
+        self.io.clone().map(|inner| IoProbe { inner })
+    }
+
+    /// Real-I/O counters; zeros for memory backends.
+    pub fn io_stats(&self) -> IoStats {
+        self.io_probe().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    /// Resets the I/O counters (no-op for memory backends).
+    pub fn reset_io_stats(&self) {
+        match &self.io {
+            Some(IoHandle::Mem(m)) => m.reset_stats(),
+            Some(IoHandle::Pages(p)) => p.reset_stats(),
+            None => {}
+        }
+    }
+
+    /// Empties the user-space page cache — the paper's "remount" — so the
+    /// next operations run cold (no-op for memory backends).
+    pub fn drop_cache(&self) {
+        match &self.io {
+            Some(IoHandle::Mem(m)) => m.drop_cache(),
+            Some(IoHandle::Pages(p)) => p.drop_cache(),
+            None => {}
+        }
+    }
+}
+
+impl Dictionary for Db {
+    fn insert(&mut self, key: u64, val: u64) {
+        self.dict.insert(key, val)
+    }
+
+    fn delete(&mut self, key: u64) {
+        self.dict.delete(key)
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.dict.get(key)
+    }
+
+    fn cursor(&mut self, lo: u64, hi: u64) -> Cursor<'_> {
+        self.dict.cursor(lo, hi)
+    }
+
+    fn apply(&mut self, batch: &mut UpdateBatch) {
+        self.dict.apply(batch)
+    }
+
+    fn insert_batch(&mut self, sorted: &[(u64, u64)]) {
+        self.dict.insert_batch(sorted)
+    }
+
+    fn physical_len(&self) -> usize {
+        self.dict.physical_len()
+    }
+
+    fn name(&self) -> &'static str {
+        self.dict.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cosbt-db-{}-{name}.dat", std::process::id()));
+        p
+    }
+
+    fn all_mem_configs() -> Vec<DbBuilder> {
+        vec![
+            DbBuilder::new().structure(Structure::BasicCola),
+            DbBuilder::new()
+                .structure(Structure::BasicCola)
+                .deamortized(),
+            DbBuilder::new().structure(Structure::GCola { g: 2 }),
+            DbBuilder::new().structure(Structure::GCola { g: 4 }),
+            DbBuilder::new()
+                .structure(Structure::GCola { g: 2 })
+                .deamortized(),
+            DbBuilder::new().structure(Structure::BTree),
+            DbBuilder::new().structure(Structure::Brt),
+            DbBuilder::new().structure(Structure::Shuttle { c: 4 }),
+        ]
+    }
+
+    #[test]
+    fn every_mem_config_builds_and_roundtrips() {
+        for b in all_mem_configs() {
+            let label = b.label();
+            let mut db = b.build().unwrap();
+            for k in 0..500u64 {
+                db.insert(k * 3, k);
+            }
+            db.delete(0);
+            assert_eq!(db.get(3), Some(1), "{label}");
+            assert_eq!(db.get(0), None, "{label}");
+            assert_eq!(db.range(3, 9).len(), 3, "{label}");
+            let mut c = db.cursor(3, 9);
+            assert_eq!(c.next(), Some((3, 1)), "{label}");
+            assert_eq!(c.prev(), Some((3, 1)), "{label}");
+        }
+    }
+
+    #[test]
+    fn batches_through_the_facade() {
+        for b in all_mem_configs() {
+            let label = b.label();
+            let mut db = b.build().unwrap();
+            let mut batch = UpdateBatch::new();
+            for k in 0..100u64 {
+                batch.put(k, k + 1);
+            }
+            batch.delete(50);
+            db.apply(&mut batch);
+            assert!(batch.is_empty(), "{label}");
+            assert_eq!(db.get(10), Some(11), "{label}");
+            assert_eq!(db.get(50), None, "{label}");
+            db.insert_batch(&[(200, 1), (201, 2), (202, 3)]);
+            assert_eq!(db.get(201), Some(2), "{label}");
+        }
+    }
+
+    #[test]
+    fn file_backend_survives_cache_drop() {
+        for s in [
+            Structure::GCola { g: 4 },
+            Structure::BasicCola,
+            Structure::BTree,
+            Structure::Brt,
+        ] {
+            let path = tmp(&format!("{s:?}").replace([' ', '{', '}', ':'], ""));
+            let mut db = DbBuilder::new()
+                .structure(s)
+                .backend(Backend::File(path.clone()))
+                .cache_bytes(64 * 1024)
+                .build()
+                .unwrap();
+            for k in 0..2000u64 {
+                db.insert(k, k + 7);
+            }
+            db.drop_cache();
+            assert_eq!(db.get(1500), Some(1507), "{}", db.label());
+            assert!(db.io_stats().accesses > 0, "{}", db.label());
+            drop(db);
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn invalid_combinations_fail_clearly() {
+        assert!(DbBuilder::new()
+            .structure(Structure::BTree)
+            .deamortized()
+            .build()
+            .is_err());
+        assert!(DbBuilder::new()
+            .structure(Structure::GCola { g: 4 })
+            .deamortized()
+            .build()
+            .is_err());
+        assert!(DbBuilder::new()
+            .structure(Structure::GCola { g: 1 })
+            .build()
+            .is_err());
+        assert!(DbBuilder::new()
+            .structure(Structure::GCola { g: 4 })
+            .pointer_density(1.0)
+            .build()
+            .is_err());
+        assert!(DbBuilder::new()
+            .structure(Structure::Shuttle { c: 4 })
+            .backend(Backend::File(tmp("shuttle")))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            DbBuilder::new()
+                .structure(Structure::GCola { g: 2 })
+                .label(),
+            "2-COLA"
+        );
+        assert_eq!(
+            DbBuilder::new()
+                .structure(Structure::BasicCola)
+                .deamortized()
+                .label(),
+            "deamortized-basic-COLA"
+        );
+        assert_eq!(
+            DbBuilder::new().structure(Structure::BTree).label(),
+            "B-tree"
+        );
+    }
+}

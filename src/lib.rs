@@ -6,23 +6,53 @@
 //! their substrates (DAM-model simulator, packed-memory array), and the
 //! baselines the paper compares against (B-tree, buffered repository tree).
 //!
-//! This facade crate re-exports every sub-crate under one roof; see the
-//! workspace `README.md` for a tour and `DESIGN.md` for the system map.
+//! This facade crate re-exports every sub-crate under one roof and adds
+//! the [`Db`]/[`DbBuilder`] handle that configures any structure over any
+//! backend; see the workspace `README.md` for a tour and `DESIGN.md` for
+//! the system map.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use cosbt::cola::{Dictionary, GCola};
+//! use cosbt::{Backend, DbBuilder, Structure, UpdateBatch};
 //!
-//! // The paper's experimental structure: a 4-COLA (growth factor 4).
-//! let mut map = GCola::new_plain(4);
+//! // The paper's experimental structure: a 4-COLA (growth factor 4),
+//! // in memory. Swap one line for `.structure(Structure::BTree)` or
+//! // `.backend(Backend::File(path)).cache_bytes(1 << 20)` to change
+//! // structure or storage.
+//! let mut db = DbBuilder::new()
+//!     .structure(Structure::GCola { g: 4 })
+//!     .backend(Backend::Mem)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Point writes, or whole batches in one merge pass:
 //! for k in 0..10_000u64 {
-//!     map.insert(k * 2654435761 % 1_000_003, k);
+//!     db.insert(k * 2654435761 % 1_000_003, k);
 //! }
-//! assert_eq!(map.get(2654435761 % 1_000_003), Some(1));
+//! let mut batch = UpdateBatch::new();
+//! batch.put(7, 70).put(9, 90).delete(7);
+//! db.apply(&mut batch);
+//!
+//! assert_eq!(db.get(2654435761 % 1_000_003), Some(1));
+//! assert_eq!(db.get(9), Some(90));
+//! assert_eq!(db.get(7), None);
+//!
+//! // Streaming range scans: a cursor walks entries without materializing.
+//! let mut cur = db.cursor(0, 100);
+//! let first = cur.next();
+//! assert!(first.is_some());
+//! assert_eq!(cur.prev(), first, "cursors are bidirectional");
 //! ```
 
 #![forbid(unsafe_code)]
+
+mod db;
+
+pub use db::{Backend, BuildError, Db, DbBuilder, IoProbe, Structure};
+
+/// The shared dictionary API: trait, batches, cursors.
+pub use cosbt_core::{BatchOp, Cursor, CursorOps, Dictionary, UpdateBatch, VecCursor};
 
 /// DAM-model simulator and storage substrates.
 pub use cosbt_dam as dam;
@@ -41,3 +71,6 @@ pub use cosbt_brt as brt;
 
 /// The shuttle tree (the paper's Section 2).
 pub use cosbt_shuttle as shuttle;
+
+/// Deterministic randomized-testing helpers (offline `rand` stand-in).
+pub use cosbt_testkit as testkit;

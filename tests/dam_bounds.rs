@@ -14,7 +14,9 @@ use cosbt::dam::{new_shared_sim, CacheConfig, SimMem, SimPages};
 const N: u64 = (1 << 15) - 1;
 
 fn keys() -> Vec<u64> {
-    (0..N).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) | 1).collect()
+    (0..N)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+        .collect()
 }
 
 fn cola_insert_transfers(block: usize, mem_blocks: usize) -> f64 {
@@ -64,7 +66,10 @@ fn cache_obliviousness_insert_cost_scales_with_b() {
     );
     // And roughly linearly in 1/B (allow generous constant-factor slack):
     let ratio = t512 / t16384;
-    assert!(ratio > 4.0, "expected ~32x improvement 512→16384, got {ratio:.1}x");
+    assert!(
+        ratio > 4.0,
+        "expected ~32x improvement 512→16384, got {ratio:.1}x"
+    );
 }
 
 #[test]
@@ -73,7 +78,9 @@ fn search_cost_ordering_matches_theory() {
     let block = 4096usize;
     // Probe missing keys (all generated keys are odd after |1 below), so
     // every structure pays a full root-to-bottom descent.
-    let probes: Vec<u64> = (0..400u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & !1).collect();
+    let probes: Vec<u64> = (0..400u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) & !1)
+        .collect();
 
     let sim_bt = new_shared_sim(CacheConfig::new(block, 8));
     let mut bt = BTree::new(SimPages::new(sim_bt.clone(), block));
@@ -119,7 +126,11 @@ fn brt_and_cola_share_the_write_optimized_point() {
     }
     let f_brt = sim_brt.borrow().stats().transfers() as f64 / N as f64;
     let f_cola = cola_insert_transfers(block, 32);
-    let ratio = if f_brt > f_cola { f_brt / f_cola } else { f_cola / f_brt };
+    let ratio = if f_brt > f_cola {
+        f_brt / f_cola
+    } else {
+        f_cola / f_brt
+    };
     assert!(
         ratio < 16.0,
         "COLA and BRT insert transfers should be within a constant: \

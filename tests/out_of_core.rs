@@ -36,9 +36,7 @@ fn run_file_backed(name: &str, dict: &mut dyn Dictionary, drop_cache: &dyn Fn())
 #[test]
 fn gcola_out_of_core() {
     let path = tmpfile("gcola");
-    let mem = RcFileMem::new(
-        FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 8, 32).unwrap(),
-    );
+    let mem = RcFileMem::new(FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 8, 32).unwrap());
     let handle = mem.clone();
     let mut d = GCola::new(mem, 4, 0.1);
     run_file_backed("4-COLA", &mut d, &|| handle.drop_cache());
@@ -49,9 +47,7 @@ fn gcola_out_of_core() {
 #[test]
 fn basic_cola_out_of_core() {
     let path = tmpfile("basic");
-    let mem = RcFileMem::new(
-        FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 8, 32).unwrap(),
-    );
+    let mem = RcFileMem::new(FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 8, 32).unwrap());
     let handle = mem.clone();
     let mut d = BasicCola::new(mem);
     run_file_backed("basic-COLA", &mut d, &|| handle.drop_cache());
@@ -61,9 +57,7 @@ fn basic_cola_out_of_core() {
 #[test]
 fn deamort_cola_out_of_core() {
     let path = tmpfile("deamort");
-    let mem = RcFileMem::new(
-        FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 8, 32).unwrap(),
-    );
+    let mem = RcFileMem::new(FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 8, 32).unwrap());
     let handle = mem.clone();
     let mut d = DeamortCola::new(mem);
     run_file_backed("deamortized-COLA", &mut d, &|| handle.drop_cache());
@@ -94,9 +88,7 @@ fn brt_out_of_core() {
 fn tiny_cache_still_correct() {
     // Two resident pages — brutal thrashing — must not affect results.
     let path = tmpfile("tiny");
-    let mem = RcFileMem::new(
-        FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 2, 32).unwrap(),
-    );
+    let mem = RcFileMem::new(FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 2, 32).unwrap());
     let mut d = GCola::new(mem, 2, 0.125);
     for i in 0..5_000u64 {
         d.insert(i, i);

@@ -1,15 +1,18 @@
-//! Property-based tests: arbitrary operation sequences against a
-//! `BTreeMap` model, one suite per structure, plus PMA-specific
-//! properties. Shrinking gives minimal counterexamples if an invariant
-//! ever breaks.
+//! Randomized property tests: arbitrary operation sequences against a
+//! `BTreeMap` model, one suite per structure. Every range assertion is
+//! checked three ways — the materializing `range`, a forward cursor walk,
+//! and a backward cursor walk — so the streaming path can never drift
+//! from the `Vec` path. (Deterministic seeded cases via `cosbt-testkit`;
+//! a failing case prints its replay seed.)
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 use cosbt::brt::Brt;
 use cosbt::btree::BTree;
 use cosbt::cola::{BasicCola, DeamortBasicCola, DeamortCola, Dictionary, GCola};
 use cosbt::shuttle::ShuttleTree;
+use cosbt::testkit::{check_cases, Rng};
+use cosbt::UpdateBatch;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -17,76 +20,152 @@ enum Op {
     Delete(u64),
     Get(u64),
     Range(u64, u64),
+    Batch(Vec<(u64, Option<u64>)>),
 }
 
-fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        2 => (0..key_space).prop_map(Op::Delete),
-        2 => (0..key_space).prop_map(Op::Get),
-        1 => (0..key_space, 0..key_space).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
-    ]
+fn random_ops(rng: &mut Rng, len: usize, key_space: u64) -> Vec<Op> {
+    (0..len)
+        .map(|_| match rng.below(12) {
+            0..=4 => Op::Insert(rng.below(key_space), rng.next_u64()),
+            5..=6 => Op::Delete(rng.below(key_space)),
+            7..=8 => Op::Get(rng.below(key_space)),
+            9..=10 => {
+                let (a, b) = (rng.below(key_space), rng.below(key_space));
+                Op::Range(a.min(b), a.max(b))
+            }
+            _ => {
+                let n = 1 + rng.index(24);
+                Op::Batch(
+                    (0..n)
+                        .map(|_| {
+                            let k = rng.below(key_space);
+                            if rng.chance(1, 4) {
+                                (k, None)
+                            } else {
+                                (k, Some(rng.next_u64()))
+                            }
+                        })
+                        .collect(),
+                )
+            }
+        })
+        .collect()
+}
+
+/// Asserts `range`, forward cursor, backward cursor, and a mid-interval
+/// seek all agree with the model's view of `[lo, hi]`.
+fn check_range_and_cursor(dict: &mut dyn Dictionary, model: &BTreeMap<u64, u64>, lo: u64, hi: u64) {
+    let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(dict.range(lo, hi), want, "{} range({lo},{hi})", dict.name());
+
+    let name = dict.name();
+    let mut fwd = Vec::new();
+    let mut cur = dict.cursor(lo, hi);
+    while let Some(kv) = cur.next() {
+        fwd.push(kv);
+    }
+    // A drained cursor walks the same entries backward.
+    let mut back = Vec::new();
+    while let Some(kv) = cur.prev() {
+        back.push(kv);
+    }
+    back.reverse();
+    drop(cur);
+    assert_eq!(fwd, want, "{name} cursor fwd({lo},{hi})");
+    assert_eq!(back, want, "{name} cursor bwd({lo},{hi})");
+
+    if let Some(&(mid_key, _)) = want.get(want.len() / 2) {
+        let mut cur = dict.cursor(lo, hi);
+        cur.seek(mid_key);
+        assert_eq!(
+            cur.next(),
+            Some(want[want.len() / 2]),
+            "{name} seek({mid_key})"
+        );
+    }
 }
 
 fn check_model(dict: &mut dyn Dictionary, ops: &[Op]) {
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
     for op in ops {
-        match *op {
-            Op::Insert(k, v) => {
+        match op {
+            &Op::Insert(k, v) => {
                 dict.insert(k, v);
                 model.insert(k, v);
             }
-            Op::Delete(k) => {
+            &Op::Delete(k) => {
                 dict.delete(k);
                 model.remove(&k);
             }
-            Op::Get(k) => {
-                assert_eq!(dict.get(k), model.get(&k).copied(), "{} get({k})", dict.name());
+            &Op::Get(k) => {
+                assert_eq!(
+                    dict.get(k),
+                    model.get(&k).copied(),
+                    "{} get({k})",
+                    dict.name()
+                );
             }
-            Op::Range(lo, hi) => {
-                let want: Vec<(u64, u64)> =
-                    model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
-                assert_eq!(dict.range(lo, hi), want, "{} range({lo},{hi})", dict.name());
+            &Op::Range(lo, hi) => check_range_and_cursor(dict, &model, lo, hi),
+            Op::Batch(ops) => {
+                let mut batch = UpdateBatch::new();
+                for &(k, op) in ops {
+                    match op {
+                        Some(v) => {
+                            batch.put(k, v);
+                            model.insert(k, v);
+                        }
+                        None => {
+                            batch.delete(k);
+                            model.remove(&k);
+                        }
+                    }
+                }
+                dict.apply(&mut batch);
+                assert!(batch.is_empty(), "{} apply must drain", dict.name());
             }
         }
     }
-    let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
-    assert_eq!(dict.range(0, u64::MAX), want, "{} final", dict.name());
+    check_range_and_cursor(dict, &model, 0, u64::MAX);
 }
 
 macro_rules! dict_props {
-    ($name:ident, $make:expr) => {
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-            #[test]
-            fn $name(ops in proptest::collection::vec(op_strategy(64), 1..400)) {
+    ($name:ident, $cases:expr, $make:expr) => {
+        #[test]
+        fn $name() {
+            check_cases(stringify!($name), $cases, |rng: &mut Rng| {
+                let len = 1 + rng.index(399);
+                let ops = random_ops(rng, len, 64);
                 let mut d = $make;
                 check_model(&mut d, &ops);
-            }
+            });
         }
     };
 }
 
-dict_props!(basic_cola_matches_model, BasicCola::new_plain());
-dict_props!(gcola2_matches_model, GCola::new_plain(2));
-dict_props!(gcola4_matches_model, GCola::new_plain(4));
-dict_props!(gcola_dense_pointers_matches_model, {
+dict_props!(basic_cola_matches_model, 64, BasicCola::new_plain());
+dict_props!(gcola2_matches_model, 64, GCola::new_plain(2));
+dict_props!(gcola4_matches_model, 64, GCola::new_plain(4));
+dict_props!(gcola_dense_pointers_matches_model, 64, {
     // Stress the lookahead machinery with an extreme pointer density.
     use cosbt::dam::PlainMem;
     GCola::new(PlainMem::new(), 2, 0.5)
 });
-dict_props!(deamort_basic_matches_model, DeamortBasicCola::new_plain());
-dict_props!(deamort_matches_model, DeamortCola::new_plain());
-dict_props!(btree_matches_model, BTree::new_plain());
-dict_props!(brt_matches_model, Brt::new_plain());
-dict_props!(shuttle_matches_model, ShuttleTree::new(2));
+dict_props!(
+    deamort_basic_matches_model,
+    64,
+    DeamortBasicCola::new_plain()
+);
+dict_props!(deamort_matches_model, 64, DeamortCola::new_plain());
+dict_props!(btree_matches_model, 64, BTree::new_plain());
+dict_props!(brt_matches_model, 64, Brt::new_plain());
+dict_props!(shuttle_matches_model, 64, ShuttleTree::new(2));
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Structural invariants hold after arbitrary insert bursts.
-    #[test]
-    fn invariants_after_bursts(keys in proptest::collection::vec(any::<u64>(), 1..2000)) {
+/// Structural invariants hold after arbitrary insert bursts.
+#[test]
+fn invariants_after_bursts() {
+    check_cases("invariants_after_bursts", 32, |rng: &mut Rng| {
+        let len = 1 + rng.index(1999);
+        let keys = rng.vec_u64(len);
         let mut basic = BasicCola::new_plain();
         let mut g = GCola::new_plain(4);
         let mut db = DeamortBasicCola::new_plain();
@@ -107,11 +186,35 @@ proptest! {
         dc.check_invariants();
         st.check_invariants();
         bt.check_invariants();
-    }
+    });
+}
 
-    /// The deamortized COLAs never exceed their per-insert move budget.
-    #[test]
-    fn deamortized_budget_respected(keys in proptest::collection::vec(any::<u64>(), 1..3000)) {
+/// Batched inserts preserve the COLA structural invariants too.
+#[test]
+fn invariants_after_batched_bursts() {
+    check_cases("invariants_after_batched_bursts", 32, |rng: &mut Rng| {
+        let mut basic = BasicCola::new_plain();
+        let mut g = GCola::new_plain(4);
+        let rounds = 1 + rng.index(12);
+        for r in 0..rounds {
+            let mut run: Vec<(u64, u64)> = (0..1 + rng.index(300))
+                .map(|_| (rng.next_u64(), r as u64))
+                .collect();
+            run.sort_unstable_by_key(|&(k, _)| k);
+            basic.insert_batch(&run);
+            g.insert_batch(&run);
+        }
+        basic.check_invariants();
+        g.check_invariants();
+    });
+}
+
+/// The deamortized COLAs never exceed their per-insert move budget.
+#[test]
+fn deamortized_budget_respected() {
+    check_cases("deamortized_budget_respected", 32, |rng: &mut Rng| {
+        let len = 1 + rng.index(2999);
+        let keys = rng.vec_u64(len);
         let mut db = DeamortBasicCola::new_plain();
         let mut dc = DeamortCola::new_plain();
         for (i, &k) in keys.iter().enumerate() {
@@ -119,8 +222,8 @@ proptest! {
             dc.insert(k, i as u64);
         }
         let levels = db.num_levels() as u64;
-        prop_assert!(db.max_moves_per_insert() <= 2 * levels + 2);
+        assert!(db.max_moves_per_insert() <= 2 * levels + 2);
         let levels = dc.num_levels() as u64;
-        prop_assert!(dc.max_moves_per_insert() <= 6 * levels + 16);
-    }
+        assert!(dc.max_moves_per_insert() <= 6 * levels + 16);
+    });
 }

@@ -1,19 +1,19 @@
-//! Property-based tests of the packed-memory array substrate: ordering,
-//! density invariants, and model equivalence under arbitrary
-//! insert/remove interleavings.
-
-use proptest::prelude::*;
+//! Randomized property tests of the packed-memory array substrate:
+//! ordering, density invariants, and model equivalence under arbitrary
+//! insert/remove interleavings. (Deterministic seeded cases via
+//! `cosbt-testkit`; a failing case prints its replay seed.)
 
 use cosbt::pma::Pma;
+use cosbt::testkit::{check_cases, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn pma_matches_sorted_multiset(ops in proptest::collection::vec((any::<bool>(), 0u64..200), 1..600)) {
+#[test]
+fn pma_matches_sorted_multiset() {
+    check_cases("pma_matches_sorted_multiset", 128, |rng: &mut Rng| {
+        let len = 1 + rng.index(599);
         let mut pma = Pma::new_plain();
         let mut model: Vec<u64> = Vec::new();
-        for (insert, key) in ops {
+        for _ in 0..len {
+            let (insert, key) = (rng.flag(), rng.below(200));
             if insert {
                 pma.insert(key);
                 let pos = model.partition_point(|&x| x <= key);
@@ -23,51 +23,75 @@ proptest! {
                 let model_removed = model.iter().position(|&x| x == key).map(|i| {
                     model.remove(i);
                 });
-                prop_assert_eq!(removed, model_removed.is_some());
+                assert_eq!(removed, model_removed.is_some());
             }
-            prop_assert_eq!(pma.len(), model.len());
+            assert_eq!(pma.len(), model.len());
         }
-        prop_assert_eq!(pma.to_vec(), model);
+        assert_eq!(pma.to_vec(), model);
         pma.check_invariants();
-    }
+    });
+}
 
-    #[test]
-    fn pma_predecessor_successor_consistent(keys in proptest::collection::vec(0u64..10_000, 1..500), probe in 0u64..10_000) {
+#[test]
+fn pma_predecessor_successor_consistent() {
+    check_cases(
+        "pma_predecessor_successor_consistent",
+        128,
+        |rng: &mut Rng| {
+            let keys = rng.vec_below(1, 500, 10_000);
+            let probe = rng.below(10_000);
+            let mut pma = Pma::new_plain();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            for &k in &keys {
+                pma.insert(k);
+            }
+            let want_pred = sorted.iter().rev().find(|&&x| x <= probe).copied();
+            let want_succ = sorted.iter().find(|&&x| x > probe).copied();
+            assert_eq!(pma.predecessor(&probe), want_pred);
+            assert_eq!(pma.successor(&probe), want_succ);
+            assert_eq!(pma.contains(&probe), sorted.binary_search(&probe).is_ok());
+        },
+    );
+}
+
+#[test]
+fn pma_range_inclusive_matches_model() {
+    check_cases("pma_range_inclusive_matches_model", 128, |rng: &mut Rng| {
+        let keys = rng.vec_below(1, 400, 500);
+        let (a, b) = (rng.below(500), rng.below(500));
+        let (lo, hi) = (a.min(b), a.max(b));
         let mut pma = Pma::new_plain();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         for &k in &keys {
             pma.insert(k);
         }
-        let want_pred = sorted.iter().rev().find(|&&x| x <= probe).copied();
-        let want_succ = sorted.iter().find(|&&x| x > probe).copied();
-        prop_assert_eq!(pma.predecessor(&probe), want_pred);
-        prop_assert_eq!(pma.successor(&probe), want_succ);
-        prop_assert_eq!(pma.contains(&probe), sorted.binary_search(&probe).is_ok());
-    }
+        let want: Vec<u64> = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x >= lo && x <= hi)
+            .collect();
+        assert_eq!(pma.range_inclusive(&lo, &hi), want);
+    });
+}
 
-    #[test]
-    fn pma_range_inclusive_matches_model(keys in proptest::collection::vec(0u64..500, 1..400), lo in 0u64..500, hi in 0u64..500) {
-        let (lo, hi) = (lo.min(hi), lo.max(hi));
-        let mut pma = Pma::new_plain();
-        let mut sorted = keys.clone();
-        sorted.sort_unstable();
-        for &k in &keys {
-            pma.insert(k);
-        }
-        let want: Vec<u64> = sorted.iter().copied().filter(|&x| x >= lo && x <= hi).collect();
-        prop_assert_eq!(pma.range_inclusive(&lo, &hi), want);
-    }
-
-    /// Space stays linear: capacity never exceeds a constant multiple of
-    /// the element count (the paper's Θ(N) space claim for the PMA).
-    #[test]
-    fn pma_space_linear(n in 1usize..4000) {
+/// Space stays linear: capacity never exceeds a constant multiple of
+/// the element count (the paper's Θ(N) space claim for the PMA).
+#[test]
+fn pma_space_linear() {
+    check_cases("pma_space_linear", 32, |rng: &mut Rng| {
+        let n = 1 + rng.index(3999);
         let mut pma = Pma::new_plain();
         for i in 0..n {
             pma.insert((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
         }
-        prop_assert!(pma.capacity() <= 16 * n.max(16), "cap {} for n {}", pma.capacity(), n);
+        assert!(
+            pma.capacity() <= 16 * n.max(16),
+            "cap {} for n {}",
+            pma.capacity(),
+            n
+        );
         pma.check_invariants();
-    }
+    });
 }

@@ -11,7 +11,9 @@ use cosbt::shuttle::{fib, LayoutImage, ShuttleTree};
 #[test]
 fn shuttle_search_transfers_comparable_to_btree() {
     let n = 1u64 << 16;
-    let keys: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) | 1).collect();
+    let keys: Vec<u64> = (0..n)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+        .collect();
     let probes: Vec<u64> = keys.iter().copied().step_by(131).collect();
     let block = 4096usize;
     let cfg = CacheConfig::new(block, 8);
@@ -26,7 +28,11 @@ fn shuttle_search_transfers_comparable_to_btree() {
 
     let sim = new_shared_sim(cfg);
     let mut bt = BTree::new(SimPages::new(sim.clone(), block));
-    let mut sorted: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let mut sorted: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     sorted.sort_unstable();
     sorted.dedup_by_key(|p| p.0);
     bt.bulk_load(&sorted);
@@ -53,9 +59,11 @@ fn shuttle_agrees_with_btree_on_workload() {
     let mut bt = BTree::new_plain();
     let mut x = 1u64;
     for i in 0..30_000u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let k = x % 20_000;
-        if x % 7 == 0 {
+        if x.is_multiple_of(7) {
             st.delete(k);
             bt.delete(k);
         } else {

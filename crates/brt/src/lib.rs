@@ -1,5 +1,5 @@
 //! Buffered repository tree (BRT) — the cache-aware write-optimized
-//! dictionary of Buchsbaum et al. [12], whose bounds the COLA matches
+//! dictionary of Buchsbaum et al. \[12\], whose bounds the COLA matches
 //! cache-obliviously: searches `O(log N)` transfers, insertions amortized
 //! `O((log N)/B)` transfers.
 //!

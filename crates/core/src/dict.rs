@@ -24,6 +24,18 @@ pub type BatchOp = (u64, Option<u64>);
 /// Equivalent to replaying `put`/`delete` calls one at a time — within a
 /// batch the *last* operation on a key wins. [`Dictionary::apply`] drains
 /// the batch so the allocation can be reused for the next round.
+///
+/// ```
+/// use cosbt_core::{BasicCola, Dictionary, UpdateBatch};
+///
+/// let mut dict = BasicCola::new_plain();
+/// let mut batch = UpdateBatch::new();
+/// batch.put(1, 10).put(2, 20).delete(1).put(2, 21);
+/// dict.apply(&mut batch);
+/// assert!(batch.is_empty(), "apply drains the batch for reuse");
+/// assert_eq!(dict.get(1), None, "delete after put wins");
+/// assert_eq!(dict.get(2), Some(21), "last put wins");
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct UpdateBatch {
     ops: Vec<BatchOp>,
@@ -118,6 +130,20 @@ pub trait CursorOps {
 /// Obtained from [`Dictionary::cursor`]. Entries materialize one at a
 /// time, so a scan touches only the blocks it actually visits — the point
 /// of the streaming structures this workspace implements.
+///
+/// ```
+/// use cosbt_core::{Dictionary, GCola};
+///
+/// let mut dict = GCola::new_plain(4);
+/// for k in [10u64, 20, 30] {
+///     dict.insert(k, k * 2);
+/// }
+/// let mut cur = dict.cursor(15, u64::MAX);
+/// assert_eq!(cur.next(), Some((20, 40)));
+/// assert_eq!(cur.prev(), Some((20, 40)), "next then prev revisits");
+/// cur.seek(25);
+/// assert_eq!(cur.next(), Some((30, 60)));
+/// ```
 pub struct Cursor<'a> {
     inner: Box<dyn CursorOps + 'a>,
 }
@@ -159,6 +185,23 @@ impl<'a> Cursor<'a> {
 impl std::fmt::Debug for Cursor<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cursor").finish_non_exhaustive()
+    }
+}
+
+/// A [`Cursor`] is itself a cursor engine, so cursors compose: the k-way
+/// [`crate::cursor::MergeCursor`] merges any mix of already-boxed cursors
+/// (e.g. one per shard of a range-partitioned database) into one stream.
+impl CursorOps for Cursor<'_> {
+    fn seek(&mut self, key: u64) {
+        self.inner.seek(key)
+    }
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        self.inner.next()
+    }
+
+    fn prev(&mut self) -> Option<(u64, u64)> {
+        self.inner.prev()
     }
 }
 
@@ -211,6 +254,26 @@ impl CursorOps for VecCursor {
 ///
 /// Methods take `&mut self` uniformly because instrumented and file-backed
 /// storage mutate cache state even on reads.
+///
+/// Every structure in the workspace implements this trait, so workloads
+/// are written once:
+///
+/// ```
+/// use cosbt_core::{BasicCola, Dictionary, GCola};
+///
+/// fn ingest(dict: &mut dyn Dictionary) {
+///     dict.insert_batch(&[(1, 10), (2, 20), (3, 30)]);
+///     dict.delete(2);
+/// }
+///
+/// for dict in [
+///     &mut BasicCola::new_plain() as &mut dyn Dictionary,
+///     &mut GCola::new_plain(4),
+/// ] {
+///     ingest(dict);
+///     assert_eq!(dict.range(0, u64::MAX), vec![(1, 10), (3, 30)]);
+/// }
+/// ```
 pub trait Dictionary {
     /// Inserts or overwrites `key`.
     fn insert(&mut self, key: u64, val: u64);

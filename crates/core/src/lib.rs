@@ -17,7 +17,7 @@
 //!   shadow/visible status and array linking, hiding merges from queries.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod basic;
 pub mod cursor;
@@ -29,7 +29,7 @@ pub mod gcola;
 pub mod stats;
 
 pub use basic::BasicCola;
-pub use cursor::{Run, RunMergeCursor};
+pub use cursor::{MergeCursor, Run, RunMergeCursor};
 pub use deamort::DeamortCola;
 pub use deamort_basic::DeamortBasicCola;
 pub use dict::{BatchOp, Cursor, CursorOps, Dictionary, UpdateBatch, VecCursor};

@@ -394,112 +394,122 @@ impl<T: Pod> Mem<T> for SharedFileMem<T> {
     }
 }
 
-/// A cloneable, shared handle to a [`FileMem`], so a benchmark can keep
-/// one clone for statistics and cache control while a dictionary owns the
-/// other as its storage backend.
-pub struct RcFileMem<T: Pod> {
-    inner: std::rc::Rc<std::cell::RefCell<FileMem<T>>>,
+/// A cloneable, thread-safe handle to a [`FileMem`], so a benchmark can
+/// keep one clone for statistics and cache control while a dictionary owns
+/// the other as its storage backend. Backed by `Arc<Mutex<…>>`, so a
+/// file-backed dictionary is `Send` and can serve as one shard of a
+/// sharded database whose sub-batches are applied on worker threads.
+pub struct ArcFileMem<T: Pod> {
+    inner: std::sync::Arc<std::sync::Mutex<FileMem<T>>>,
 }
 
-impl<T: Pod> Clone for RcFileMem<T> {
+impl<T: Pod> Clone for ArcFileMem<T> {
     fn clone(&self) -> Self {
-        RcFileMem {
+        ArcFileMem {
             inner: self.inner.clone(),
         }
     }
 }
 
-impl<T: Pod> RcFileMem<T> {
+impl<T: Pod> ArcFileMem<T> {
     /// Wraps a [`FileMem`].
     pub fn new(inner: FileMem<T>) -> Self {
-        RcFileMem {
-            inner: std::rc::Rc::new(std::cell::RefCell::new(inner)),
+        ArcFileMem {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(inner)),
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FileMem<T>> {
+        self.inner.lock().expect("file store mutex poisoned")
     }
 
     /// I/O counters of the backing store.
     pub fn stats(&self) -> IoStats {
-        self.inner.borrow().stats()
+        self.lock().stats()
     }
 
     /// Resets the I/O counters.
     pub fn reset_stats(&self) {
-        self.inner.borrow_mut().reset_stats()
+        self.lock().reset_stats()
     }
 
     /// Empties the user-space page cache.
     pub fn drop_cache(&self) {
-        self.inner.borrow_mut().drop_cache()
+        self.lock().drop_cache()
     }
 }
 
-impl<T: Pod> Mem<T> for RcFileMem<T> {
+impl<T: Pod> Mem<T> for ArcFileMem<T> {
     fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.lock().len()
     }
 
     fn get(&self, i: usize) -> T {
-        self.inner.borrow_mut().get_mut(i)
+        self.lock().get_mut(i)
     }
 
     fn set(&mut self, i: usize, v: T) {
-        self.inner.borrow_mut().set(i, v)
+        self.lock().set(i, v)
     }
 
     fn resize(&mut self, new_len: usize, fill: T) {
-        self.inner.borrow_mut().resize(new_len, fill)
+        self.lock().resize(new_len, fill)
     }
 }
 
-/// A cloneable, shared handle to [`FilePages`] (see [`RcFileMem`]).
+/// A cloneable, thread-safe handle to [`FilePages`] (see [`ArcFileMem`]).
 #[derive(Clone)]
-pub struct RcFilePages {
-    inner: std::rc::Rc<std::cell::RefCell<FilePages>>,
+pub struct ArcFilePages {
+    inner: std::sync::Arc<std::sync::Mutex<FilePages>>,
 }
 
-impl RcFilePages {
+impl ArcFilePages {
     /// Wraps a [`FilePages`].
     pub fn new(inner: FilePages) -> Self {
-        RcFilePages {
-            inner: std::rc::Rc::new(std::cell::RefCell::new(inner)),
+        ArcFilePages {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(inner)),
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FilePages> {
+        self.inner.lock().expect("file store mutex poisoned")
     }
 
     /// I/O counters of the backing store.
     pub fn stats(&self) -> IoStats {
-        self.inner.borrow().stats()
+        self.lock().stats()
     }
 
     /// Resets the I/O counters.
     pub fn reset_stats(&self) {
-        self.inner.borrow_mut().reset_stats()
+        self.lock().reset_stats()
     }
 
     /// Empties the user-space page cache.
     pub fn drop_cache(&self) {
-        self.inner.borrow_mut().drop_cache()
+        self.lock().drop_cache()
     }
 }
 
-impl crate::page::PageStore for RcFilePages {
+impl crate::page::PageStore for ArcFilePages {
     fn page_size(&self) -> usize {
-        self.inner.borrow().page_size()
+        self.lock().page_size()
     }
 
     fn num_pages(&self) -> u32 {
-        self.inner.borrow().num_pages()
+        self.lock().num_pages()
     }
 
     fn alloc_page(&mut self) -> u32 {
-        self.inner.borrow_mut().alloc_page()
+        self.lock().alloc_page()
     }
 
     fn with_page<R>(&mut self, id: u32, f: impl FnOnce(&[u8]) -> R) -> R {
-        self.inner.borrow_mut().with_page(id, f)
+        self.lock().with_page(id, f)
     }
 
     fn with_page_mut<R>(&mut self, id: u32, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        self.inner.borrow_mut().with_page_mut(id, f)
+        self.lock().with_page_mut(id, f)
     }
 }
 
@@ -577,10 +587,10 @@ mod tests {
     }
 
     #[test]
-    fn rc_handles_share_state() {
-        let path = tmp("rcmem");
+    fn arc_handles_share_state() {
+        let path = tmp("arcmem");
         let fm: FileMem<u64> = FileMem::create(&path, 512, 4, 8).unwrap();
-        let mut a = RcFileMem::new(fm);
+        let mut a = ArcFileMem::new(fm);
         let b = a.clone();
         a.resize(100, 0);
         a.set(50, 1234);
@@ -589,9 +599,9 @@ mod tests {
         assert!(b.stats().fetches > 0);
         std::fs::remove_file(path).ok();
 
-        let path = tmp("rcpages");
+        let path = tmp("arcpages");
         let fp = FilePages::create(&path, 256, 2).unwrap();
-        let mut p = RcFilePages::new(fp);
+        let mut p = ArcFilePages::new(fp);
         let q = p.clone();
         use crate::page::PageStore;
         let id = p.alloc_page();
@@ -599,6 +609,13 @@ mod tests {
         q.drop_cache();
         assert_eq!(p.with_page(id, |pg| pg[0]), 7);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn arc_handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ArcFileMem<u64>>();
+        assert_send::<ArcFilePages>();
     }
 
     #[test]

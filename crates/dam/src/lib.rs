@@ -33,7 +33,7 @@ pub mod pod;
 pub mod sim;
 pub mod stats;
 
-pub use file::{FileMem, FilePages, RcFileMem, RcFilePages, SharedFileMem};
+pub use file::{ArcFileMem, ArcFilePages, FileMem, FilePages, SharedFileMem};
 pub use lru::LruCache;
 pub use mem::{Mem, PlainMem, SimMem};
 pub use page::{PageStore, SimPages, VecPages, DEFAULT_PAGE_SIZE};

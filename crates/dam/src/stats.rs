@@ -68,6 +68,35 @@ impl IoStats {
     }
 }
 
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            accesses: self.accesses + rhs.accesses,
+            hits: self.hits + rhs.hits,
+            fetches: self.fetches + rhs.fetches,
+            evictions: self.evictions + rhs.evictions,
+            writebacks: self.writebacks + rhs.writebacks,
+            seeks: self.seeks + rhs.seeks,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for IoStats {
+    /// Fieldwise sum — how a sharded database aggregates the counters of
+    /// its per-shard backing stores into one report.
+    fn sum<I: Iterator<Item = IoStats>>(iter: I) -> IoStats {
+        iter.fold(IoStats::default(), |acc, s| acc + s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +152,33 @@ mod tests {
         // 10 seeks * 8 ms + 200 blocks * 4096 B / (120 MiB/s)
         let t = s.modeled_disk_seconds(4096, 8.0, 120.0 * 1024.0 * 1024.0);
         assert!((t - (0.08 + 200.0 * 4096.0 / (120.0 * 1024.0 * 1024.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_aggregates_fieldwise() {
+        let a = IoStats {
+            accesses: 1,
+            hits: 2,
+            fetches: 3,
+            evictions: 4,
+            writebacks: 5,
+            seeks: 6,
+        };
+        let b = IoStats {
+            accesses: 10,
+            hits: 20,
+            fetches: 30,
+            evictions: 40,
+            writebacks: 50,
+            seeks: 60,
+        };
+        let total: IoStats = [a, b].into_iter().sum();
+        assert_eq!(total, a + b);
+        assert_eq!(total.accesses, 11);
+        assert_eq!(total.transfers(), 33 + 55);
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, total);
     }
 
     #[test]

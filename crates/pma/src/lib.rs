@@ -7,7 +7,7 @@
 //! `O((log² N)/B)` block transfers — per update.
 //!
 //! The shuttle tree of the paper (Section 2, "Making space for insertions")
-//! embeds its van Emde Boas layout in a PMA; the cache-oblivious B-tree [6]
+//! embeds its van Emde Boas layout in a PMA; the cache-oblivious B-tree \[6\]
 //! does the same. This crate implements the PMA as an independent,
 //! fully-tested substrate, generic over the storage backends of
 //! [`cosbt_dam`] so element moves can be counted either logically

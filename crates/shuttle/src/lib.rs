@@ -11,7 +11,7 @@
 //!
 //! Module map:
 //!
-//! * [`fib`] — Fibonacci numbers, Fibonacci factors `x(h)`, and the
+//! * [`mod@fib`] — Fibonacci numbers, Fibonacci factors `x(h)`, and the
 //!   buffer-height-index function `H(j)`;
 //! * [`tree`] — the dynamic structure: SWBST balancing, buffer chains,
 //!   shuttling inserts, searches, range queries;

@@ -3,7 +3,7 @@
 //! Structure (paper, Section 2): a strongly weight-balanced search tree
 //! (SWBST) with fanout parameter `c` — every node at height `h` has
 //! subtree weight `Θ(c^h)` — where each child edge carries a linked list
-//! of buffers with Fibonacci heights `F_{H(j)}` (see [`crate::fib`]),
+//! of buffers with Fibonacci heights `F_{H(j)}` (see [`mod@crate::fib`]),
 //! each buffer itself a shuttle tree capped at that height.
 //!
 //! * **Insert**: deposit the message in the smallest buffer of the root's

@@ -1,5 +1,6 @@
 //! The top-level handle: one builder configures any structure in the
-//! workspace over any storage backend.
+//! workspace over any storage backend, optionally range-partitioned
+//! across shards.
 //!
 //! The per-crate constructors (`GCola::new`, `BTree::new(FilePages::…)`,
 //! …) remain available for code that needs a concrete type, but examples,
@@ -17,6 +18,11 @@
 //! db.insert(1, 10);
 //! assert_eq!(db.get(1), Some(10));
 //! ```
+//!
+//! Adding `.shards(n)` splits the keyspace across `n` independent
+//! instances of the configured structure behind the same interface, and
+//! `.parallel_ingest(true)` applies batches on worker threads (see
+//! [`crate::shard`]).
 
 use std::path::PathBuf;
 
@@ -26,8 +32,10 @@ use cosbt_core::entry::Cell;
 use cosbt_core::{
     BasicCola, Cursor, DeamortBasicCola, DeamortCola, Dictionary, GCola, UpdateBatch,
 };
-use cosbt_dam::{FileMem, FilePages, IoStats, RcFileMem, RcFilePages, DEFAULT_PAGE_SIZE};
+use cosbt_dam::{ArcFileMem, ArcFilePages, FileMem, FilePages, IoStats, DEFAULT_PAGE_SIZE};
 use cosbt_shuttle::ShuttleTree;
+
+use crate::shard::{even_splitters, Shard, ShardRouter};
 
 /// Which data structure a [`DbBuilder`] instantiates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,14 +67,29 @@ pub enum Backend {
     /// A file at the given path behind a bounded user-space page cache
     /// (see [`DbBuilder::cache_bytes`]); the out-of-core regime of the
     /// paper's experiments. The file is created (truncated) at build.
+    /// With [`DbBuilder::shards`] > 1, shard `i` stores its partition in
+    /// `<path>.shard<i>` and the cache budget is divided evenly.
     File(PathBuf),
 }
+
+/// The supported structure × modifier × backend matrix, enumerated in
+/// every [`BuildError::Unsupported`] message so a failed build names the
+/// valid alternatives, not just the invalid request.
+pub const VALID_COMBINATIONS: &str = "\
+  BasicCola          × Mem | File  (deamortized: yes)
+  GCola { g ≥ 2 }    × Mem | File  (deamortized: only g = 2; pointer_density in [0, 1))
+  BTree              × Mem | File  (no deamortized variant)
+  Brt                × Mem | File  (no deamortized variant)
+  Shuttle { c ≥ 2 }  × Mem only    (no deamortized variant)
+  modifiers: shards(n ≥ 1) with strictly increasing shard_splitters (n − 1 of them), \
+parallel_ingest";
 
 /// Why a [`DbBuilder::build`] call failed.
 #[derive(Debug)]
 pub enum BuildError {
     /// The requested structure/modifier/backend combination does not
     /// exist (e.g. a deamortized B-tree, or a file-backed shuttle tree).
+    /// The message enumerates the valid combinations.
     Unsupported(String),
     /// Creating the backing file failed.
     Io(std::io::Error),
@@ -75,7 +98,10 @@ pub enum BuildError {
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BuildError::Unsupported(what) => write!(f, "unsupported configuration: {what}"),
+            BuildError::Unsupported(what) => write!(
+                f,
+                "unsupported configuration: {what}; valid combinations are:\n{VALID_COMBINATIONS}"
+            ),
             BuildError::Io(e) => write!(f, "backend I/O error: {e}"),
         }
     }
@@ -97,6 +123,9 @@ pub struct DbBuilder {
     cache_bytes: usize,
     deamortized: bool,
     pointer_density: f64,
+    shards: usize,
+    splitters: Option<Vec<u64>>,
+    parallel_ingest: bool,
 }
 
 impl Default for DbBuilder {
@@ -107,13 +136,17 @@ impl Default for DbBuilder {
             cache_bytes: 16 * 1024 * 1024,
             deamortized: false,
             pointer_density: 0.1,
+            shards: 1,
+            splitters: None,
+            parallel_ingest: false,
         }
     }
 }
 
 impl DbBuilder {
     /// A builder with the paper's defaults: an in-memory 4-COLA with
-    /// pointer density 0.1 and (for file backends) a 16 MiB cache budget.
+    /// pointer density 0.1, a single shard, and (for file backends) a
+    /// 16 MiB cache budget.
     pub fn new() -> DbBuilder {
         DbBuilder::default()
     }
@@ -131,7 +164,11 @@ impl DbBuilder {
     }
 
     /// Memory budget of the user-space page cache for file backends
-    /// (ignored by [`Backend::Mem`]).
+    /// (ignored by [`Backend::Mem`]). With multiple shards the budget is
+    /// divided evenly across the per-shard caches; every cache is floored
+    /// at 2 pages, and a sharded build fails if the budget cannot cover
+    /// that floor (silently exceeding the budget would corrupt the
+    /// transfer counts the out-of-core experiments measure).
     pub fn cache_bytes(mut self, bytes: usize) -> DbBuilder {
         self.cache_bytes = bytes;
         self
@@ -154,10 +191,51 @@ impl DbBuilder {
         self
     }
 
+    /// Range-partitions the keyspace across `n` independent instances of
+    /// the configured structure (default 1 = unsharded). The keyspace is
+    /// split evenly unless [`DbBuilder::shard_splitters`] overrides the
+    /// boundaries; reads, writes, and cursors behave exactly as with one
+    /// shard.
+    ///
+    /// ```
+    /// use cosbt::{DbBuilder, Structure};
+    ///
+    /// let mut db = DbBuilder::new()
+    ///     .structure(Structure::GCola { g: 4 })
+    ///     .shards(4)
+    ///     .parallel_ingest(true)
+    ///     .build()
+    ///     .unwrap();
+    /// // Keys land in different quadrants of the u64 space → different
+    /// // shards, but the view is one dictionary.
+    /// db.insert_batch(&[(1, 10), (1 << 62, 20), (u64::MAX, 30)]);
+    /// assert_eq!(db.range(0, u64::MAX).len(), 3);
+    /// ```
+    pub fn shards(mut self, n: usize) -> DbBuilder {
+        self.shards = n;
+        self
+    }
+
+    /// Custom shard boundaries: strictly increasing, exactly
+    /// `shards − 1` of them; shard `i` owns keys in
+    /// `[splitters[i-1], splitters[i])`. Use when the key distribution is
+    /// skewed and even splitting would leave shards idle.
+    pub fn shard_splitters(mut self, splitters: Vec<u64>) -> DbBuilder {
+        self.splitters = Some(splitters);
+        self
+    }
+
+    /// Applies `apply`/`insert_batch` sub-batches on a scoped pool of
+    /// worker threads, one shard per job (default off). A no-op with a
+    /// single shard; point operations are always routed directly.
+    pub fn parallel_ingest(mut self, on: bool) -> DbBuilder {
+        self.parallel_ingest = on;
+        self
+    }
+
     /// Instantiates the configured dictionary.
     pub fn build(self) -> Result<Db, BuildError> {
         let label = self.label();
-        let cache_pages = (self.cache_bytes / DEFAULT_PAGE_SIZE).max(2);
         let unsupported = |what: &str| BuildError::Unsupported(format!("{what} ({label})"));
 
         if self.deamortized
@@ -186,79 +264,157 @@ impl DbBuilder {
                 return Err(unsupported("fanout parameter must be at least 2"));
             }
         }
+        if self.shards == 0 {
+            return Err(unsupported("shard count must be at least 1"));
+        }
+        if let Some(splitters) = &self.splitters {
+            if splitters.len() != self.shards - 1 {
+                return Err(unsupported(
+                    "shard_splitters must supply exactly shards − 1 boundaries",
+                ));
+            }
+            if !splitters.windows(2).all(|w| w[0] < w[1]) {
+                return Err(unsupported("shard_splitters must be strictly increasing"));
+            }
+        }
+        if self.shards > 1
+            && matches!(self.backend, Backend::File(_))
+            && self.cache_bytes / self.shards < 2 * DEFAULT_PAGE_SIZE
+        {
+            // Each shard's cache is floored at 2 pages; flooring past the
+            // configured budget would silently enlarge the effective
+            // cache and distort measured transfer counts.
+            return Err(unsupported(
+                "cache budget too small: each shard's page cache needs at least 2 pages",
+            ));
+        }
 
-        let (dict, io): (Box<dyn Dictionary>, Option<IoHandle>) =
-            match (&self.backend, self.structure) {
-                (Backend::Mem, Structure::BasicCola) if self.deamortized => {
-                    (Box::new(DeamortBasicCola::new_plain()), None)
+        let mut dicts: Vec<Shard> = Vec::with_capacity(self.shards);
+        let mut ios: Vec<IoHandle> = Vec::new();
+        for i in 0..self.shards {
+            match self.build_shard(i, &unsupported) {
+                Ok((dict, io)) => {
+                    dicts.push(dict);
+                    ios.extend(io);
                 }
-                (Backend::Mem, Structure::BasicCola) => (Box::new(BasicCola::new_plain()), None),
-                (Backend::Mem, Structure::GCola { .. }) if self.deamortized => {
-                    (Box::new(DeamortCola::new_plain()), None)
-                }
-                (Backend::Mem, Structure::GCola { g }) => (
-                    Box::new(GCola::new(
-                        cosbt_dam::PlainMem::new(),
-                        g,
-                        self.pointer_density,
-                    )),
-                    None,
-                ),
-                (Backend::Mem, Structure::BTree) => (Box::new(BTree::new_plain()), None),
-                (Backend::Mem, Structure::Brt) => (Box::new(Brt::new_plain()), None),
-                (Backend::Mem, Structure::Shuttle { c }) => (Box::new(ShuttleTree::new(c)), None),
-                (Backend::File(path), structure) => {
-                    match structure {
-                        Structure::Shuttle { .. } => {
-                            return Err(unsupported(
-                                "the shuttle tree is in-memory only (its file layout is measured \
-                             through LayoutImage, not served from disk)",
-                            ))
-                        }
-                        Structure::BTree | Structure::Brt => {
-                            let store = RcFilePages::new(FilePages::create(
-                                path,
-                                DEFAULT_PAGE_SIZE,
-                                cache_pages,
-                            )?);
-                            let dict: Box<dyn Dictionary> = match structure {
-                                Structure::BTree => Box::new(BTree::new(store.clone())),
-                                _ => Box::new(Brt::new(store.clone())),
-                            };
-                            (dict, Some(IoHandle::Pages(store)))
-                        }
-                        Structure::BasicCola | Structure::GCola { .. } => {
-                            // 32-byte modeled elements, as in the paper.
-                            let mem = RcFileMem::new(FileMem::<Cell>::create(
-                                path,
-                                DEFAULT_PAGE_SIZE,
-                                cache_pages,
-                                32,
-                            )?);
-                            let dict: Box<dyn Dictionary> = match (structure, self.deamortized) {
-                                (Structure::BasicCola, false) => {
-                                    Box::new(BasicCola::new(mem.clone()))
-                                }
-                                (Structure::BasicCola, true) => {
-                                    Box::new(DeamortBasicCola::new(mem.clone()))
-                                }
-                                (Structure::GCola { g }, false) => {
-                                    Box::new(GCola::new(mem.clone(), g, self.pointer_density))
-                                }
-                                (Structure::GCola { .. }, true) => {
-                                    Box::new(DeamortCola::new(mem.clone()))
-                                }
-                                _ => unreachable!(),
-                            };
-                            (dict, Some(IoHandle::Mem(mem)))
+                Err(e) => {
+                    // A partial multi-shard file build must not leave the
+                    // freshly created (truncated) shard files behind:
+                    // release the stores built so far, then unlink every
+                    // file this call may have created.
+                    if let Backend::File(base) = &self.backend {
+                        drop(dicts);
+                        drop(ios);
+                        for j in 0..=i {
+                            std::fs::remove_file(self.shard_file_path(base, j)).ok();
                         }
                     }
+                    return Err(e);
                 }
-            };
-        Ok(Db { dict, io, label })
+            }
+        }
+        let dict: Shard = if self.shards == 1 {
+            dicts.pop().expect("one shard was built")
+        } else {
+            let splitters = self
+                .splitters
+                .clone()
+                .unwrap_or_else(|| even_splitters(self.shards));
+            Box::new(ShardRouter::new(dicts, splitters, self.parallel_ingest))
+        };
+        Ok(Db { dict, ios, label })
     }
 
-    /// Display label of the configured structure ("4-COLA", "B-tree", …).
+    /// Data-file path of shard `idx`: the configured path itself when
+    /// unsharded, `<path>.shard<idx>` otherwise.
+    fn shard_file_path(&self, base: &std::path::Path, idx: usize) -> PathBuf {
+        if self.shards == 1 {
+            base.to_path_buf()
+        } else {
+            let mut os = base.as_os_str().to_os_string();
+            os.push(format!(".shard{idx}"));
+            PathBuf::from(os)
+        }
+    }
+
+    /// Builds shard `idx` of [`DbBuilder::shards`] (the whole dictionary
+    /// when unsharded): one structure instance plus, for file backends,
+    /// the I/O handle of its backing store.
+    fn build_shard(
+        &self,
+        idx: usize,
+        unsupported: &dyn Fn(&str) -> BuildError,
+    ) -> Result<(Shard, Option<IoHandle>), BuildError> {
+        // Each shard gets an even share of the cache budget.
+        let cache_pages = (self.cache_bytes / self.shards / DEFAULT_PAGE_SIZE).max(2);
+        match (&self.backend, self.structure) {
+            (Backend::Mem, Structure::BasicCola) if self.deamortized => {
+                Ok((Box::new(DeamortBasicCola::new_plain()), None))
+            }
+            (Backend::Mem, Structure::BasicCola) => Ok((Box::new(BasicCola::new_plain()), None)),
+            (Backend::Mem, Structure::GCola { .. }) if self.deamortized => {
+                Ok((Box::new(DeamortCola::new_plain()), None))
+            }
+            (Backend::Mem, Structure::GCola { g }) => Ok((
+                Box::new(GCola::new(
+                    cosbt_dam::PlainMem::new(),
+                    g,
+                    self.pointer_density,
+                )),
+                None,
+            )),
+            (Backend::Mem, Structure::BTree) => Ok((Box::new(BTree::new_plain()), None)),
+            (Backend::Mem, Structure::Brt) => Ok((Box::new(Brt::new_plain()), None)),
+            (Backend::Mem, Structure::Shuttle { c }) => Ok((Box::new(ShuttleTree::new(c)), None)),
+            (Backend::File(base), structure) => {
+                let path = self.shard_file_path(base, idx);
+                match structure {
+                    Structure::Shuttle { .. } => Err(unsupported(
+                        "the shuttle tree is in-memory only (its file layout is measured \
+                         through LayoutImage, not served from disk)",
+                    )),
+                    Structure::BTree | Structure::Brt => {
+                        let store = ArcFilePages::new(FilePages::create(
+                            &path,
+                            DEFAULT_PAGE_SIZE,
+                            cache_pages,
+                        )?);
+                        let dict: Shard = match structure {
+                            Structure::BTree => Box::new(BTree::new(store.clone())),
+                            _ => Box::new(Brt::new(store.clone())),
+                        };
+                        Ok((dict, Some(IoHandle::Pages(store))))
+                    }
+                    Structure::BasicCola | Structure::GCola { .. } => {
+                        // 32-byte modeled elements, as in the paper.
+                        let mem = ArcFileMem::new(FileMem::<Cell>::create(
+                            &path,
+                            DEFAULT_PAGE_SIZE,
+                            cache_pages,
+                            32,
+                        )?);
+                        let dict: Shard = match (structure, self.deamortized) {
+                            (Structure::BasicCola, false) => Box::new(BasicCola::new(mem.clone())),
+                            (Structure::BasicCola, true) => {
+                                Box::new(DeamortBasicCola::new(mem.clone()))
+                            }
+                            (Structure::GCola { g }, false) => {
+                                Box::new(GCola::new(mem.clone(), g, self.pointer_density))
+                            }
+                            (Structure::GCola { .. }, true) => {
+                                Box::new(DeamortCola::new(mem.clone()))
+                            }
+                            _ => unreachable!(),
+                        };
+                        Ok((dict, Some(IoHandle::Mem(mem))))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Display label of the configured structure ("4-COLA", "B-tree",
+    /// "4-COLA ×4 shards", …).
     pub fn label(&self) -> String {
         let base = match self.structure {
             Structure::BasicCola => "basic-COLA".to_string(),
@@ -267,35 +423,62 @@ impl DbBuilder {
             Structure::Brt => "BRT".to_string(),
             Structure::Shuttle { c } => format!("shuttle({c})"),
         };
-        if self.deamortized {
+        let base = if self.deamortized {
             format!("deamortized-{base}")
+        } else {
+            base
+        };
+        if self.shards > 1 {
+            format!("{base} ×{} shards", self.shards)
         } else {
             base
         }
     }
 }
 
-/// Shared I/O-counter handle of a file-backed [`Db`].
+/// Shared I/O-counter handle of one file-backed shard.
 #[derive(Clone)]
 enum IoHandle {
-    Mem(RcFileMem<Cell>),
-    Pages(RcFilePages),
+    Mem(ArcFileMem<Cell>),
+    Pages(ArcFilePages),
 }
 
-/// A cheap cloneable reader of a file-backed [`Db`]'s I/O counters,
-/// usable while the dictionary itself is mutably borrowed.
-#[derive(Clone)]
-pub struct IoProbe {
-    inner: IoHandle,
-}
-
-impl IoProbe {
-    /// Current counters.
-    pub fn stats(&self) -> IoStats {
-        match &self.inner {
+impl IoHandle {
+    fn stats(&self) -> IoStats {
+        match self {
             IoHandle::Mem(m) => m.stats(),
             IoHandle::Pages(p) => p.stats(),
         }
+    }
+
+    fn reset_stats(&self) {
+        match self {
+            IoHandle::Mem(m) => m.reset_stats(),
+            IoHandle::Pages(p) => p.reset_stats(),
+        }
+    }
+
+    fn drop_cache(&self) {
+        match self {
+            IoHandle::Mem(m) => m.drop_cache(),
+            IoHandle::Pages(p) => p.drop_cache(),
+        }
+    }
+}
+
+/// A cheap cloneable reader of a file-backed [`Db`]'s I/O counters,
+/// usable while the dictionary itself is mutably borrowed. For a sharded
+/// database the counters aggregate (sum fieldwise) over every shard's
+/// backing store.
+#[derive(Clone)]
+pub struct IoProbe {
+    handles: Vec<IoHandle>,
+}
+
+impl IoProbe {
+    /// Current counters, summed across shards.
+    pub fn stats(&self) -> IoStats {
+        self.handles.iter().map(|h| h.stats()).sum()
     }
 
     /// Cumulative block transfers (fetches + writebacks).
@@ -305,11 +488,28 @@ impl IoProbe {
 }
 
 /// A dictionary built by [`DbBuilder`]: any of the six structures behind
-/// the one [`Dictionary`] interface, with uniform access to the backing
-/// store's I/O counters and cache control when file-backed.
+/// the one [`Dictionary`] interface — optionally range-partitioned across
+/// shards — with uniform access to the backing stores' I/O counters and
+/// cache control when file-backed.
+///
+/// `Db` is [`Send`], so a whole database (sharded or not) can move to a
+/// worker thread.
+///
+/// ```
+/// use cosbt::{DbBuilder, Structure};
+///
+/// let mut db = DbBuilder::new()
+///     .structure(Structure::BTree)
+///     .build()
+///     .unwrap();
+/// db.insert(7, 70);
+/// assert_eq!(db.get(7), Some(70));
+/// assert_eq!(db.label(), "B-tree");
+/// ```
 pub struct Db {
-    dict: Box<dyn Dictionary>,
-    io: Option<IoHandle>,
+    dict: Shard,
+    /// One handle per file-backed shard; empty for memory backends.
+    ios: Vec<IoHandle>,
     label: String,
 }
 
@@ -317,7 +517,7 @@ impl std::fmt::Debug for Db {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Db")
             .field("label", &self.label)
-            .field("file_backed", &self.io.is_some())
+            .field("file_backed", &!self.ios.is_empty())
             .finish()
     }
 }
@@ -369,7 +569,8 @@ impl Db {
     }
 
     /// Number of physically stored entries (shadowed versions and
-    /// tombstones included for the log-structured structures).
+    /// tombstones included for the log-structured structures), summed
+    /// across shards.
     pub fn physical_len(&self) -> usize {
         self.dict.physical_len()
     }
@@ -379,32 +580,38 @@ impl Db {
         self.dict.as_mut()
     }
 
-    /// I/O-counter probe; `None` for memory backends.
+    /// I/O-counter probe; `None` for memory backends. Counters aggregate
+    /// across shards for sharded file-backed databases.
     pub fn io_probe(&self) -> Option<IoProbe> {
-        self.io.clone().map(|inner| IoProbe { inner })
-    }
-
-    /// Real-I/O counters; zeros for memory backends.
-    pub fn io_stats(&self) -> IoStats {
-        self.io_probe().map(|p| p.stats()).unwrap_or_default()
-    }
-
-    /// Resets the I/O counters (no-op for memory backends).
-    pub fn reset_io_stats(&self) {
-        match &self.io {
-            Some(IoHandle::Mem(m)) => m.reset_stats(),
-            Some(IoHandle::Pages(p)) => p.reset_stats(),
-            None => {}
+        if self.ios.is_empty() {
+            None
+        } else {
+            Some(IoProbe {
+                handles: self.ios.clone(),
+            })
         }
     }
 
-    /// Empties the user-space page cache — the paper's "remount" — so the
-    /// next operations run cold (no-op for memory backends).
+    /// Real-I/O counters, summed across shards; zeros for memory
+    /// backends.
+    pub fn io_stats(&self) -> IoStats {
+        self.ios.iter().map(|h| h.stats()).sum()
+    }
+
+    /// Resets the I/O counters of every shard (no-op for memory
+    /// backends).
+    pub fn reset_io_stats(&self) {
+        for h in &self.ios {
+            h.reset_stats();
+        }
+    }
+
+    /// Empties every shard's user-space page cache — the paper's
+    /// "remount" — so the next operations run cold (no-op for memory
+    /// backends).
     pub fn drop_cache(&self) {
-        match &self.io {
-            Some(IoHandle::Mem(m)) => m.drop_cache(),
-            Some(IoHandle::Pages(p)) => p.drop_cache(),
-            None => {}
+        for h in &self.ios {
+            h.drop_cache();
         }
     }
 }
@@ -467,6 +674,21 @@ mod tests {
             DbBuilder::new().structure(Structure::BTree),
             DbBuilder::new().structure(Structure::Brt),
             DbBuilder::new().structure(Structure::Shuttle { c: 4 }),
+            // Sharded variants of each family, with boundaries placed
+            // inside the small key range the tests exercise.
+            DbBuilder::new()
+                .structure(Structure::GCola { g: 4 })
+                .shards(4)
+                .shard_splitters(vec![100, 600, 1200]),
+            DbBuilder::new()
+                .structure(Structure::BTree)
+                .shards(2)
+                .shard_splitters(vec![500])
+                .parallel_ingest(true),
+            DbBuilder::new()
+                .structure(Structure::Shuttle { c: 4 })
+                .shards(3)
+                .shard_splitters(vec![300, 900]),
         ]
     }
 
@@ -534,6 +756,66 @@ mod tests {
     }
 
     #[test]
+    fn sharded_file_backend_aggregates_io() {
+        let base = tmp("sharded");
+        let mut db = DbBuilder::new()
+            .structure(Structure::GCola { g: 4 })
+            .backend(Backend::File(base.clone()))
+            .cache_bytes(256 * 1024)
+            .shards(4)
+            .shard_splitters(vec![500, 1000, 1500])
+            .parallel_ingest(true)
+            .build()
+            .unwrap();
+        let run: Vec<(u64, u64)> = (0..2000u64).map(|k| (k, k + 7)).collect();
+        db.insert_batch(&run);
+        db.drop_cache();
+        let probe = db.io_probe().expect("file backend has a probe");
+        let before = probe.stats();
+        // One get per shard's partition → every shard's store is touched.
+        for k in [100u64, 700, 1200, 1800] {
+            assert_eq!(db.get(k), Some(k + 7));
+        }
+        let after = probe.stats();
+        assert!(after.accesses > before.accesses);
+        assert!(after.fetches > 0, "cold reads fetch from every shard");
+        db.reset_io_stats();
+        assert_eq!(db.io_stats().accesses, 0);
+        drop(db);
+        for i in 0..4 {
+            let mut os = base.clone().into_os_string();
+            os.push(format!(".shard{i}"));
+            let shard_path = PathBuf::from(os);
+            assert!(shard_path.exists(), "shard {i} has its own file");
+            std::fs::remove_file(shard_path).ok();
+        }
+    }
+
+    #[test]
+    fn failed_sharded_build_removes_partial_files() {
+        let base = tmp("cleanup");
+        // A directory squatting on shard 1's path makes its creation fail
+        // after shard 0's file was already created and truncated.
+        let mut os = base.clone().into_os_string();
+        os.push(".shard1");
+        let blocker = PathBuf::from(os);
+        std::fs::create_dir_all(&blocker).unwrap();
+        let err = DbBuilder::new()
+            .structure(Structure::GCola { g: 4 })
+            .backend(Backend::File(base.clone()))
+            .shards(2)
+            .build();
+        assert!(matches!(err, Err(BuildError::Io(_))));
+        let mut os = base.clone().into_os_string();
+        os.push(".shard0");
+        assert!(
+            !PathBuf::from(os).exists(),
+            "a failed build must not leave partial shard files behind"
+        );
+        std::fs::remove_dir(&blocker).ok();
+    }
+
+    #[test]
     fn invalid_combinations_fail_clearly() {
         assert!(DbBuilder::new()
             .structure(Structure::BTree)
@@ -559,6 +841,44 @@ mod tests {
             .backend(Backend::File(tmp("shuttle")))
             .build()
             .is_err());
+        assert!(DbBuilder::new().shards(0).build().is_err());
+        assert!(DbBuilder::new()
+            .shards(3)
+            .shard_splitters(vec![10]) // needs 2 boundaries
+            .build()
+            .is_err());
+        assert!(DbBuilder::new()
+            .shards(3)
+            .shard_splitters(vec![20, 10]) // not increasing
+            .build()
+            .is_err());
+        // A sharded file backend whose budget cannot cover every shard's
+        // 2-page cache floor must fail instead of silently exceeding it.
+        assert!(DbBuilder::new()
+            .backend(Backend::File(tmp("tinycache")))
+            .shards(8)
+            .cache_bytes(4 * 4096)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn errors_enumerate_the_valid_matrix() {
+        let err = DbBuilder::new()
+            .structure(Structure::BTree)
+            .deamortized()
+            .build()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("valid combinations are:"),
+            "error should enumerate alternatives, got: {msg}"
+        );
+        // Every structure appears in the enumeration.
+        for name in ["BasicCola", "GCola", "BTree", "Brt", "Shuttle"] {
+            assert!(msg.contains(name), "matrix should mention {name}: {msg}");
+        }
+        assert!(msg.contains("shards"), "matrix should mention sharding");
     }
 
     #[test]
@@ -580,5 +900,19 @@ mod tests {
             DbBuilder::new().structure(Structure::BTree).label(),
             "B-tree"
         );
+        assert_eq!(
+            DbBuilder::new()
+                .structure(Structure::GCola { g: 4 })
+                .shards(4)
+                .label(),
+            "4-COLA ×4 shards"
+        );
+    }
+
+    #[test]
+    fn db_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Db>();
+        assert_send::<IoProbe>();
     }
 }

@@ -44,12 +44,39 @@
 //! assert!(first.is_some());
 //! assert_eq!(cur.prev(), first, "cursors are bidirectional");
 //! ```
+//!
+//! ## Scaling across cores
+//!
+//! `.shards(n)` range-partitions the keyspace across `n` independent
+//! instances of the configured structure, and `.parallel_ingest(true)`
+//! applies batches on a scoped pool of worker threads — one coherent
+//! dictionary view, `n` merge machines (see [`shard`]):
+//!
+//! ```
+//! use cosbt::{DbBuilder, Structure, UpdateBatch};
+//!
+//! let mut db = DbBuilder::new()
+//!     .structure(Structure::GCola { g: 4 })
+//!     .shards(4)
+//!     .parallel_ingest(true)
+//!     .build()
+//!     .unwrap();
+//! let mut batch = UpdateBatch::new();
+//! for k in 0..10_000u64 {
+//!     batch.put(k.wrapping_mul(0x9E3779B97F4A7C15), k); // spread over u64
+//! }
+//! db.apply(&mut batch); // split by shard, applied in parallel
+//! assert_eq!(db.range(0, u64::MAX).len(), 10_000);
+//! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod db;
+pub mod shard;
 
-pub use db::{Backend, BuildError, Db, DbBuilder, IoProbe, Structure};
+pub use db::{Backend, BuildError, Db, DbBuilder, IoProbe, Structure, VALID_COMBINATIONS};
+pub use shard::ShardRouter;
 
 /// The shared dictionary API: trait, batches, cursors.
 pub use cosbt_core::{BatchOp, Cursor, CursorOps, Dictionary, UpdateBatch, VecCursor};

@@ -205,3 +205,39 @@ conformance! {
         .build()
         .unwrap();
 }
+
+// The sharded router is the seventh conformant "structure": the same
+// battery runs against four shards with boundaries placed inside the
+// battery's key range (so every shard takes traffic and every window
+// assertion crosses shard boundaries), with parallel ingest on.
+conformance! {
+    db_sharded_basic_cola => cosbt::DbBuilder::new()
+        .structure(cosbt::Structure::BasicCola)
+        .shards(4)
+        .shard_splitters(vec![128, 256, 384])
+        .parallel_ingest(true)
+        .build()
+        .unwrap();
+    db_sharded_gcola4 => cosbt::DbBuilder::new()
+        .structure(cosbt::Structure::GCola { g: 4 })
+        .shards(4)
+        .shard_splitters(vec![128, 256, 384])
+        .parallel_ingest(true)
+        .build()
+        .unwrap();
+    db_sharded_btree => cosbt::DbBuilder::new()
+        .structure(cosbt::Structure::BTree)
+        .shards(4)
+        .shard_splitters(vec![128, 256, 384])
+        .parallel_ingest(true)
+        .build()
+        .unwrap();
+    // Default even splitters: the battery's small keys all land in shard
+    // 0 — the degenerate routing must still behave exactly like one
+    // structure.
+    db_sharded_even_split => cosbt::DbBuilder::new()
+        .structure(cosbt::Structure::GCola { g: 4 })
+        .shards(4)
+        .build()
+        .unwrap();
+}

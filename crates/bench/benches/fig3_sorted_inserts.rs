@@ -34,7 +34,7 @@ fn main() {
             probe.stats()
         });
         series.print();
-        series.write_csv(&csv);
+        series.write_csv(&csv).expect("write results csv");
         finals.push((kind.label(), series.final_disk_rate()));
         println!();
     }

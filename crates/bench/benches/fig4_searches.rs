@@ -38,7 +38,7 @@ fn main() {
         let probe = ooc.probe();
         let series = search_throughput(&kind.label(), &mut ooc.dict, &probes, &|| probe.stats());
         series.print();
-        series.write_csv(&csv);
+        series.write_csv(&csv).expect("write results csv");
         finals.push((kind.label(), series.final_disk_rate()));
         println!();
     }

@@ -33,7 +33,7 @@ fn main() {
         let probe = ooc.probe();
         let series = insert_throughput(name, &mut ooc.dict, &keys, &cps, cap, &|| probe.stats());
         series.print();
-        series.write_csv(&csv);
+        series.write_csv(&csv).expect("write results csv");
         finals.push((name.to_string(), series.final_disk_rate()));
         println!();
     }

@@ -1,0 +1,270 @@
+//! A fixed-bucket, HDR-style latency histogram with no dependencies.
+//!
+//! Latencies span six orders of magnitude (a cache-hit `get` is tens of
+//! nanoseconds; a COLA merge cascade that rewrites the largest level can
+//! stall an insert for milliseconds), so a linear histogram either wastes
+//! memory or loses the tail. This is the standard log-linear compromise
+//! (the layout popularized by HdrHistogram): values below [`LINEAR_MAX`]
+//! are recorded exactly; above that, each power-of-two octave is split
+//! into [`SUBS`] equal sub-buckets, bounding the relative quantile error
+//! at `1/SUBS` ≈ 3% while the whole table stays a fixed ~15 KiB — small
+//! enough to keep one histogram per op class without perturbing the run.
+//!
+//! DESIGN.md ("Scenario harness") records why these constants were
+//! chosen; the regression gate compares quantiles produced here.
+
+/// Values below this are their own bucket (exact counts).
+pub const LINEAR_MAX: u64 = 64;
+/// Sub-buckets per power-of-two octave above the linear region.
+pub const SUBS: u64 = 32;
+/// Total bucket count: the linear region plus 32 sub-buckets for each of
+/// the 58 octaves `[2^6, 2^64)`.
+const BUCKETS: usize = LINEAR_MAX as usize + 58 * SUBS as usize;
+
+/// A latency histogram over `u64` values (nanoseconds by convention).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.value_at_quantile(0.50))
+            .field("p95", &self.value_at_quantile(0.95))
+            .field("p99", &self.value_at_quantile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// Bucket index of `v`: identity below [`LINEAR_MAX`], log-linear above.
+fn index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // ≥ 6
+    let sub = (v - (1 << msb)) >> (msb - 5); // top 5 bits below the msb
+    (LINEAR_MAX + (msb - 6) * SUBS + sub) as usize
+}
+
+/// Inclusive upper bound of bucket `i` — the value quantiles report, so a
+/// quantile never under-states a latency.
+fn bucket_high(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LINEAR_MAX {
+        return i;
+    }
+    let msb = (i - LINEAR_MAX) / SUBS + 6;
+    let sub = (i - LINEAR_MAX) % SUBS;
+    let width = 1u128 << (msb - 5);
+    // The very last sub-bucket of the top octave ends past u64::MAX.
+    let hi = (1u128 << msb) + (u128::from(sub) + 1) * width - 1;
+    hi.min(u128::from(u64::MAX)) as u64
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (exact, from the running
+    /// sum rather than the buckets).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The smallest value `x` such that at least `q` of the recorded
+    /// values are ≤ `x`, up to the bucket resolution (≤ ~3% relative
+    /// error above the linear region; exact below it). `q` is clamped to
+    /// `[0, 1]`; returns 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report past the true maximum.
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.value_at_quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// Adds every count of `other` into `self` (shard/thread merge).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let mut h = Histogram::new();
+        for v in 0..LINEAR_MAX {
+            h.record(v);
+        }
+        assert_eq!(h.count(), LINEAR_MAX);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), LINEAR_MAX - 1);
+        // Exact quantiles below the linear bound.
+        assert_eq!(h.value_at_quantile(0.5), 31);
+        assert_eq!(h.value_at_quantile(1.0), 63);
+        assert_eq!(h.value_at_quantile(0.0), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every value indexes into a bucket whose range contains it, and
+        // bucket upper bounds are strictly increasing.
+        let mut rng = cosbt_testkit::Rng::new(42);
+        for _ in 0..100_000 {
+            let v = rng.next_u64() >> rng.below(64) as u32;
+            let i = index(v);
+            assert!(v <= bucket_high(i), "v={v} above bucket {i} high");
+            if i > 0 {
+                assert!(v > bucket_high(i - 1), "v={v} not above bucket {}", i - 1);
+            }
+        }
+        for i in 1..BUCKETS {
+            assert!(bucket_high(i) > bucket_high(i - 1));
+        }
+        assert_eq!(index(u64::MAX), BUCKETS - 1, "top bucket covers u64::MAX");
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        // Against an exactly-sorted reference, the reported quantile is
+        // never below the true one and at most one sub-bucket above.
+        let mut rng = cosbt_testkit::Rng::new(7);
+        let mut h = Histogram::new();
+        let mut vals: Vec<u64> = (0..10_000).map(|_| rng.below(1 << 40)).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let truth = vals[rank - 1];
+            let got = h.value_at_quantile(q);
+            assert!(got >= truth, "q={q}: {got} < true {truth}");
+            assert!(
+                got as f64 <= truth as f64 * (1.0 + 2.0 / SUBS as f64) + LINEAR_MAX as f64,
+                "q={q}: {got} too far above true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut rng = cosbt_testkit::Rng::new(9);
+        let (mut a, mut b, mut all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for i in 0..5000u64 {
+            let v = rng.below(1 << 30);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.1, 0.5, 0.95, 0.99] {
+            assert_eq!(a.value_at_quantile(q), all.value_at_quantile(q));
+        }
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

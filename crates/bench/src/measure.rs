@@ -88,26 +88,28 @@ impl Series {
     }
 
     /// Appends this series to a CSV file (creating it with a header).
-    pub fn write_csv(&self, path: &std::path::Path) {
-        let new = !path.exists();
+    ///
+    /// The update is atomic — the existing content plus the new rows are
+    /// written to a temporary sibling which then replaces the file — so a
+    /// crash mid-write can never truncate previously collected results,
+    /// and every I/O error propagates instead of being swallowed.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir).ok();
+            std::fs::create_dir_all(dir)?;
         }
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .expect("open csv");
-        if new {
-            writeln!(
-                f,
-                "series,n,elapsed_s,avg_ops_per_sec,window_ops_per_sec,transfers,seeks,disk_model_ops_per_sec"
-            )
-            .unwrap();
-        }
+        let mut content = match std::fs::read_to_string(path) {
+            Ok(existing) => existing,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                "series,n,elapsed_s,avg_ops_per_sec,window_ops_per_sec,transfers,seeks,\
+                 disk_model_ops_per_sec\n"
+                    .to_string()
+            }
+            Err(e) => return Err(e),
+        };
         for p in &self.points {
-            writeln!(
-                f,
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                content,
                 "{},{},{:.6},{:.1},{:.1},{},{},{:.1}",
                 self.name,
                 p.n,
@@ -117,10 +119,30 @@ impl Series {
                 p.transfers,
                 p.seeks,
                 p.disk_model_ops_per_sec
-            )
-            .unwrap();
+            );
         }
+        write_atomic(path, &content)
     }
+}
+
+/// Writes `content` to `path` atomically: a temporary sibling in the
+/// same directory (so the rename cannot cross filesystems) is written,
+/// then renamed over the target. Used for every results artifact — CSV
+/// and `BENCH_*.json` — so partial writes never corrupt the trajectory.
+pub fn write_atomic(path: &std::path::Path, content: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
 }
 
 /// Power-of-two checkpoints from `lo` to `hi` inclusive.
@@ -306,6 +328,44 @@ mod tests {
             s.final_disk_rate() < s.final_rate(),
             "disk model must slow things down"
         );
+    }
+
+    #[test]
+    fn write_csv_appends_atomically_and_propagates_errors() {
+        let dir = std::env::temp_dir().join(format!("cosbt-csv-{}", std::process::id()));
+        let path = dir.join("series.csv");
+        std::fs::remove_file(&path).ok();
+        let s = Series {
+            name: "a".into(),
+            points: vec![Checkpoint {
+                n: 8,
+                elapsed_s: 0.5,
+                avg_ops_per_sec: 16.0,
+                window_ops_per_sec: 16.0,
+                transfers: 3,
+                seeks: 1,
+                disk_model_ops_per_sec: 10.0,
+            }],
+            capped: false,
+        };
+        s.write_csv(&path).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert!(first.starts_with("series,n,"), "header written once");
+        assert_eq!(first.lines().count(), 2);
+        // A second series appends; prior rows survive.
+        let mut t = s.clone();
+        t.name = "b".into();
+        t.write_csv(&path).unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(second.lines().count(), 3);
+        assert!(second.contains("a,8,") && second.contains("b,8,"));
+        assert_eq!(second.matches("series,n,").count(), 1);
+        // No temp droppings left behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        // Errors propagate: the target's parent is an existing *file*.
+        let bad = path.join("sub").join("x.csv");
+        assert!(s.write_csv(&bad).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

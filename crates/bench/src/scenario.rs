@@ -1,0 +1,819 @@
+//! The scenario runner: executes a named workload against any cell of
+//! the `DbBuilder` configuration matrix and produces a machine-readable
+//! report — throughput, per-op-class latency percentiles, and DAM
+//! block-transfer counts split by phase.
+//!
+//! A **scenario** is a key distribution × operation mix (see
+//! [`crate::workloads`]) plus a prefill policy; a **cell** is one
+//! structure × backend × shards configuration. The same `(scenario,
+//! cell, n, seed)` tuple always executes the same operation sequence,
+//! so results are comparable across structures, across commits (the
+//! `BENCH_*.json` trajectory), and against a `BTreeMap` model replay
+//! (the property suite in `tests/scenario_model.rs`).
+
+use std::time::Instant;
+
+use cosbt::Db;
+use cosbt_dam::IoStats;
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+use crate::workloads::{prefill_run, KeyDist, Op, OpMix, OpStream};
+
+/// Bump when the `BENCH_*.json` layout changes shape; `bench compare`
+/// refuses to diff across schema versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// How a scenario drives the dictionary after prefill.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioKind {
+    /// A stationary stream of mixed operations.
+    Mixed(OpMix),
+    /// Insert every op as a write, then drain the whole keyspace through
+    /// one streaming cursor (chunked so the drain contributes scan-class
+    /// latency samples) — the log-index build-then-read pattern.
+    InsertThenDrain,
+}
+
+/// A named workload: kind plus its default key distribution (the CLI can
+/// override the distribution per run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// CLI name ("balanced", "read_heavy", …).
+    pub name: &'static str,
+    /// What the op stream looks like.
+    pub kind: ScenarioKind,
+    /// Default key distribution (per-run overridable).
+    pub dist: KeyDist,
+    /// Prefill size as a fraction of `n` (so reads have something to
+    /// hit); applied before the measured phase.
+    pub prefill_frac: f64,
+    /// One-line description for `bench list`.
+    pub about: &'static str,
+}
+
+/// The scenario catalog. Key spaces default to 1/4 of the op count so a
+/// mixed run keeps revisiting keys (hit rate matters); the runner scales
+/// them with `n`.
+pub const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "read_heavy",
+        kind: ScenarioKind::Mixed(OpMix::READ_HEAVY),
+        dist: KeyDist::Zipfian {
+            space: 0,
+            theta: 0.99,
+        },
+        prefill_frac: 1.0,
+        about: "95% zipfian gets / 5% inserts over a prefilled store",
+    },
+    Scenario {
+        name: "balanced",
+        kind: ScenarioKind::Mixed(OpMix::BALANCED),
+        dist: KeyDist::Zipfian {
+            space: 0,
+            theta: 0.99,
+        },
+        prefill_frac: 0.5,
+        about: "50% gets / 45% inserts / 5% deletes, zipfian keys",
+    },
+    Scenario {
+        name: "write_heavy",
+        kind: ScenarioKind::Mixed(OpMix::WRITE_HEAVY),
+        dist: KeyDist::Uniform { space: 0 },
+        prefill_frac: 0.25,
+        about: "5% gets / 90% inserts / 5% deletes, uniform keys",
+    },
+    Scenario {
+        name: "scan_heavy",
+        kind: ScenarioKind::Mixed(OpMix::SCAN_HEAVY),
+        dist: KeyDist::Uniform { space: 0 },
+        prefill_frac: 1.0,
+        about: "80% range scans (100 entries) over a trickle of writes",
+    },
+    Scenario {
+        name: "insert_then_drain",
+        kind: ScenarioKind::InsertThenDrain,
+        dist: KeyDist::TimeSeriesAppend { jitter: 64 },
+        prefill_frac: 0.0,
+        about: "append-ingest everything, then stream the whole keyspace",
+    },
+];
+
+impl Scenario {
+    /// Looks a scenario up by CLI name.
+    pub fn by_name(name: &str) -> Option<&'static Scenario> {
+        SCENARIOS.iter().find(|s| s.name == name)
+    }
+
+    /// The scenario's distribution with its key space sized to the run
+    /// (`0` placeholders become `max(n/4, 16)`).
+    pub fn dist_for(&self, n: u64) -> KeyDist {
+        let space = (n / 4).max(16);
+        match self.dist {
+            KeyDist::Uniform { space: 0 } => KeyDist::Uniform { space },
+            KeyDist::Zipfian { space: 0, theta } => KeyDist::Zipfian { space, theta },
+            d => d,
+        }
+    }
+}
+
+/// Run metadata identifying one cell execution; two runs with equal
+/// identity executed the same op stream against the same configuration,
+/// which is what `bench compare` matches on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMeta {
+    /// Structure CLI name ("gcola", "btree", …).
+    pub structure: String,
+    /// Human label from `DbBuilder::label` ("4-COLA ×2 shards").
+    pub label: String,
+    /// "mem" or "file".
+    pub backend: String,
+    /// Shard count.
+    pub shards: usize,
+    /// Page-cache budget of a file backend (0 for memory cells, where
+    /// it has no effect).
+    pub cache_bytes: u64,
+    /// Whether batches were applied on worker threads.
+    pub parallel_ingest: bool,
+    /// Key distribution CLI name.
+    pub dist: String,
+    /// Measured operations.
+    pub ops: u64,
+    /// Prefill operations.
+    pub prefill: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Latency histograms of one run, by op class.
+#[derive(Debug, Clone, Default)]
+pub struct Latencies {
+    /// Every measured op.
+    pub overall: Histogram,
+    /// Point lookups.
+    pub get: Histogram,
+    /// Upserts.
+    pub insert: Histogram,
+    /// Deletes.
+    pub delete: Histogram,
+    /// Range scans (one sample per scan op, not per entry).
+    pub scan: Histogram,
+}
+
+impl Latencies {
+    fn for_class(&mut self, class: &str) -> &mut Histogram {
+        match class {
+            "get" => &mut self.get,
+            "insert" => &mut self.insert,
+            "delete" => &mut self.delete,
+            _ => &mut self.scan,
+        }
+    }
+}
+
+/// Everything one scenario × cell execution measured.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario CLI name.
+    pub scenario: String,
+    /// Cell + stream identity.
+    pub meta: RunMeta,
+    /// Wall-clock seconds of the measured phase (including the drain
+    /// for `insert_then_drain`).
+    pub elapsed_s: f64,
+    /// Measured ops per second over `elapsed_s`. For
+    /// `insert_then_drain` each drained entry counts as one op — the
+    /// build-then-stream pipeline rate — since the drain is inside the
+    /// measured window.
+    pub throughput: f64,
+    /// Per-class latency histograms.
+    pub latency: Latencies,
+    /// Entries streamed by scan ops (and the drain phase).
+    pub scanned_entries: u64,
+    /// Block transfers etc. during prefill (zeros for memory backends).
+    pub io_prefill: IoStats,
+    /// Block transfers etc. during the measured phase.
+    pub io_run: IoStats,
+}
+
+/// Batch size for prefill `insert_batch` runs and drain chunks.
+const CHUNK: usize = 16 * 1024;
+
+/// The seed of the prefill stream for a run seed — decorrelated from the
+/// measured op stream so prefill keys do not replay as op keys. Public
+/// so a model replay (`tests/scenario_model.rs`) regenerates the exact
+/// prefill the runner used.
+pub fn prefill_seed(seed: u64) -> u64 {
+    seed ^ 0x5EED_F111
+}
+
+/// The op mix a scenario's measured phase executes.
+pub fn mix_of(kind: ScenarioKind) -> OpMix {
+    match kind {
+        ScenarioKind::Mixed(mix) => mix,
+        ScenarioKind::InsertThenDrain => OpMix::INSERT_ONLY,
+    }
+}
+
+/// Executes `scenario` against `db`: prefills (unmeasured, but its I/O
+/// is reported), then runs `meta.ops` operations timing each one.
+/// `meta.dist` must name the distribution actually passed in `dist` —
+/// the CLI guarantees this; tests construct both from the same value.
+pub fn run(scenario: &Scenario, dist: KeyDist, meta: RunMeta, db: &mut Db) -> ScenarioReport {
+    // Phase 1: prefill (not latency-measured; I/O reported separately).
+    if meta.prefill > 0 {
+        let run = prefill_run(dist, meta.prefill, prefill_seed(meta.seed));
+        for chunk in run.chunks(CHUNK) {
+            db.insert_batch(chunk);
+        }
+    }
+    let io_prefill = db.take_io_stats();
+
+    // Phase 2: the measured op stream.
+    let mix = mix_of(scenario.kind);
+    let mut latency = Latencies::default();
+    let mut scanned = 0u64;
+    let started = Instant::now();
+    for op in OpStream::new(mix, dist, meta.seed).take(meta.ops as usize) {
+        let t = Instant::now();
+        match op {
+            Op::Get(k) => {
+                std::hint::black_box(db.get(k));
+            }
+            Op::Insert(k, v) => db.insert(k, v),
+            Op::Delete(k) => db.delete(k),
+            Op::Scan(k, len) => {
+                let mut cur = db.cursor(k, u64::MAX);
+                for _ in 0..len {
+                    match cur.next() {
+                        Some(kv) => {
+                            std::hint::black_box(kv);
+                            scanned += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        latency.for_class(op.class()).record(ns);
+        latency.overall.record(ns);
+    }
+
+    // Phase 2b (insert_then_drain): stream everything back out, one
+    // scan-class latency sample per chunk of entries.
+    if scenario.kind == ScenarioKind::InsertThenDrain {
+        let mut cur = db.cursor(0, u64::MAX);
+        loop {
+            let t = Instant::now();
+            let mut got = 0usize;
+            while got < CHUNK {
+                match cur.next() {
+                    Some(kv) => {
+                        std::hint::black_box(kv);
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+            if got > 0 {
+                scanned += got as u64;
+                let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                latency.scan.record(ns);
+                latency.overall.record(ns);
+            }
+            if got < CHUNK {
+                break;
+            }
+        }
+    }
+
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let io_run = db.take_io_stats();
+    // elapsed_s covers the drain too, so the drained entries must count
+    // toward the rate — otherwise a drain-dominated run would understate
+    // insert throughput and a slower drain would masquerade as one.
+    let measured_ops = match scenario.kind {
+        ScenarioKind::Mixed(_) => meta.ops,
+        ScenarioKind::InsertThenDrain => meta.ops + scanned,
+    };
+    ScenarioReport {
+        scenario: scenario.name.to_string(),
+        throughput: measured_ops as f64 / elapsed_s.max(1e-9),
+        meta,
+        elapsed_s,
+        latency,
+        scanned_entries: scanned,
+        io_prefill,
+        io_run,
+    }
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    Json::obj()
+        .with("count", h.count().into())
+        .with("mean_ns", h.mean().into())
+        .with("min_ns", h.min().into())
+        .with("p50_ns", h.p50().into())
+        .with("p95_ns", h.p95().into())
+        .with("p99_ns", h.p99().into())
+        .with("max_ns", h.max().into())
+}
+
+fn io_json(s: &IoStats) -> Json {
+    Json::obj()
+        .with("transfers", s.transfers().into())
+        .with("accesses", s.accesses.into())
+        .with("hits", s.hits.into())
+        .with("fetches", s.fetches.into())
+        .with("writebacks", s.writebacks.into())
+        .with("seeks", s.seeks.into())
+}
+
+impl ScenarioReport {
+    /// The run as one entry of a `BENCH_*.json` `runs` array.
+    pub fn to_json(&self) -> Json {
+        let m = &self.meta;
+        Json::obj()
+            .with(
+                "meta",
+                Json::obj()
+                    .with("structure", m.structure.as_str().into())
+                    .with("label", m.label.as_str().into())
+                    .with("backend", m.backend.as_str().into())
+                    .with("shards", m.shards.into())
+                    .with("cache_bytes", m.cache_bytes.into())
+                    .with("parallel_ingest", Json::Bool(m.parallel_ingest))
+                    .with("dist", m.dist.as_str().into())
+                    .with("ops", m.ops.into())
+                    .with("prefill", m.prefill.into())
+                    .with("seed", m.seed.into()),
+            )
+            .with("elapsed_s", self.elapsed_s.into())
+            .with("throughput_ops_per_sec", self.throughput.into())
+            .with(
+                "latency_ns",
+                Json::obj()
+                    .with("overall", histogram_json(&self.latency.overall))
+                    .with("get", histogram_json(&self.latency.get))
+                    .with("insert", histogram_json(&self.latency.insert))
+                    .with("delete", histogram_json(&self.latency.delete))
+                    .with("scan", histogram_json(&self.latency.scan)),
+            )
+            .with("scanned_entries", self.scanned_entries.into())
+            .with(
+                "io",
+                Json::obj()
+                    .with("prefill", io_json(&self.io_prefill))
+                    .with("run", io_json(&self.io_run)),
+            )
+    }
+
+    /// Human console summary.
+    pub fn print(&self) {
+        println!(
+            "{:<18} {:<24} {:>10.0} ops/s  p50 {:>8} ns  p95 {:>8} ns  p99 {:>8} ns  \
+             transfers {:>8}",
+            self.scenario,
+            self.meta.label,
+            self.throughput,
+            self.latency.overall.p50(),
+            self.latency.overall.p95(),
+            self.latency.overall.p99(),
+            self.io_run.transfers(),
+        );
+    }
+}
+
+/// Header of the `BENCH_*.csv` companion files.
+pub fn csv_header() -> &'static str {
+    "scenario,structure,backend,shards,dist,ops,prefill,seed,elapsed_s,\
+     throughput_ops_per_sec,p50_ns,p95_ns,p99_ns,prefill_transfers,run_transfers"
+}
+
+/// Wraps run entries into a schema-versioned `BENCH_<scenario>.json`
+/// document, replacing same-identity runs of `existing` (so re-running a
+/// cell updates its row while other cells' results survive — the bench
+/// trajectory accumulates instead of resetting).
+pub fn merge_document(scenario: &str, existing: Option<&Json>, new_runs: &[Json]) -> Json {
+    let mut runs: Vec<Json> = existing
+        .filter(|doc| {
+            doc.get("schema_version").and_then(Json::as_u64) == Some(SCHEMA_VERSION)
+                && doc.get("scenario").and_then(Json::as_str) == Some(scenario)
+        })
+        .and_then(|doc| doc.get("runs"))
+        .and_then(Json::as_arr)
+        .map(<[Json]>::to_vec)
+        .unwrap_or_default();
+    for new_run in new_runs {
+        let id = run_identity(new_run);
+        if let Some(slot) = runs.iter_mut().find(|r| run_identity(r) == id) {
+            *slot = new_run.clone();
+        } else {
+            runs.push(new_run.clone());
+        }
+    }
+    Json::obj()
+        .with("schema_version", SCHEMA_VERSION.into())
+        .with("scenario", scenario.into())
+        .with("runs", Json::Arr(runs))
+}
+
+/// The compare/merge key of a serialized run: every meta field that
+/// pins the op stream and the cell's behaviour. The label is included
+/// because it encodes the structure parameters (growth factor, fanout,
+/// deamortization) the bare structure name does not — a 2-COLA and an
+/// 8-COLA must not replace each other's trajectory rows; cache_bytes
+/// because it directly changes transfer counts on file cells.
+pub fn run_identity(run: &Json) -> String {
+    let meta = run.get("meta");
+    let s = |k: &str| {
+        meta.and_then(|m| m.get(k))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let n = |k: &str| {
+        meta.and_then(|m| m.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX)
+    };
+    let parallel = meta
+        .and_then(|m| m.get("parallel_ingest"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        s("structure"),
+        s("label"),
+        s("backend"),
+        n("shards"),
+        n("cache_bytes"),
+        parallel,
+        s("dist"),
+        n("ops"),
+        n("prefill"),
+        n("seed")
+    )
+}
+
+/// Renders a merged `BENCH_*.json` document as its companion CSV (one
+/// row per run, [`csv_header`] first) — regenerated wholesale from the
+/// document so the two artifacts can never drift apart.
+pub fn csv_from_document(doc: &Json) -> String {
+    let scenario = doc.get("scenario").and_then(Json::as_str).unwrap_or("?");
+    let mut out = format!("{}\n", csv_header());
+    let empty: &[Json] = &[];
+    for r in doc.get("runs").and_then(Json::as_arr).unwrap_or(empty) {
+        let meta = r.get("meta");
+        let ms = |k: &str| {
+            meta.and_then(|m| m.get(k))
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        let mn = |k: &str| {
+            meta.and_then(|m| m.get(k))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        let overall = r.get("latency_ns").and_then(|l| l.get("overall"));
+        let q = |k: &str| {
+            overall
+                .and_then(|o| o.get(k))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        let io = |phase: &str| {
+            r.get("io")
+                .and_then(|io| io.get(phase))
+                .and_then(|p| p.get("transfers"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{:.6},{:.1},{},{},{},{},{}",
+            scenario,
+            ms("structure"),
+            ms("backend"),
+            mn("shards"),
+            ms("dist"),
+            mn("ops"),
+            mn("prefill"),
+            mn("seed"),
+            r.get("elapsed_s").and_then(Json::as_f64).unwrap_or(0.0),
+            r.get("throughput_ops_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            q("p50_ns"),
+            q("p95_ns"),
+            q("p99_ns"),
+            io("prefill"),
+            io("run"),
+        );
+    }
+    out
+}
+
+/// One regression (or advisory) found by [`compare_documents`].
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Human description of the delta.
+    pub message: String,
+    /// Whether this finding should fail the gate.
+    pub fails: bool,
+}
+
+/// Diffs a current `BENCH_*.json` document against a baseline.
+///
+/// Block transfers are deterministic for a fixed `(scenario, cell, n,
+/// seed)` — same code, same count — so they gate hard: a current value
+/// more than `threshold` (fractional) above baseline is a failing
+/// finding. Wall-clock throughput depends on the machine, so it only
+/// gates when `check_throughput` is set (useful on a dedicated runner);
+/// otherwise it reports advisories. Runs missing from the baseline are
+/// advisories, so adding a new cell never breaks the gate.
+pub fn compare_documents(
+    current: &Json,
+    baseline: &Json,
+    threshold: f64,
+    check_throughput: bool,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let (cur_v, base_v) = (
+        current.get("schema_version").and_then(Json::as_u64),
+        baseline.get("schema_version").and_then(Json::as_u64),
+    );
+    if cur_v != Some(SCHEMA_VERSION) || base_v != Some(SCHEMA_VERSION) {
+        findings.push(Finding {
+            message: format!(
+                "schema mismatch: current {cur_v:?}, baseline {base_v:?}, tool expects \
+                 {SCHEMA_VERSION} — refresh the baseline"
+            ),
+            fails: true,
+        });
+        return findings;
+    }
+    let empty: &[Json] = &[];
+    let base_runs = baseline.get("runs").and_then(Json::as_arr).unwrap_or(empty);
+    let cur_runs = current.get("runs").and_then(Json::as_arr).unwrap_or(empty);
+    for cur in cur_runs {
+        let id = run_identity(cur);
+        let label = cur
+            .get("meta")
+            .and_then(|m| m.get("label"))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let Some(base) = base_runs.iter().find(|r| run_identity(r) == id) else {
+            findings.push(Finding {
+                message: format!("{label}: no baseline run (new cell?) — skipped"),
+                fails: false,
+            });
+            continue;
+        };
+        let transfers = |r: &Json| -> u64 {
+            r.get("io")
+                .and_then(|io| io.get("run"))
+                .and_then(|p| p.get("transfers"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        let (ct, bt) = (transfers(cur), transfers(base));
+        if ct as f64 > bt as f64 * (1.0 + threshold) + 0.5 {
+            findings.push(Finding {
+                message: format!(
+                    "{label}: block transfers regressed {bt} → {ct} \
+                     (+{:.1}%, threshold {:.1}%)",
+                    (ct as f64 / bt.max(1) as f64 - 1.0) * 100.0,
+                    threshold * 100.0
+                ),
+                fails: true,
+            });
+        } else if (bt as f64) > ct as f64 * (1.0 + threshold) + 0.5 {
+            findings.push(Finding {
+                message: format!("{label}: block transfers improved {bt} → {ct}"),
+                fails: false,
+            });
+        }
+        let tput = |r: &Json| {
+            r.get("throughput_ops_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        let (cth, bth) = (tput(cur), tput(base));
+        if cth < bth * (1.0 - threshold) && bth > 0.0 {
+            findings.push(Finding {
+                message: format!(
+                    "{label}: throughput {} {bth:.0} → {cth:.0} ops/s (−{:.1}%)",
+                    if check_throughput {
+                        "regressed"
+                    } else {
+                        "lower (advisory)"
+                    },
+                    (1.0 - cth / bth) * 100.0
+                ),
+                fails: check_throughput,
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosbt::{DbBuilder, Structure};
+
+    fn small_meta(scenario: &Scenario, n: u64) -> (KeyDist, RunMeta) {
+        let dist = scenario.dist_for(n);
+        let meta = RunMeta {
+            structure: "gcola".into(),
+            label: "4-COLA".into(),
+            backend: "mem".into(),
+            shards: 1,
+            cache_bytes: 0,
+            parallel_ingest: false,
+            dist: dist.name().into(),
+            ops: n,
+            prefill: (n as f64 * scenario.prefill_frac) as u64,
+            seed: 42,
+        };
+        (dist, meta)
+    }
+
+    #[test]
+    fn every_scenario_runs_and_reports() {
+        for scenario in SCENARIOS {
+            let (dist, meta) = small_meta(scenario, 2000);
+            let mut db = DbBuilder::new()
+                .structure(Structure::GCola { g: 4 })
+                .build()
+                .unwrap();
+            let report = run(scenario, dist, meta, &mut db);
+            // Every op contributes one overall sample; a drain adds one
+            // more per streamed chunk on top of the 2000 ops.
+            let want = match scenario.kind {
+                ScenarioKind::Mixed(_) => 2000,
+                ScenarioKind::InsertThenDrain => 2000 + report.latency.scan.count(),
+            };
+            assert_eq!(
+                report.latency.overall.count(),
+                want,
+                "{}: every op sampled",
+                scenario.name
+            );
+            assert!(report.throughput > 0.0, "{}", scenario.name);
+            assert!(report.elapsed_s > 0.0, "{}", scenario.name);
+            if scenario.kind == ScenarioKind::InsertThenDrain {
+                assert!(
+                    report.scanned_entries > 0,
+                    "{}: drain streamed entries",
+                    scenario.name
+                );
+            }
+            let j = report.to_json();
+            assert!(j.get("latency_ns").is_some());
+            assert!(j
+                .get("io")
+                .unwrap()
+                .get("run")
+                .unwrap()
+                .get("transfers")
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn merge_document_replaces_by_identity() {
+        let scenario = Scenario::by_name("balanced").unwrap();
+        let (dist, meta) = small_meta(scenario, 500);
+        let mut db = DbBuilder::new().build().unwrap();
+        let r1 = run(scenario, dist, meta.clone(), &mut db).to_json();
+        let doc = merge_document("balanced", None, std::slice::from_ref(&r1));
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(1));
+        // Same identity: replaced, not duplicated.
+        let doc2 = merge_document("balanced", Some(&doc), std::slice::from_ref(&r1));
+        assert_eq!(doc2.get("runs").unwrap().as_arr().unwrap().len(), 1);
+        // Different identity: appended.
+        let mut db2 = DbBuilder::new()
+            .structure(Structure::BTree)
+            .build()
+            .unwrap();
+        let meta2 = RunMeta {
+            structure: "btree".into(),
+            label: "B-tree".into(),
+            ..meta
+        };
+        let r2 = run(scenario, dist, meta2, &mut db2).to_json();
+        let doc3 = merge_document("balanced", Some(&doc2), &[r2]);
+        assert_eq!(doc3.get("runs").unwrap().as_arr().unwrap().len(), 2);
+        // Same structure name but different parameters (the label
+        // carries g/fanout/deamortization): distinct identity, appended —
+        // an 8-COLA must not overwrite the 4-COLA's trajectory row.
+        let mut db3 = DbBuilder::new()
+            .structure(Structure::GCola { g: 8 })
+            .build()
+            .unwrap();
+        let (dist, meta8) = small_meta(scenario, 500);
+        let meta8 = RunMeta {
+            label: "8-COLA".into(),
+            ..meta8
+        };
+        let r3 = run(scenario, dist, meta8, &mut db3).to_json();
+        let doc4 = merge_document("balanced", Some(&doc3), &[r3]);
+        assert_eq!(doc4.get("runs").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn compare_flags_transfer_regressions_not_improvements() {
+        let scenario = Scenario::by_name("balanced").unwrap();
+        let (dist, meta) = small_meta(scenario, 500);
+        let mut db = DbBuilder::new().build().unwrap();
+        let r = run(scenario, dist, meta, &mut db).to_json();
+        let current = merge_document("balanced", None, std::slice::from_ref(&r));
+
+        // Identical baseline: clean.
+        let findings = compare_documents(&current, &current, 0.10, false);
+        assert!(findings.iter().all(|f| !f.fails), "{findings:?}");
+
+        // Baseline with *fewer* transfers than current → current regressed.
+        // Memory cells report 0 transfers, so fabricate counts on both
+        // sides through the JSON (what the CLI actually diffs).
+        let inflate = |doc: &Json, t: u64| -> Json {
+            let mut doc = doc.clone();
+            let Json::Obj(fields) = &mut doc else {
+                panic!()
+            };
+            let runs = fields.iter_mut().find(|(k, _)| k == "runs").unwrap();
+            let Json::Arr(runs) = &mut runs.1 else {
+                panic!()
+            };
+            for r in runs {
+                let io = r.get("io").unwrap().clone();
+                let run_io = io.get("run").unwrap().clone().with("transfers", t.into());
+                r.set("io", io.with("run", run_io));
+            }
+            doc
+        };
+        let current_bad = inflate(&current, 150);
+        let baseline = inflate(&current, 100);
+        let findings = compare_documents(&current_bad, &baseline, 0.10, false);
+        assert!(
+            findings.iter().any(|f| f.fails),
+            "50% above a 10% threshold must fail: {findings:?}"
+        );
+        // Within threshold: clean.
+        let findings = compare_documents(&inflate(&current, 105), &baseline, 0.10, false);
+        assert!(findings.iter().all(|f| !f.fails), "{findings:?}");
+        // Improvement: advisory only.
+        let findings = compare_documents(&inflate(&current, 50), &baseline, 0.10, false);
+        assert!(findings.iter().all(|f| !f.fails), "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("improved")));
+        // Missing baseline run: advisory only.
+        let empty = Json::obj()
+            .with("schema_version", SCHEMA_VERSION.into())
+            .with("scenario", "balanced".into())
+            .with("runs", Json::Arr(vec![]));
+        let findings = compare_documents(&current, &empty, 0.10, false);
+        assert!(findings.iter().all(|f| !f.fails), "{findings:?}");
+        // Schema mismatch: hard failure.
+        let old = Json::obj().with("schema_version", 999u64.into());
+        assert!(compare_documents(&current, &old, 0.10, false)[0].fails);
+    }
+
+    #[test]
+    fn sharded_file_cell_reports_phase_io() {
+        let scenario = Scenario::by_name("balanced").unwrap();
+        let n = 4000u64;
+        let dist = scenario.dist_for(n);
+        let path = std::env::temp_dir().join(format!("cosbt-scen-{}.dat", std::process::id()));
+        let meta = RunMeta {
+            structure: "gcola".into(),
+            label: "4-COLA ×2 shards".into(),
+            backend: "file".into(),
+            shards: 2,
+            cache_bytes: 64 * 1024,
+            parallel_ingest: false,
+            dist: dist.name().into(),
+            ops: n,
+            prefill: n / 2,
+            seed: 7,
+        };
+        let builder = DbBuilder::new()
+            .structure(Structure::GCola { g: 4 })
+            .backend(cosbt::Backend::File(path))
+            .cache_bytes(64 * 1024)
+            .shards(2);
+        let mut db = builder.clone().build().unwrap();
+        let report = run(scenario, dist, meta, &mut db);
+        assert!(report.io_prefill.transfers() > 0, "prefill hit the files");
+        assert!(report.io_run.accesses > 0, "run phase touched the stores");
+        drop(db);
+        for p in builder.data_paths() {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

@@ -1,10 +1,17 @@
-//! Key-stream generators matching the paper's experiments.
+//! Workload generators: the paper's key streams plus the composable
+//! scenario layer (key distributions × operation mixes).
 //!
 //! The paper inserts 64-bit keys in three orders: uniformly random,
-//! ascending `[0, …, N−1]`, and descending `[N−1, …, 0]`. Search probes
-//! are uniformly random existing keys.
+//! ascending `[0, …, N−1]`, and descending `[N−1, …, 0]`; search probes
+//! are uniformly random existing keys. Those generators are kept
+//! unchanged for the figure benches. On top of them, the scenario
+//! harness composes a [`KeyDist`] (which keys) with an [`OpMix`] (which
+//! operations) into one deterministic, seeded [`OpStream`] — the same
+//! seed always yields the same operation sequence, so a run can be
+//! replayed against a model for correctness or against a baseline for
+//! performance.
 
-use cosbt::testkit::Rng;
+use cosbt::testkit::{Rng, Zipf};
 
 /// `n` pseudorandom 64-bit keys (duplicates possible, as in the paper's
 /// "N random elements").
@@ -28,7 +35,294 @@ pub fn descending(n: u64) -> Vec<u64> {
 /// paper's 2^15 random searches.
 pub fn search_probes(keys: &[u64], count: u64, seed: u64) -> Vec<u64> {
     let mut rng = Rng::new(seed);
-    (0..count).map(|_| keys[rng.index(keys.len())]).collect()
+    (0..count)
+        .map(|_| rng.index(keys.len()))
+        .map(|i| keys[i])
+        .collect()
+}
+
+/// Which keys a scenario touches.
+///
+/// For the random distributions, key *identities* are drawn from a
+/// bounded logical space of `space` distinct keys (so reads actually
+/// hit earlier writes), then spread across the full `u64` range
+/// order-preservingly — a sharded database with default even splitters
+/// sees balanced partitions instead of every key landing in shard 0.
+/// The append distributions ([`KeyDist::Ascending`],
+/// [`KeyDist::TimeSeriesAppend`]) deliberately emit raw small
+/// sequential keys: an append workload is *inherently* tail-heavy, and
+/// under even splitters it will hammer shard 0 — measuring exactly the
+/// hotspot a sharded deployment must solve with custom
+/// `shard_splitters`, not a generator artifact to paper over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every key in the space equally likely.
+    Uniform {
+        /// Number of distinct logical keys.
+        space: u64,
+    },
+    /// YCSB-style zipfian popularity: a small hot set absorbs most
+    /// operations. Hot ranks are scattered over the key space by a
+    /// hash, so "popular" does not mean "adjacent" (or "same shard").
+    Zipfian {
+        /// Number of distinct logical keys.
+        space: u64,
+        /// Skew in `(0, 1)`; YCSB's default is 0.99.
+        theta: f64,
+    },
+    /// Strictly ascending sequence — bulk-load / log-append pattern,
+    /// the B-tree's best case and the COLA's carry-heavy case.
+    Ascending,
+    /// Time-series append: monotone timestamps with bounded out-of-order
+    /// arrival (each key may land up to `jitter` behind the newest), the
+    /// standard ingest pattern of metrics pipelines.
+    TimeSeriesAppend {
+        /// Maximum backward displacement of a key.
+        jitter: u64,
+    },
+}
+
+impl KeyDist {
+    /// Parses the CLI spelling: `uniform`, `zipfian`, `ascending`,
+    /// `timeseries`.
+    pub fn by_name(name: &str, space: u64) -> Option<KeyDist> {
+        Some(match name {
+            "uniform" => KeyDist::Uniform { space },
+            "zipfian" => KeyDist::Zipfian { space, theta: 0.99 },
+            "ascending" => KeyDist::Ascending,
+            "timeseries" => KeyDist::TimeSeriesAppend { jitter: 64 },
+            _ => return None,
+        })
+    }
+
+    /// The CLI spelling of this distribution.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyDist::Uniform { .. } => "uniform",
+            KeyDist::Zipfian { .. } => "zipfian",
+            KeyDist::Ascending => "ascending",
+            KeyDist::TimeSeriesAppend { .. } => "timeseries",
+        }
+    }
+}
+
+/// Spreads logical key `k` of a `space`-sized domain across the full
+/// `u64` range, preserving order (so range scans and shard splitters
+/// still see the logical ordering).
+fn spread(k: u64, space: u64) -> u64 {
+    k.saturating_mul(u64::MAX / space.max(1))
+}
+
+/// SplitMix64 finalizer: scatters zipfian ranks so the hot set is not a
+/// contiguous key range.
+fn scramble(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Stateful key generator for one [`KeyDist`].
+#[derive(Debug, Clone)]
+pub struct KeyGen {
+    dist: KeyDist,
+    zipf: Option<Zipf>,
+    next_seq: u64,
+}
+
+impl KeyGen {
+    /// A generator at the start of the distribution's sequence.
+    pub fn new(dist: KeyDist) -> KeyGen {
+        let zipf = match dist {
+            KeyDist::Zipfian { space, theta } => Some(Zipf::new(space.max(1), theta)),
+            _ => None,
+        };
+        KeyGen {
+            dist,
+            zipf,
+            next_seq: 0,
+        }
+    }
+
+    /// Draws the next key (deterministic given the `rng` stream and the
+    /// number of previous draws).
+    pub fn next_key(&mut self, rng: &mut Rng) -> u64 {
+        match self.dist {
+            KeyDist::Uniform { space } => spread(rng.below(space.max(1)), space),
+            KeyDist::Zipfian { space, .. } => {
+                let rank = self.zipf.as_ref().expect("zipf built").sample(rng);
+                spread(scramble(rank) % space.max(1), space)
+            }
+            KeyDist::Ascending => {
+                let k = self.next_seq;
+                self.next_seq += 1;
+                k
+            }
+            KeyDist::TimeSeriesAppend { jitter } => {
+                let base = self.next_seq;
+                self.next_seq += 1;
+                base.saturating_sub(if jitter == 0 {
+                    0
+                } else {
+                    rng.below(jitter + 1)
+                })
+            }
+        }
+    }
+}
+
+/// One benchmark operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup.
+    Get(u64),
+    /// Upsert.
+    Insert(u64, u64),
+    /// Delete (tombstone for the log-structured structures).
+    Delete(u64),
+    /// Range scan: stream up to the given number of entries from the key.
+    Scan(u64, usize),
+}
+
+impl Op {
+    /// The op-class label used in reports ("get", "insert", …).
+    pub fn class(&self) -> &'static str {
+        match self {
+            Op::Get(_) => "get",
+            Op::Insert(..) => "insert",
+            Op::Delete(_) => "delete",
+            Op::Scan(..) => "scan",
+        }
+    }
+}
+
+/// Relative operation weights of a stationary mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Point-lookup weight.
+    pub get: u32,
+    /// Upsert weight.
+    pub insert: u32,
+    /// Delete weight.
+    pub delete: u32,
+    /// Range-scan weight.
+    pub scan: u32,
+    /// Entries streamed per scan.
+    pub scan_len: usize,
+}
+
+impl OpMix {
+    /// 95% reads / 5% writes — the serving-path mix where the B-tree
+    /// should shine.
+    pub const READ_HEAVY: OpMix = OpMix {
+        get: 95,
+        insert: 5,
+        delete: 0,
+        scan: 0,
+        scan_len: 0,
+    };
+    /// 50% reads / 50% writes.
+    pub const BALANCED: OpMix = OpMix {
+        get: 50,
+        insert: 45,
+        delete: 5,
+        scan: 0,
+        scan_len: 0,
+    };
+    /// 5% reads / 95% writes — the streaming-ingest mix the COLA family
+    /// is built for.
+    pub const WRITE_HEAVY: OpMix = OpMix {
+        get: 5,
+        insert: 90,
+        delete: 5,
+        scan: 0,
+        scan_len: 0,
+    };
+    /// Mostly range scans over a trickle of writes (analytics over a
+    /// slowly changing table).
+    pub const SCAN_HEAVY: OpMix = OpMix {
+        get: 10,
+        insert: 10,
+        delete: 0,
+        scan: 80,
+        scan_len: 100,
+    };
+    /// Pure insertion — the drain phase of insert-then-range-drain is
+    /// generated by the scenario runner, not by the mix.
+    pub const INSERT_ONLY: OpMix = OpMix {
+        get: 0,
+        insert: 100,
+        delete: 0,
+        scan: 0,
+        scan_len: 0,
+    };
+
+    fn total(&self) -> u32 {
+        self.get + self.insert + self.delete + self.scan
+    }
+}
+
+/// A deterministic operation stream: `mix` × `dist`, seeded. Equal
+/// parameters yield equal streams, which is what lets a scenario run be
+/// replayed against a `BTreeMap` model or compared across structures.
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    mix: OpMix,
+    keys: KeyGen,
+    rng: Rng,
+    produced: u64,
+}
+
+impl OpStream {
+    /// A stream at its start.
+    pub fn new(mix: OpMix, dist: KeyDist, seed: u64) -> OpStream {
+        assert!(mix.total() > 0, "an op mix needs at least one weight");
+        OpStream {
+            mix,
+            keys: KeyGen::new(dist),
+            rng: Rng::new(seed),
+            produced: 0,
+        }
+    }
+}
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        let roll = self.rng.below(self.mix.total() as u64) as u32;
+        let key = self.keys.next_key(&mut self.rng);
+        self.produced += 1;
+        Some(if roll < self.mix.get {
+            Op::Get(key)
+        } else if roll < self.mix.get + self.mix.insert {
+            // Values encode the op index, so replay divergence is visible.
+            Op::Insert(key, self.produced)
+        } else if roll < self.mix.get + self.mix.insert + self.mix.delete {
+            Op::Delete(key)
+        } else {
+            Op::Scan(key, self.mix.scan_len.max(1))
+        })
+    }
+}
+
+/// A key-sorted unique run of `n` prefill pairs drawn from `dist`
+/// (values are the draw index; later draws win on duplicate keys, as
+/// `insert_batch` requires sorted-stable runs).
+pub fn prefill_run(dist: KeyDist, n: u64, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = Rng::new(seed);
+    let mut keys = KeyGen::new(dist);
+    let mut run: Vec<(u64, u64)> = (0..n).map(|i| (keys.next_key(&mut rng), i)).collect();
+    run.sort_by_key(|&(k, _)| k); // stable: later draws stay later
+    run.dedup_by(|later, earlier| {
+        if later.0 == earlier.0 {
+            earlier.1 = later.1; // keep the newest value per key
+            true
+        } else {
+            false
+        }
+    });
+    run
 }
 
 #[cfg(test)]
@@ -45,5 +339,117 @@ mod tests {
         let probes = search_probes(&keys, 200, 4);
         assert_eq!(probes.len(), 200);
         assert!(probes.iter().all(|p| keys.contains(p)));
+    }
+
+    #[test]
+    fn op_streams_replay_exactly() {
+        for dist in [
+            KeyDist::Uniform { space: 1000 },
+            KeyDist::Zipfian {
+                space: 1000,
+                theta: 0.99,
+            },
+            KeyDist::Ascending,
+            KeyDist::TimeSeriesAppend { jitter: 16 },
+        ] {
+            let a: Vec<Op> = OpStream::new(OpMix::BALANCED, dist, 42)
+                .take(2000)
+                .collect();
+            let b: Vec<Op> = OpStream::new(OpMix::BALANCED, dist, 42)
+                .take(2000)
+                .collect();
+            assert_eq!(a, b, "{dist:?} must replay");
+            let c: Vec<Op> = OpStream::new(OpMix::BALANCED, dist, 43)
+                .take(2000)
+                .collect();
+            assert_ne!(a, c, "{dist:?} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn mixes_are_roughly_calibrated() {
+        let ops: Vec<Op> = OpStream::new(OpMix::READ_HEAVY, KeyDist::Uniform { space: 100 }, 7)
+            .take(10_000)
+            .collect();
+        let gets = ops.iter().filter(|o| matches!(o, Op::Get(_))).count();
+        assert!(
+            (9_000..10_000).contains(&gets),
+            "95/5 mix produced {gets} gets"
+        );
+        let ops: Vec<Op> = OpStream::new(OpMix::SCAN_HEAVY, KeyDist::Uniform { space: 100 }, 7)
+            .take(10_000)
+            .collect();
+        let scans = ops.iter().filter(|o| matches!(o, Op::Scan(..))).count();
+        assert!((7_000..9_000).contains(&scans), "{scans} scans");
+    }
+
+    #[test]
+    fn ascending_and_timeseries_stay_monotoneish() {
+        let mut rng = Rng::new(1);
+        let mut g = KeyGen::new(KeyDist::Ascending);
+        let keys: Vec<u64> = (0..100).map(|_| g.next_key(&mut rng)).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+
+        let mut g = KeyGen::new(KeyDist::TimeSeriesAppend { jitter: 8 });
+        let mut hi = 0u64;
+        for i in 0..10_000u64 {
+            let k = g.next_key(&mut rng);
+            assert!(k + 8 >= i, "key {k} fell more than jitter behind {i}");
+            hi = hi.max(k);
+        }
+        assert!(hi >= 10_000 - 9, "the sequence advances");
+    }
+
+    #[test]
+    fn zipfian_keys_are_skewed_but_spread() {
+        let mut rng = Rng::new(5);
+        let mut g = KeyGen::new(KeyDist::Zipfian {
+            space: 10_000,
+            theta: 0.99,
+        });
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(g.next_key(&mut rng)).or_insert(0u64) += 1;
+        }
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(freq[0] > 1000, "hottest key absorbs >5% of traffic");
+        // Hot keys are scattered: the two hottest are not adjacent ranks
+        // of the spread domain.
+        let mut hot: Vec<u64> = counts
+            .iter()
+            .filter(|(_, &c)| c >= freq[1])
+            .map(|(&k, _)| k)
+            .collect();
+        hot.sort_unstable();
+        assert!(hot.len() >= 2);
+        assert!(
+            hot[1] - hot[0] > u64::MAX / 10_000,
+            "hot set not contiguous"
+        );
+    }
+
+    #[test]
+    fn prefill_runs_are_sorted_unique_newest_wins() {
+        let run = prefill_run(KeyDist::Uniform { space: 500 }, 2000, 11);
+        assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "sorted unique");
+        assert!(run.len() <= 500);
+        // Replay by hand: the kept value per key is the latest draw.
+        let mut rng = Rng::new(11);
+        let mut keys = KeyGen::new(KeyDist::Uniform { space: 500 });
+        let mut model = std::collections::BTreeMap::new();
+        for i in 0..2000u64 {
+            model.insert(keys.next_key(&mut rng), i);
+        }
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(run, want);
+    }
+
+    #[test]
+    fn dist_names_roundtrip() {
+        for name in ["uniform", "zipfian", "ascending", "timeseries"] {
+            assert_eq!(KeyDist::by_name(name, 10).unwrap().name(), name);
+        }
+        assert!(KeyDist::by_name("nope", 10).is_none());
     }
 }

@@ -93,6 +93,13 @@ impl FilePages {
         self.stats = IoStats::default();
     }
 
+    /// Returns the counters accumulated so far and resets them: one call
+    /// closes a measurement phase and opens the next (cache residency is
+    /// untouched, so a warm cache stays warm across phases).
+    pub fn take_stats(&mut self) -> IoStats {
+        std::mem::take(&mut self.stats)
+    }
+
     fn note_device_access(&mut self, id: u64) {
         if let Some(i) = self
             .streams
@@ -289,6 +296,11 @@ impl<T: Pod> FileMem<T> {
         self.pages.reset_stats()
     }
 
+    /// Snapshot-and-reset of the counters (see [`FilePages::take_stats`]).
+    pub fn take_stats(&mut self) -> IoStats {
+        self.pages.take_stats()
+    }
+
     /// Empties the user-space cache (writes dirty pages back first).
     pub fn drop_cache(&mut self) {
         self.pages.drop_cache()
@@ -370,6 +382,12 @@ impl<T: Pod> SharedFileMem<T> {
         self.inner.borrow_mut().reset_stats()
     }
 
+    /// Snapshot-and-reset of the counters in one borrow, so a measurement
+    /// phase boundary cannot lose accesses between the read and the reset.
+    pub fn take_stats(&self) -> IoStats {
+        self.inner.borrow_mut().take_stats()
+    }
+
     /// Empties the user-space page cache.
     pub fn drop_cache(&self) {
         self.inner.borrow_mut().drop_cache()
@@ -433,6 +451,13 @@ impl<T: Pod> ArcFileMem<T> {
         self.lock().reset_stats()
     }
 
+    /// Snapshot-and-reset of the counters under one lock acquisition, so
+    /// a phase boundary cannot lose concurrent accesses between the read
+    /// and the reset (the per-phase idiom of the scenario harness).
+    pub fn take_stats(&self) -> IoStats {
+        self.lock().take_stats()
+    }
+
     /// Empties the user-space page cache.
     pub fn drop_cache(&self) {
         self.lock().drop_cache()
@@ -483,6 +508,12 @@ impl ArcFilePages {
     /// Resets the I/O counters.
     pub fn reset_stats(&self) {
         self.lock().reset_stats()
+    }
+
+    /// Snapshot-and-reset of the counters under one lock acquisition
+    /// (see [`ArcFileMem::take_stats`]).
+    pub fn take_stats(&self) -> IoStats {
+        self.lock().take_stats()
     }
 
     /// Empties the user-space page cache.
@@ -608,6 +639,36 @@ mod tests {
         p.with_page_mut(id, |pg| pg[0] = 7);
         q.drop_cache();
         assert_eq!(p.with_page(id, |pg| pg[0]), 7);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn take_stats_splits_phases_without_losing_counts() {
+        let path = tmp("phases");
+        let fm: FileMem<u64> = FileMem::create(&path, 512, 2, 8).unwrap();
+        let mut m = ArcFileMem::new(fm);
+        m.resize(500, 0);
+        for i in 0..500usize {
+            m.set(i, i as u64);
+        }
+        let phase1 = m.take_stats();
+        assert!(phase1.accesses > 0, "prefill phase touched the store");
+        assert_eq!(m.stats(), IoStats::default(), "take resets the counters");
+        m.drop_cache();
+        let _ = m.take_stats();
+        for i in 0..500usize {
+            assert_eq!(m.get(i), i as u64);
+        }
+        let phase2 = m.take_stats();
+        assert!(phase2.fetches > 0, "cold read phase fetched");
+        // Residency survives the snapshot: re-reading the tail the scan
+        // just loaded (still in the 2-page cache) is all hits.
+        for i in 490..500usize {
+            let _ = m.get(i);
+        }
+        let phase3 = m.take_stats();
+        assert_eq!(phase3.fetches, 0, "warm phase after snapshot");
+        assert_eq!(phase3.hits, phase3.accesses);
         std::fs::remove_file(path).ok();
     }
 

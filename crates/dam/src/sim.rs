@@ -123,6 +123,12 @@ impl IoSim {
         self.stats = IoStats::default();
     }
 
+    /// Returns the counters accumulated so far and resets them, closing
+    /// one measurement phase and opening the next (residency is kept).
+    pub fn take_stats(&mut self) -> IoStats {
+        std::mem::take(&mut self.stats)
+    }
+
     /// Empties internal memory, counting writebacks for dirty blocks.
     /// Models e.g. the paper's "remounted the RAID array before searching".
     pub fn drop_cache(&mut self) {

@@ -77,6 +77,91 @@ impl Rng {
     }
 }
 
+/// A zipfian rank sampler over `[0, n)`: rank `r` is drawn with
+/// probability proportional to `1/(r+1)^theta`, the skewed access
+/// pattern of YCSB-style benchmark workloads (a small set of hot keys
+/// absorbs most of the traffic).
+///
+/// Uses the constant-time inversion method of Gray et al., *Quickly
+/// generating billion-record synthetic databases* (SIGMOD '94): an `O(n)`
+/// harmonic-sum precomputation at construction, then `O(1)` per sample.
+/// Ranks are returned in popularity order — rank 0 is the hottest — so
+/// callers that want hot keys scattered across the keyspace should map
+/// ranks through a hash (see `cosbt-bench`'s workload layer).
+///
+/// ```
+/// use cosbt_testkit::{Rng, Zipf};
+///
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = Rng::new(7);
+/// let mut hits0 = 0;
+/// for _ in 0..10_000 {
+///     let r = zipf.sample(&mut rng);
+///     assert!(r < 1000);
+///     if r == 0 {
+///         hits0 += 1;
+///     }
+/// }
+/// // Rank 0 gets far more than the uniform 1/1000 share.
+/// assert!(hits0 > 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// A sampler over ranks `[0, n)` with skew `theta` in `(0, 1)`
+    /// (YCSB's default is 0.99; larger is more skewed). Panics on an
+    /// empty domain or a `theta` outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf over an empty domain");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "zipf skew must lie in (0, 1), got {theta}"
+        );
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Number of ranks in the domain.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// The probability of rank `r` under this distribution.
+    pub fn rank_probability(&self, r: u64) -> f64 {
+        assert!(r < self.n, "rank outside the domain");
+        1.0 / ((r + 1) as f64).powf(self.theta) / self.zetan
+    }
+
+    /// Draws one rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        // Map a u64 to a uniform in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+}
+
 /// Runs `case` for `cases` independently seeded random inputs. On panic the
 /// failing case index and derived seed are printed so the case can be
 /// replayed with `Rng::new(seed)`.
@@ -136,5 +221,44 @@ mod tests {
         let mut n = 0u64;
         check_cases("count", 16, |_| n += 1);
         assert_eq!(n, 16);
+    }
+
+    #[test]
+    fn zipf_matches_rank_frequency_law() {
+        // Empirical rank frequencies must track 1/(r+1)^theta / zeta(n)
+        // within a loose statistical tolerance.
+        let n = 100u64;
+        let theta = 0.99;
+        let zipf = Zipf::new(n, theta);
+        let mut rng = Rng::new(0xC0FFEE);
+        let samples = 200_000u64;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for r in [0u64, 1, 2, 5, 10, 50] {
+            let want = zipf.rank_probability(r);
+            let got = counts[r as usize] as f64 / samples as f64;
+            assert!(
+                (got - want).abs() < 0.15 * want + 0.002,
+                "rank {r}: empirical {got:.5} vs theoretical {want:.5}"
+            );
+        }
+        // Popularity must be (statistically) monotone at the head.
+        assert!(counts[0] > counts[5]);
+        assert!(counts[1] > counts[20]);
+    }
+
+    #[test]
+    fn zipf_stays_in_domain_and_is_deterministic() {
+        let zipf = Zipf::new(17, 0.5);
+        let mut a = Rng::new(3);
+        let mut b = Rng::new(3);
+        for _ in 0..10_000 {
+            let ra = zipf.sample(&mut a);
+            assert!(ra < 17);
+            assert_eq!(ra, zipf.sample(&mut b));
+        }
+        assert_eq!(zipf.domain(), 17);
     }
 }

@@ -300,12 +300,21 @@ impl DbBuilder {
                 Err(e) => {
                     // A partial multi-shard file build must not leave the
                     // freshly created (truncated) shard files behind:
-                    // release the stores built so far, then unlink every
-                    // file this call may have created.
+                    // release the stores built so far, then unlink the
+                    // files this call created — earlier shards always,
+                    // shard `i` only if its file creation was attempted
+                    // (an I/O error). An Unsupported error fails before
+                    // touching the filesystem, and unlinking then would
+                    // delete a pre-existing user file at the path.
                     if let Backend::File(base) = &self.backend {
                         drop(dicts);
                         drop(ios);
-                        for j in 0..=i {
+                        let created = if matches!(e, BuildError::Io(_)) {
+                            i + 1
+                        } else {
+                            i
+                        };
+                        for j in 0..created {
                             std::fs::remove_file(self.shard_file_path(base, j)).ok();
                         }
                     }
@@ -323,6 +332,21 @@ impl DbBuilder {
             Box::new(ShardRouter::new(dicts, splitters, self.parallel_ingest))
         };
         Ok(Db { dict, ios, label })
+    }
+
+    /// The backing-file paths this configuration stores data in: the
+    /// configured path itself when unsharded, `<path>.shard<i>` per
+    /// shard otherwise; empty for the memory backend. This is the one
+    /// source of the shard-file naming convention — harnesses that own
+    /// the files' lifecycle (e.g. the bench CLI's delete-after-run)
+    /// should unlink exactly this list rather than re-deriving names.
+    pub fn data_paths(&self) -> Vec<PathBuf> {
+        match &self.backend {
+            Backend::Mem => Vec::new(),
+            Backend::File(base) => (0..self.shards)
+                .map(|i| self.shard_file_path(base, i))
+                .collect(),
+        }
     }
 
     /// Data-file path of shard `idx`: the configured path itself when
@@ -413,6 +437,52 @@ impl DbBuilder {
         }
     }
 
+    /// Enumerates every supported structure × modifier cell of the
+    /// configuration matrix (see [`VALID_COMBINATIONS`]) over the memory
+    /// backend, crossed with the given shard counts. This is the **one**
+    /// list of valid configurations shared by the conformance battery and
+    /// the benchmark harness, so a structure added to the builder is
+    /// automatically tested and benchmarkable; callers that want the
+    /// out-of-core regime override the backend per cell (the shuttle tree
+    /// is memory-only and must be skipped or left on [`Backend::Mem`]).
+    ///
+    /// Every returned builder is valid: `build()` succeeds.
+    ///
+    /// ```
+    /// use cosbt::DbBuilder;
+    ///
+    /// for b in DbBuilder::matrix(&[1, 4]) {
+    ///     b.build().expect("every matrix cell builds");
+    /// }
+    /// ```
+    pub fn matrix(shard_counts: &[usize]) -> Vec<DbBuilder> {
+        let structures = [
+            (Structure::BasicCola, false),
+            (Structure::BasicCola, true),
+            (Structure::GCola { g: 2 }, false),
+            (Structure::GCola { g: 2 }, true),
+            (Structure::GCola { g: 4 }, false),
+            (Structure::GCola { g: 8 }, false),
+            (Structure::BTree, false),
+            (Structure::Brt, false),
+            (Structure::Shuttle { c: 4 }, false),
+        ];
+        let mut out = Vec::new();
+        for &(structure, deamortized) in &structures {
+            for &shards in shard_counts {
+                if shards == 0 {
+                    continue;
+                }
+                let mut b = DbBuilder::new().structure(structure).shards(shards);
+                if deamortized {
+                    b = b.deamortized();
+                }
+                out.push(b);
+            }
+        }
+        out
+    }
+
     /// Display label of the configured structure ("4-COLA", "B-tree",
     /// "4-COLA ×4 shards", …).
     pub fn label(&self) -> String {
@@ -455,6 +525,13 @@ impl IoHandle {
         match self {
             IoHandle::Mem(m) => m.reset_stats(),
             IoHandle::Pages(p) => p.reset_stats(),
+        }
+    }
+
+    fn take_stats(&self) -> IoStats {
+        match self {
+            IoHandle::Mem(m) => m.take_stats(),
+            IoHandle::Pages(p) => p.take_stats(),
         }
     }
 
@@ -606,6 +683,15 @@ impl Db {
         }
     }
 
+    /// Returns the counters accumulated so far (summed across shards) and
+    /// resets them — one call closes a measurement phase and opens the
+    /// next. Each shard's snapshot-and-reset is atomic under its store
+    /// lock, so no access is lost at the boundary even while worker
+    /// threads are mid-batch on other shards. Zeros for memory backends.
+    pub fn take_io_stats(&self) -> IoStats {
+        self.ios.iter().map(|h| h.take_stats()).sum()
+    }
+
     /// Empties every shard's user-space page cache — the paper's
     /// "remount" — so the next operations run cold (no-op for memory
     /// backends).
@@ -660,22 +746,11 @@ mod tests {
         p
     }
 
+    /// The shared matrix plus a few splitter variants with boundaries
+    /// placed inside the small key range the tests exercise.
     fn all_mem_configs() -> Vec<DbBuilder> {
-        vec![
-            DbBuilder::new().structure(Structure::BasicCola),
-            DbBuilder::new()
-                .structure(Structure::BasicCola)
-                .deamortized(),
-            DbBuilder::new().structure(Structure::GCola { g: 2 }),
-            DbBuilder::new().structure(Structure::GCola { g: 4 }),
-            DbBuilder::new()
-                .structure(Structure::GCola { g: 2 })
-                .deamortized(),
-            DbBuilder::new().structure(Structure::BTree),
-            DbBuilder::new().structure(Structure::Brt),
-            DbBuilder::new().structure(Structure::Shuttle { c: 4 }),
-            // Sharded variants of each family, with boundaries placed
-            // inside the small key range the tests exercise.
+        let mut configs = DbBuilder::matrix(&[1]);
+        configs.extend([
             DbBuilder::new()
                 .structure(Structure::GCola { g: 4 })
                 .shards(4)
@@ -689,7 +764,8 @@ mod tests {
                 .structure(Structure::Shuttle { c: 4 })
                 .shards(3)
                 .shard_splitters(vec![300, 900]),
-        ]
+        ]);
+        configs
     }
 
     #[test]
@@ -813,6 +889,104 @@ mod tests {
             "a failed build must not leave partial shard files behind"
         );
         std::fs::remove_dir(&blocker).ok();
+    }
+
+    #[test]
+    fn unsupported_file_build_preserves_preexisting_data() {
+        // A misconfiguration error (shuttle × file) fails before the
+        // backing file is ever opened — it must not delete a user's
+        // pre-existing file at that path.
+        let path = tmp("preexisting");
+        std::fs::write(&path, b"precious bytes").unwrap();
+        let err = DbBuilder::new()
+            .structure(Structure::Shuttle { c: 4 })
+            .backend(Backend::File(path.clone()))
+            .build();
+        assert!(matches!(err, Err(BuildError::Unsupported(_))));
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"precious bytes",
+            "an Unsupported build error must not unlink pre-existing data"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn data_paths_name_every_backing_file() {
+        assert!(DbBuilder::new().data_paths().is_empty(), "mem: no files");
+        let base = tmp("datapaths");
+        let b = DbBuilder::new().backend(Backend::File(base.clone()));
+        assert_eq!(b.data_paths(), vec![base.clone()], "unsharded: the path");
+        let b = b.shards(3);
+        let paths = b.data_paths();
+        assert_eq!(paths.len(), 3);
+        for (i, p) in paths.iter().enumerate() {
+            assert!(
+                p.to_string_lossy().ends_with(&format!(".shard{i}")),
+                "{p:?}"
+            );
+        }
+        // The advertised contract: building then unlinking data_paths
+        // leaves nothing behind.
+        let db = b.clone().build().unwrap();
+        drop(db);
+        for p in b.data_paths() {
+            assert!(p.exists(), "{p:?} was created by build");
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn matrix_cells_all_build_and_cover_every_structure() {
+        let cells = DbBuilder::matrix(&[1, 2, 4]);
+        assert_eq!(cells.len(), 9 * 3);
+        let labels: Vec<String> = cells.iter().map(|b| b.label()).collect();
+        for b in cells {
+            b.build().expect("every matrix cell must build");
+        }
+        for needle in [
+            "basic-COLA",
+            "deamortized-basic-COLA",
+            "2-COLA",
+            "deamortized-2-COLA",
+            "4-COLA",
+            "8-COLA",
+            "B-tree",
+            "BRT",
+            "shuttle(4)",
+            "4-COLA ×4 shards",
+        ] {
+            assert!(
+                labels.iter().any(|l| l == needle),
+                "matrix misses {needle}: {labels:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn take_io_stats_closes_a_phase() {
+        let path = tmp("takeio");
+        let mut db = DbBuilder::new()
+            .structure(Structure::GCola { g: 4 })
+            .backend(Backend::File(path.clone()))
+            .cache_bytes(64 * 1024)
+            .build()
+            .unwrap();
+        for k in 0..2000u64 {
+            db.insert(k, k);
+        }
+        let prefill = db.take_io_stats();
+        assert!(prefill.accesses > 0);
+        assert_eq!(db.io_stats(), IoStats::default());
+        db.drop_cache();
+        let _ = db.take_io_stats();
+        for k in (0..2000u64).step_by(101) {
+            assert_eq!(db.get(k), Some(k));
+        }
+        let run = db.take_io_stats();
+        assert!(run.fetches > 0, "cold search phase fetched");
+        drop(db);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -200,38 +200,6 @@ conformance! {
     btree         => cosbt::btree::BTree::new_plain();
     brt           => cosbt::brt::Brt::new_plain();
     shuttle       => cosbt::shuttle::ShuttleTree::new(4);
-    db_facade     => cosbt::DbBuilder::new()
-        .structure(cosbt::Structure::GCola { g: 4 })
-        .build()
-        .unwrap();
-}
-
-// The sharded router is the seventh conformant "structure": the same
-// battery runs against four shards with boundaries placed inside the
-// battery's key range (so every shard takes traffic and every window
-// assertion crosses shard boundaries), with parallel ingest on.
-conformance! {
-    db_sharded_basic_cola => cosbt::DbBuilder::new()
-        .structure(cosbt::Structure::BasicCola)
-        .shards(4)
-        .shard_splitters(vec![128, 256, 384])
-        .parallel_ingest(true)
-        .build()
-        .unwrap();
-    db_sharded_gcola4 => cosbt::DbBuilder::new()
-        .structure(cosbt::Structure::GCola { g: 4 })
-        .shards(4)
-        .shard_splitters(vec![128, 256, 384])
-        .parallel_ingest(true)
-        .build()
-        .unwrap();
-    db_sharded_btree => cosbt::DbBuilder::new()
-        .structure(cosbt::Structure::BTree)
-        .shards(4)
-        .shard_splitters(vec![128, 256, 384])
-        .parallel_ingest(true)
-        .build()
-        .unwrap();
     // Default even splitters: the battery's small keys all land in shard
     // 0 — the degenerate routing must still behave exactly like one
     // structure.
@@ -240,4 +208,30 @@ conformance! {
         .shards(4)
         .build()
         .unwrap();
+}
+
+// The `Db` facade is held to the same battery across the **entire**
+// supported configuration matrix — the one list `DbBuilder::matrix`
+// also hands to the benchmark harness, so a structure added to the
+// builder is conformance-tested and benchmarkable for free.
+#[test]
+fn matrix_unsharded_cells_conform() {
+    for b in cosbt::DbBuilder::matrix(&[1]) {
+        battery(b.build().unwrap());
+    }
+}
+
+// Same matrix, range-partitioned: boundaries placed inside the battery's
+// key range (so every shard takes traffic and every window assertion
+// crosses shard boundaries), with parallel ingest on.
+#[test]
+fn matrix_sharded_cells_conform() {
+    for b in cosbt::DbBuilder::matrix(&[4]) {
+        battery(
+            b.shard_splitters(vec![128, 256, 384])
+                .parallel_ingest(true)
+                .build()
+                .unwrap(),
+        );
+    }
 }

@@ -26,7 +26,8 @@ use cosbt_bench::json::{self, Json};
 use cosbt_bench::measure::{results_dir, write_atomic};
 use cosbt_bench::scaled;
 use cosbt_bench::scenario::{
-    compare_documents, csv_from_document, merge_document, run, RunMeta, Scenario, SCENARIOS,
+    compare_documents, csv_from_document, merge_document, run, run_reopen, RunMeta, Scenario,
+    SCENARIOS,
 };
 use cosbt_bench::workloads::KeyDist;
 
@@ -102,6 +103,10 @@ fn usage() -> ExitCode {
          \x20 --n N                        measured ops (default {} / COSBT_SCALE=full {})\n\
          \x20 --prefill N                  prefill ops (default: scenario fraction of n)\n\
          \x20 --seed N                     workload seed (default 42)\n\
+         \x20 --reopen                     cold-start phase: sync, drop all process state,\n\
+         \x20                              reopen from the files, measure first-read latency\n\
+         \x20                              and transfers (file backend only)\n\
+         \x20 --reopen-samples N           cold point reads in the reopen phase (default 2000)\n\
          \x20 --out DIR                    artifact directory (default results/)\n\
          \n\
          compare options:\n\
@@ -223,9 +228,11 @@ impl CellSpec {
     }
 }
 
-/// A `Db` plus the file paths to unlink when the run is done.
+/// A `Db` plus its builder (for the `--reopen` phase) and the file paths
+/// to unlink when the run is done.
 struct BuiltCell {
     db: Db,
+    builder: DbBuilder,
     cleanup: Vec<PathBuf>,
 }
 
@@ -261,8 +268,12 @@ fn build_cell(spec: &CellSpec) -> Result<BuiltCell, String> {
         other => return Err(format!("unknown backend '{other}' (mem | file)")),
     }
     let cleanup = b.data_paths();
-    let db = b.build().map_err(|e| e.to_string())?;
-    Ok(BuiltCell { db, cleanup })
+    let db = b.clone().build().map_err(|e| e.to_string())?;
+    Ok(BuiltCell {
+        db,
+        builder: b,
+        cleanup,
+    })
 }
 
 fn cmd_run(args: &mut Args) -> ExitCode {
@@ -289,6 +300,8 @@ fn cmd_run(args: &mut Args) -> ExitCode {
         .num("--prefill")
         .unwrap_or((n as f64 * scenario.prefill_frac) as u64);
     let seed = args.num("--seed").unwrap_or(42);
+    let reopen = args.flag("--reopen");
+    let reopen_samples = args.num("--reopen-samples").unwrap_or(2000);
     let out = args
         .opt("--out")
         .map(PathBuf::from)
@@ -304,6 +317,10 @@ fn cmd_run(args: &mut Args) -> ExitCode {
         None => scenario.dist_for(n),
     };
     args.finish("run");
+    if reopen && spec.backend != "file" {
+        eprintln!("--reopen needs --backend file (a memory cell has nothing to reopen)");
+        return ExitCode::from(2);
+    }
 
     let built = match build_cell(&spec) {
         Ok(b) => b,
@@ -335,11 +352,42 @@ fn cmd_run(args: &mut Args) -> ExitCode {
         "running scenario '{}' on {} ({} backend, n = {n}, prefill = {prefill}, seed = {seed})",
         scenario.name, meta.label, meta.backend
     );
-    let report = run(scenario, dist, meta, &mut db);
+    let mut report = run(scenario, dist, meta, &mut db);
     report.print();
-    drop(db);
+    let reopen_result = if reopen {
+        match run_reopen(built.builder.clone(), db, dist, seed, reopen_samples) {
+            Ok((cold, reopened)) => {
+                println!(
+                    "reopen: open {:.1} ms, {} cold reads ({} hits): p50 {} ns p99 {} ns, \
+                     transfers {}",
+                    cold.open_s * 1e3,
+                    cold.first_reads.count(),
+                    cold.hits,
+                    cold.first_reads.p50(),
+                    cold.first_reads.p99(),
+                    cold.io.transfers(),
+                );
+                report.reopen = Some(cold);
+                drop(reopened);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    } else {
+        // Scratch cell, files unlinked below: skip the sync-on-drop
+        // commit (quiesce + fsync) that durability would otherwise pay.
+        db.discard_on_drop();
+        drop(db);
+        Ok(())
+    };
+    // Scratch files go away on success *and* failure — a failed reopen
+    // phase must not leak the cell's store files into the temp dir.
     for path in built.cleanup {
         std::fs::remove_file(path).ok();
+    }
+    if let Err(e) = reopen_result {
+        eprintln!("reopen phase failed: {e}");
+        return ExitCode::FAILURE;
     }
 
     // Merge into the trajectory and write both artifacts atomically.

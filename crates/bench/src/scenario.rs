@@ -171,6 +171,24 @@ impl Latencies {
     }
 }
 
+/// The cold-start phase a `--reopen` run appends: sync, drop the whole
+/// process-side state (handle, page caches), reopen from the files, and
+/// measure first-read behaviour.
+#[derive(Debug, Clone)]
+pub struct ReopenReport {
+    /// Wall-clock seconds from `DbBuilder::open` call to a usable `Db`
+    /// (superblock validation, metadata recovery, structure
+    /// reconstruction).
+    pub open_s: f64,
+    /// Latency of the cold point reads issued right after reopen.
+    pub first_reads: Histogram,
+    /// Reads found (sanity: the reopened store actually serves data).
+    pub hits: u64,
+    /// I/O during the cold reads (every fetch is a real file read — the
+    /// reopened cache starts empty).
+    pub io: IoStats,
+}
+
 /// Everything one scenario × cell execution measured.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -194,6 +212,10 @@ pub struct ScenarioReport {
     pub io_prefill: IoStats,
     /// Block transfers etc. during the measured phase.
     pub io_run: IoStats,
+    /// Cold-start measurements of the `--reopen` phase, when requested
+    /// (file cells only). Optional, so trajectories with and without the
+    /// phase keep one run identity.
+    pub reopen: Option<ReopenReport>,
 }
 
 /// Batch size for prefill `insert_batch` runs and drain chunks.
@@ -306,7 +328,54 @@ pub fn run(scenario: &Scenario, dist: KeyDist, meta: RunMeta, db: &mut Db) -> Sc
         scanned_entries: scanned,
         io_prefill,
         io_run,
+        reopen: None,
     }
+}
+
+/// The `--reopen` cold-start phase: commits `db` durably, drops every
+/// piece of process state (handle and user-space page caches), reopens
+/// the store from its files via `builder`, and measures open latency
+/// plus `samples` cold point reads against keys drawn from the run's
+/// key distribution (the regenerated prefill stream — real hits whenever
+/// the scenario prefills). Consumes and returns the database so the
+/// caller keeps control of file cleanup.
+pub fn run_reopen(
+    builder: cosbt::DbBuilder,
+    db: Db,
+    dist: KeyDist,
+    seed: u64,
+    samples: u64,
+) -> Result<(ReopenReport, Db), String> {
+    let mut db = db;
+    db.sync().map_err(|e| format!("sync before reopen: {e}"))?;
+    drop(db);
+
+    let started = Instant::now();
+    let mut db = builder.open().map_err(|e| format!("reopen: {e}"))?;
+    let open_s = started.elapsed().as_secs_f64();
+
+    db.reset_io_stats();
+    let mut first_reads = Histogram::default();
+    let mut hits = 0u64;
+    let keys = prefill_run(dist, samples, prefill_seed(seed));
+    for &(k, _) in &keys {
+        let t = Instant::now();
+        if std::hint::black_box(db.get(k)).is_some() {
+            hits += 1;
+        }
+        let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        first_reads.record(ns);
+    }
+    let io = db.take_io_stats();
+    Ok((
+        ReopenReport {
+            open_s,
+            first_reads,
+            hits,
+            io,
+        },
+        db,
+    ))
 }
 
 fn histogram_json(h: &Histogram) -> Json {
@@ -334,7 +403,14 @@ impl ScenarioReport {
     /// The run as one entry of a `BENCH_*.json` `runs` array.
     pub fn to_json(&self) -> Json {
         let m = &self.meta;
-        Json::obj()
+        let reopen_json = self.reopen.as_ref().map(|r| {
+            Json::obj()
+                .with("open_s", r.open_s.into())
+                .with("first_reads_ns", histogram_json(&r.first_reads))
+                .with("hits", r.hits.into())
+                .with("io", io_json(&r.io))
+        });
+        let base = Json::obj()
             .with(
                 "meta",
                 Json::obj()
@@ -366,7 +442,11 @@ impl ScenarioReport {
                 Json::obj()
                     .with("prefill", io_json(&self.io_prefill))
                     .with("run", io_json(&self.io_run)),
-            )
+            );
+        match reopen_json {
+            Some(r) => base.with("reopen", r),
+            None => base,
+        }
     }
 
     /// Human console summary.

@@ -108,12 +108,15 @@ impl OutOfCore {
     /// Empties the user-space page cache — the paper's "remounted the
     /// RAID array's file system … to clear the file cache".
     pub fn drop_cache(&self) {
-        self.dict.drop_cache()
+        self.dict.drop_cache().expect("cache writeback failed")
     }
 }
 
 impl Drop for OutOfCore {
     fn drop(&mut self) {
+        // A bench scratch store is deleted, not kept: skip the Db's
+        // sync-on-drop commit before unlinking its file.
+        self.dict.discard_on_drop();
         std::fs::remove_file(&self.path).ok();
     }
 }

@@ -490,6 +490,44 @@ impl<P: PageStore> Brt<P> {
     }
 }
 
+/// Per-structure metadata format version (see `cosbt_core::persist`).
+const META_VERSION: u8 = 1;
+
+impl<P: PageStore> Brt<P> {
+    /// Reconstructs a BRT over an already-populated `store` from
+    /// persisted control state (root page and counters). Buffered
+    /// messages live inside the node pages, so they survive as data.
+    pub fn from_parts(store: P, meta: &[u8]) -> Result<Self, cosbt_core::MetaError> {
+        use cosbt_core::{persist::TAG_BRT, MetaError, MetaReader};
+        let mut r = MetaReader::new(meta, TAG_BRT, META_VERSION)?;
+        let root = r.u32()?;
+        let live = r.usize()?;
+        let n = r.u64()?;
+        r.finish()?;
+        if root >= store.num_pages() {
+            return Err(MetaError::Invalid(format!(
+                "root page {root} out of bounds ({} pages)",
+                store.num_pages()
+            )));
+        }
+        Ok(Brt {
+            store,
+            root,
+            live,
+            n,
+        })
+    }
+}
+
+impl<P: PageStore> cosbt_core::Persist for Brt<P> {
+    fn save_meta(&mut self) -> Vec<u8> {
+        use cosbt_core::{persist::TAG_BRT, MetaWriter};
+        let mut w = MetaWriter::new(TAG_BRT, META_VERSION);
+        w.u32(self.root).usize(self.live).u64(self.n);
+        w.finish()
+    }
+}
+
 impl<P: PageStore> Dictionary for Brt<P> {
     fn insert(&mut self, key: u64, val: u64) {
         self.insert_cell(Cell::item(key, val));

@@ -517,6 +517,47 @@ impl<P: PageStore> CursorOps for BTreeCursor<'_, P> {
     }
 }
 
+/// Per-structure metadata format version (see `cosbt_core::persist`).
+const META_VERSION: u8 = 1;
+
+impl<P: PageStore> BTree<P> {
+    /// Reconstructs a B-tree over an already-populated `store` from
+    /// persisted control state (root page, height, entry count).
+    pub fn from_parts(store: P, meta: &[u8]) -> Result<Self, cosbt_core::MetaError> {
+        use cosbt_core::{persist::TAG_BTREE, MetaError, MetaReader};
+        let mut r = MetaReader::new(meta, TAG_BTREE, META_VERSION)?;
+        let root = r.u32()?;
+        let height = r.u32()?;
+        let len = r.usize()?;
+        r.finish()?;
+        if root >= store.num_pages() {
+            return Err(MetaError::Invalid(format!(
+                "root page {root} out of bounds ({} pages)",
+                store.num_pages()
+            )));
+        }
+        if height == 0 {
+            return Err(MetaError::Invalid("zero height".into()));
+        }
+        Ok(BTree {
+            store,
+            root,
+            height,
+            len,
+            inserted_flag: false,
+        })
+    }
+}
+
+impl<P: PageStore> cosbt_core::Persist for BTree<P> {
+    fn save_meta(&mut self) -> Vec<u8> {
+        use cosbt_core::{persist::TAG_BTREE, MetaWriter};
+        let mut w = MetaWriter::new(TAG_BTREE, META_VERSION);
+        w.u32(self.root).u32(self.height).usize(self.len);
+        w.finish()
+    }
+}
+
 impl<P: PageStore> cosbt_core::Dictionary for BTree<P> {
     fn insert(&mut self, key: u64, val: u64) {
         BTree::insert(self, key, val)
@@ -684,7 +725,7 @@ mod tests {
         for k in 0..10_000u64 {
             t.insert(k.wrapping_mul(0x9E3779B97F4A7C15) % 65536, k);
         }
-        t.store_mut().drop_cache();
+        t.store_mut().drop_cache().unwrap();
         let mut model = std::collections::BTreeMap::new();
         for k in 0..10_000u64 {
             model.insert(k.wrapping_mul(0x9E3779B97F4A7C15) % 65536, k);

@@ -26,7 +26,11 @@ use cosbt_dam::{Mem, PlainMem};
 use crate::cursor::{Run, RunMergeCursor};
 use crate::dict::{Cursor, Dictionary, UpdateBatch};
 use crate::entry::Cell;
+use crate::persist::{MetaError, MetaReader, MetaWriter, Persist, TAG_BASIC_COLA};
 use crate::stats::ColaStats;
+
+/// Per-structure metadata format version (see [`crate::persist`]).
+const META_VERSION: u8 = 1;
 
 /// Offset of level `k`: slot 0 is the merge spare, then levels are packed
 /// contiguously (sizes 1, 2, 4, …).
@@ -342,6 +346,52 @@ impl<M: Mem<Cell>> BasicCola<M> {
         }
     }
 
+    /// Reconstructs a basic COLA over an already-populated `mem` from the
+    /// control state a previous [`Persist::save_meta`] produced. The
+    /// store's cells are used as-is; only occupancy bookkeeping is
+    /// restored (and validated against the store's length).
+    pub fn from_parts(mem: M, meta: &[u8]) -> Result<Self, MetaError> {
+        let mut r = MetaReader::new(meta, TAG_BASIC_COLA, META_VERSION)?;
+        let n = r.u64()?;
+        let levels = r.usize()?;
+        // Bound the count before allocating anything with it: a corrupt
+        // payload must yield a MetaError, not an allocator abort. 60
+        // levels ≈ 2^60 cells, far past any real store.
+        if levels == 0 || levels > 60 {
+            return Err(MetaError::Invalid(format!("level count {levels}")));
+        }
+        let mut full = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            full.push(r.bool()?);
+        }
+        r.finish()?;
+        for (k, &f) in full.iter().enumerate() {
+            if f != (n >> k & 1 == 1) {
+                return Err(MetaError::Invalid(format!(
+                    "level {k} occupancy disagrees with insertion count {n}"
+                )));
+            }
+        }
+        if n >> levels != 0 {
+            return Err(MetaError::Invalid(format!(
+                "insertion count {n} needs more than {levels} levels"
+            )));
+        }
+        let need = level_off(levels - 1) + (1 << (levels - 1));
+        if mem.len() < need {
+            return Err(MetaError::Invalid(format!(
+                "store holds {} cells, occupancy needs {need}",
+                mem.len()
+            )));
+        }
+        Ok(BasicCola {
+            mem,
+            full,
+            n,
+            stats: ColaStats::default(),
+        })
+    }
+
     /// Checks Invariant 1 (level k full ⇔ bit k of N) and per-level
     /// sortedness. Panics on violation; for tests.
     pub fn check_invariants(&self) {
@@ -365,6 +415,17 @@ impl<M: Mem<Cell>> BasicCola<M> {
                 );
             }
         }
+    }
+}
+
+impl<M: Mem<Cell>> Persist for BasicCola<M> {
+    fn save_meta(&mut self) -> Vec<u8> {
+        let mut w = MetaWriter::new(TAG_BASIC_COLA, META_VERSION);
+        w.u64(self.n).usize(self.full.len());
+        for &f in &self.full {
+            w.bool(f);
+        }
+        w.finish()
     }
 }
 

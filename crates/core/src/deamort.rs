@@ -40,7 +40,11 @@ use cosbt_dam::{Mem, PlainMem};
 use crate::cursor::{Run, RunMergeCursor};
 use crate::dict::{Cursor, Dictionary};
 use crate::entry::Cell;
+use crate::persist::{MetaError, MetaReader, MetaWriter, Persist, TAG_DEAMORT};
 use crate::stats::ColaStats;
+
+/// Per-structure metadata format version (see [`crate::persist`]).
+const META_VERSION: u8 = 1;
 
 /// Pointer sampling stride: "every eighth element" (Lemma 20 / Thm 24).
 const STRIDE: usize = 8;
@@ -533,6 +537,96 @@ impl<M: Mem<Cell>> DeamortCola<M> {
         None
     }
 
+    /// Completes every in-flight phase and every due merge (the mover's
+    /// loop with an unbounded budget, iterated to a fixpoint). Logical
+    /// contents are unchanged; afterwards no level is unsafe, so
+    /// [`Persist::save_meta`] only has to serialize the per-array
+    /// bookkeeping — an in-flight `Phase` stages up to `2^k/8` pointer
+    /// cells, which would blow the bounded metadata region.
+    pub fn quiesce(&mut self) {
+        loop {
+            let mut progressed = false;
+            for k in 0..self.arrs.len() {
+                if self.phase[k].is_none() {
+                    let left_busy = k > 0 && self.is_unsafe(k - 1);
+                    let right_busy = k + 1 < self.phase.len() && self.is_unsafe(k + 1);
+                    if !left_busy && !right_busy {
+                        if let Some(src) = self.wants_merge(k) {
+                            self.begin_merge(k, src);
+                        }
+                    }
+                }
+                if self.phase[k].is_some() {
+                    self.step(k, u64::MAX);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Reconstructs a deamortized COLA over an already-populated `mem`
+    /// from persisted (quiesced) control state.
+    pub fn from_parts(mem: M, meta: &[u8]) -> Result<Self, MetaError> {
+        let mut r = MetaReader::new(meta, TAG_DEAMORT, META_VERSION)?;
+        let n = r.u64()?;
+        let seq = r.u64()?;
+        let count = r.usize()?;
+        // Bound before allocating: corrupt counts yield MetaError, not
+        // an allocator abort (and keep every later shift in range).
+        if count == 0 || count > 60 {
+            return Err(MetaError::Invalid(format!("level count {count}")));
+        }
+        let mut arrs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut level = [Arr::empty(), Arr::empty(), Arr::empty()];
+            for arr in &mut level {
+                *arr = Arr {
+                    vis: if r.bool()? { Vis::Visible } else { Vis::Shadow },
+                    start: r.usize()?,
+                    len: r.usize()?,
+                    items: r.usize()?,
+                    seq: r.u64()?,
+                    linked_to: r.opt_usize()?,
+                    zombie: r.bool()?,
+                };
+            }
+            arrs.push(level);
+        }
+        r.finish()?;
+        if mem.len() < arr_off(count, 0) {
+            return Err(MetaError::Invalid(format!(
+                "store holds {} cells, {count} levels need {}",
+                mem.len(),
+                arr_off(count, 0)
+            )));
+        }
+        for (k, level) in arrs.iter().enumerate() {
+            for (a, arr) in level.iter().enumerate() {
+                let in_bounds = arr
+                    .start
+                    .checked_add(arr.len)
+                    .is_some_and(|end| end <= arr_cap(k));
+                if !in_bounds || arr.items > arr.len || arr.linked_to.is_some_and(|t| t >= 3) {
+                    return Err(MetaError::Invalid(format!(
+                        "level {k} array {a} bookkeeping out of bounds"
+                    )));
+                }
+            }
+        }
+        Ok(DeamortCola {
+            mem,
+            phase: vec![None; count],
+            arrs,
+            n,
+            seq,
+            stats: ColaStats::default(),
+            max_moves: 0,
+        })
+    }
+
     /// Structural invariants (tests): no adjacent unsafe levels, at least
     /// one shadow per in-use level (k ≥ 1), at most two visible arrays,
     /// sortedness, and accounting consistency.
@@ -592,6 +686,27 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                 assert_eq!(items, ar.items, "level {k} array {a} item count");
             }
         }
+    }
+}
+
+impl<M: Mem<Cell>> Persist for DeamortCola<M> {
+    fn save_meta(&mut self) -> Vec<u8> {
+        self.quiesce();
+        debug_assert!(self.phase.iter().all(Option::is_none));
+        let mut w = MetaWriter::new(TAG_DEAMORT, META_VERSION);
+        w.u64(self.n).u64(self.seq).usize(self.arrs.len());
+        for level in &self.arrs {
+            for arr in level {
+                w.bool(arr.vis == Vis::Visible)
+                    .usize(arr.start)
+                    .usize(arr.len)
+                    .usize(arr.items)
+                    .u64(arr.seq)
+                    .opt_usize(arr.linked_to)
+                    .bool(arr.zombie);
+            }
+        }
+        w.finish()
     }
 }
 

@@ -20,7 +20,11 @@ use cosbt_dam::{Mem, PlainMem};
 use crate::cursor::{Run, RunMergeCursor};
 use crate::dict::{Cursor, Dictionary};
 use crate::entry::Cell;
+use crate::persist::{MetaError, MetaReader, MetaWriter, Persist, TAG_DEAMORT_BASIC};
 use crate::stats::ColaStats;
+
+/// Per-structure metadata format version (see [`crate::persist`]).
+const META_VERSION: u8 = 1;
 
 /// Which of a level's two arrays.
 type Side = usize; // 0 or 1
@@ -274,6 +278,69 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
         sides.into_iter().map(|(_, s)| s).collect()
     }
 
+    /// Completes every in-flight merge (a merge commit can make the next
+    /// level unsafe, so iterate to a fixpoint). Logical contents are
+    /// unchanged; afterwards every array is `Empty` or `Full`, which is
+    /// the only state [`Persist::save_meta`] serializes. The per-insert
+    /// worst-case bound applies between quiesce points, not across one —
+    /// a checkpoint is an O(data) event by nature.
+    pub fn quiesce(&mut self) {
+        while self.merges.iter().any(Option::is_some) {
+            for k in 0..self.merges.len() {
+                if self.merges[k].is_some() {
+                    self.step_merge(k, u64::MAX);
+                }
+            }
+        }
+    }
+
+    /// Reconstructs a deamortized basic COLA over an already-populated
+    /// `mem` from persisted (quiesced) control state.
+    pub fn from_parts(mem: M, meta: &[u8]) -> Result<Self, MetaError> {
+        let mut r = MetaReader::new(meta, TAG_DEAMORT_BASIC, META_VERSION)?;
+        let n = r.u64()?;
+        let seq = r.u64()?;
+        let count = r.usize()?;
+        // Bound before allocating: corrupt counts yield MetaError, not
+        // an allocator abort (and keep every later shift in range).
+        if count == 0 || count > 60 {
+            return Err(MetaError::Invalid(format!("level count {count}")));
+        }
+        let mut state = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut sides = [ArrState::Empty; 2];
+            for side in &mut sides {
+                *side = match r.u8()? {
+                    0 => ArrState::Empty,
+                    1 => ArrState::Full { seq: r.u64()? },
+                    b => {
+                        return Err(MetaError::Invalid(format!(
+                            "array state byte {b} (a quiesced store has no filling arrays)"
+                        )))
+                    }
+                };
+            }
+            state.push(sides);
+        }
+        r.finish()?;
+        if mem.len() < arr_off(count, 0) {
+            return Err(MetaError::Invalid(format!(
+                "store holds {} cells, {count} levels need {}",
+                mem.len(),
+                arr_off(count, 0)
+            )));
+        }
+        Ok(DeamortBasicCola {
+            mem,
+            merges: vec![None; count],
+            state,
+            n,
+            seq,
+            stats: ColaStats::default(),
+            max_moves: 0,
+        })
+    }
+
     /// Verifies Lemma 21's guarantee and state consistency (for tests).
     pub fn check_invariants(&self) {
         for k in 0..self.state.len().saturating_sub(1) {
@@ -309,6 +376,28 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
                 }
             }
         }
+    }
+}
+
+impl<M: Mem<Cell>> Persist for DeamortBasicCola<M> {
+    fn save_meta(&mut self) -> Vec<u8> {
+        self.quiesce();
+        let mut w = MetaWriter::new(TAG_DEAMORT_BASIC, META_VERSION);
+        w.u64(self.n).u64(self.seq).usize(self.state.len());
+        for level in &self.state {
+            for side in level {
+                match side {
+                    ArrState::Empty => {
+                        w.u8(0);
+                    }
+                    ArrState::Full { seq } => {
+                        w.u8(1).u64(*seq);
+                    }
+                    ArrState::Filling => unreachable!("quiesce left a filling array"),
+                }
+            }
+        }
+        w.finish()
     }
 }
 

@@ -36,7 +36,11 @@ use cosbt_dam::{Mem, PlainMem};
 use crate::cursor::{Run, RunMergeCursor};
 use crate::dict::{Cursor, Dictionary, UpdateBatch};
 use crate::entry::{Cell, NO_PTR};
+use crate::persist::{MetaError, MetaReader, MetaWriter, Persist, TAG_GCOLA};
 use crate::stats::ColaStats;
+
+/// Per-structure metadata format version (see [`crate::persist`]).
+const META_VERSION: u8 = 1;
 
 /// Per-level geometry and occupancy.
 #[derive(Debug, Clone, Copy)]
@@ -150,6 +154,72 @@ impl<M: Mem<Cell>> GCola<M> {
     /// Borrow the backing store (for simulator statistics).
     pub fn mem(&self) -> &M {
         &self.mem
+    }
+
+    /// Reconstructs a g-COLA over an already-populated `mem` from
+    /// persisted control state. Growth factor and pointer density are
+    /// restored from the metadata (they shaped the existing level
+    /// geometry); occupancy is validated against the store's length.
+    pub fn from_parts(mem: M, meta: &[u8]) -> Result<Self, MetaError> {
+        let mut r = MetaReader::new(meta, TAG_GCOLA, META_VERSION)?;
+        let g = r.usize()?;
+        let p = r.f64()?;
+        let n = r.u64()?;
+        let count = r.usize()?;
+        // Bound the count before allocating with it (corrupt payloads
+        // must fail with MetaError, not an allocator abort); capacities
+        // grow geometrically, so 64 levels already exceed any store.
+        if count == 0 || count > 64 {
+            return Err(MetaError::Invalid(format!("level count {count}")));
+        }
+        let mut levels = Vec::with_capacity(count);
+        for _ in 0..count {
+            levels.push(Level {
+                off: r.usize()?,
+                slots: r.usize()?,
+                cap: r.usize()?,
+                red_cap: r.usize()?,
+                items: r.usize()?,
+                reds: r.usize()?,
+            });
+        }
+        r.finish()?;
+        if g < 2 {
+            return Err(MetaError::Invalid(format!("growth factor {g}")));
+        }
+        if !(0.0..1.0).contains(&p) {
+            return Err(MetaError::Invalid(format!("pointer density {p}")));
+        }
+        for (i, lv) in levels.iter().enumerate() {
+            // Checked arithmetic throughout: crafted fields near
+            // usize::MAX must fail validation, not wrap past it (or
+            // panic in debug builds).
+            let geometry_ok = lv.cap.checked_add(lv.red_cap) == Some(lv.slots)
+                && lv.items <= lv.cap
+                && lv.reds <= lv.red_cap
+                && lv
+                    .off
+                    .checked_add(lv.slots)
+                    .is_some_and(|end| end <= mem.len());
+            if !geometry_ok {
+                return Err(MetaError::Invalid(format!(
+                    "level {i} geometry/occupancy out of bounds"
+                )));
+            }
+        }
+        for w in levels.windows(2) {
+            if w[0].off + w[0].slots != w[1].off {
+                return Err(MetaError::Invalid("levels are not contiguous".into()));
+            }
+        }
+        Ok(GCola {
+            mem,
+            levels,
+            g,
+            p,
+            n,
+            stats: ColaStats::default(),
+        })
     }
 
     fn push_level(&mut self) {
@@ -506,6 +576,25 @@ impl<M: Mem<Cell>> GCola<M> {
             assert_eq!(reds_seen, lv.reds, "level {l} red count");
         }
         let _ = total_items;
+    }
+}
+
+impl<M: Mem<Cell>> Persist for GCola<M> {
+    fn save_meta(&mut self) -> Vec<u8> {
+        let mut w = MetaWriter::new(TAG_GCOLA, META_VERSION);
+        w.usize(self.g)
+            .f64(self.p)
+            .u64(self.n)
+            .usize(self.levels.len());
+        for lv in &self.levels {
+            w.usize(lv.off)
+                .usize(lv.slots)
+                .usize(lv.cap)
+                .usize(lv.red_cap)
+                .usize(lv.items)
+                .usize(lv.reds);
+        }
+        w.finish()
     }
 }
 

@@ -26,6 +26,7 @@ pub mod deamort_basic;
 pub mod dict;
 pub mod entry;
 pub mod gcola;
+pub mod persist;
 pub mod stats;
 
 pub use basic::BasicCola;
@@ -35,4 +36,5 @@ pub use deamort_basic::DeamortBasicCola;
 pub use dict::{BatchOp, Cursor, CursorOps, Dictionary, UpdateBatch, VecCursor};
 pub use entry::Cell;
 pub use gcola::GCola;
+pub use persist::{MetaError, MetaReader, MetaWriter, Persist};
 pub use stats::ColaStats;

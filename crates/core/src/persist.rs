@@ -1,0 +1,336 @@
+//! The structure ↔ store persistence boundary.
+//!
+//! Every dictionary in the workspace keeps two kinds of state: bulk data
+//! living in its storage backend (cells in a [`cosbt_dam::Mem`], nodes in
+//! a [`cosbt_dam::PageStore`]) and *control state* living in RAM — COLA
+//! level occupancy, a B-tree's root page id, a BRT's root and counters.
+//! Durability means both survive: the dam layer commits the bulk data and
+//! an opaque payload shadow-style (see `cosbt_dam::file`), and this module
+//! defines what goes into that payload.
+//!
+//! [`Persist::save_meta`] serializes the control state into a versioned,
+//! tag-prefixed byte string; each structure pairs it with an inherent
+//! `from_parts(store, meta)` constructor that validates and rebuilds the
+//! structure over an already-populated store. The encoding is explicit
+//! little-endian via [`MetaWriter`]/[`MetaReader`] — no `unsafe`, no
+//! serde — and every field read is bounds-checked so a corrupt or
+//! mismatched payload yields a [`MetaError`], never a panic or a
+//! mis-shaped structure.
+//!
+//! The deamortized COLAs carry in-flight incremental merge state whose
+//! size is proportional to the level being merged; rather than persist a
+//! half-finished merge, their `save_meta` first *quiesces* — drives all
+//! in-flight merges to completion. That preserves logical contents
+//! exactly and makes the saved state a clean checkpoint; the worst-case
+//! per-insert bound applies between checkpoints, not across one (a sync
+//! is an O(data) event anyway).
+
+/// Serializes a dictionary's control state for the storage layer's
+/// metadata commit. Implemented by every structure in the workspace; the
+/// matching deserializer is the structure's inherent
+/// `from_parts(store, meta)` constructor (not part of the trait — it
+/// returns `Self` and therefore cannot be object-safe).
+///
+/// Takes `&mut self` because implementations may complete in-flight
+/// incremental work (quiescing) before serializing; the dictionary's
+/// logical contents are never changed.
+pub trait Persist {
+    /// The structure's control state as a versioned, self-describing byte
+    /// string (first byte: structure tag, second: format version).
+    fn save_meta(&mut self) -> Vec<u8>;
+}
+
+/// Structure tag of [`crate::BasicCola`] metadata.
+pub const TAG_BASIC_COLA: u8 = 1;
+/// Structure tag of [`crate::GCola`] metadata.
+pub const TAG_GCOLA: u8 = 2;
+/// Structure tag of [`crate::DeamortBasicCola`] metadata.
+pub const TAG_DEAMORT_BASIC: u8 = 3;
+/// Structure tag of [`crate::DeamortCola`] metadata.
+pub const TAG_DEAMORT: u8 = 4;
+/// Structure tag of the B-tree's metadata (`cosbt-btree`).
+pub const TAG_BTREE: u8 = 5;
+/// Structure tag of the BRT's metadata (`cosbt-brt`).
+pub const TAG_BRT: u8 = 6;
+/// Structure tag of the shuttle tree (memory-only; never restored).
+pub const TAG_SHUTTLE: u8 = 7;
+
+/// Human-readable name of a structure tag, for error messages.
+pub fn tag_name(tag: u8) -> &'static str {
+    match tag {
+        TAG_BASIC_COLA => "basic-COLA",
+        TAG_GCOLA => "g-COLA",
+        TAG_DEAMORT_BASIC => "deamortized-basic-COLA",
+        TAG_DEAMORT => "deamortized-COLA",
+        TAG_BTREE => "B-tree",
+        TAG_BRT => "BRT",
+        TAG_SHUTTLE => "shuttle",
+        _ => "unknown",
+    }
+}
+
+/// Why decoding a structure's persisted control state failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// The payload ended before the expected field.
+    Truncated,
+    /// The payload describes a different structure than the caller is
+    /// reconstructing.
+    WrongStructure {
+        /// Tag found in the payload.
+        found: u8,
+        /// Tag the caller expected.
+        expected: u8,
+    },
+    /// The payload's per-structure format version is not understood.
+    BadVersion(u8),
+    /// A decoded field violates a structural invariant (out-of-bounds
+    /// offset, occupancy/insertion-count disagreement, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::Truncated => write!(f, "metadata payload truncated"),
+            MetaError::WrongStructure { found, expected } => write!(
+                f,
+                "metadata belongs to {} (tag {found}), expected {} (tag {expected})",
+                tag_name(*found),
+                tag_name(*expected)
+            ),
+            MetaError::BadVersion(v) => write!(f, "unsupported structure metadata version {v}"),
+            MetaError::Invalid(what) => write!(f, "invalid metadata: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+/// Little-endian metadata encoder. Counterpart of [`MetaReader`].
+#[derive(Debug, Default)]
+pub struct MetaWriter {
+    buf: Vec<u8>,
+}
+
+impl MetaWriter {
+    /// Starts a payload with the structure `tag` and format `version`.
+    pub fn new(tag: u8, version: u8) -> MetaWriter {
+        MetaWriter {
+            buf: vec![tag, version],
+        }
+    }
+
+    /// Appends a byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(v as u8)
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Appends an `f64` as its IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Appends an optional `usize`: presence byte, then the value.
+    pub fn opt_usize(&mut self, v: Option<usize>) -> &mut Self {
+        match v {
+            Some(x) => self.bool(true).usize(x),
+            None => self.bool(false),
+        }
+    }
+
+    /// The finished payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian metadata decoder.
+#[derive(Debug)]
+pub struct MetaReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MetaReader<'a> {
+    /// Wraps a payload and validates its tag and version (version must
+    /// equal `version` exactly; bump per structure when its layout
+    /// changes).
+    pub fn new(buf: &'a [u8], expected_tag: u8, version: u8) -> Result<MetaReader<'a>, MetaError> {
+        let mut r = MetaReader { buf, pos: 0 };
+        let tag = r.u8()?;
+        if tag != expected_tag {
+            return Err(MetaError::WrongStructure {
+                found: tag,
+                expected: expected_tag,
+            });
+        }
+        let v = r.u8()?;
+        if v != version {
+            return Err(MetaError::BadVersion(v));
+        }
+        Ok(r)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MetaError> {
+        if self.pos + n > self.buf.len() {
+            return Err(MetaError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a byte.
+    pub fn u8(&mut self) -> Result<u8, MetaError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, MetaError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(MetaError::Invalid(format!("bool byte {b}"))),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, MetaError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, MetaError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` (persisted as `u64`; must fit the platform).
+    pub fn usize(&mut self) -> Result<usize, MetaError> {
+        usize::try_from(self.u64()?).map_err(|_| MetaError::Invalid("usize overflow".into()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bits.
+    pub fn f64(&mut self) -> Result<f64, MetaError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an optional `usize` (presence byte, then the value).
+    pub fn opt_usize(&mut self) -> Result<Option<usize>, MetaError> {
+        if self.bool()? {
+            Ok(Some(self.usize()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Asserts the payload is fully consumed (trailing garbage is a
+    /// corruption signal, not slack).
+    pub fn finish(self) -> Result<(), MetaError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(MetaError::Invalid(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// Peeks the structure tag of a payload without consuming it (`None` for
+/// an empty payload). The facade uses this to produce "file holds X,
+/// builder asked for Y" errors before attempting reconstruction.
+pub fn peek_tag(buf: &[u8]) -> Option<u8> {
+    buf.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = MetaWriter::new(TAG_GCOLA, 1);
+        w.u8(7)
+            .bool(true)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX - 1)
+            .usize(12345)
+            .f64(0.125)
+            .opt_usize(Some(9))
+            .opt_usize(None);
+        let buf = w.finish();
+        assert_eq!(peek_tag(&buf), Some(TAG_GCOLA));
+        let mut r = MetaReader::new(&buf, TAG_GCOLA, 1).unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.f64().unwrap(), 0.125);
+        assert_eq!(r.opt_usize().unwrap(), Some(9));
+        assert_eq!(r.opt_usize().unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_mismatch_truncation_and_trailing() {
+        let buf = MetaWriter::new(TAG_BTREE, 1).finish();
+        assert_eq!(
+            MetaReader::new(&buf, TAG_BRT, 1).unwrap_err(),
+            MetaError::WrongStructure {
+                found: TAG_BTREE,
+                expected: TAG_BRT
+            }
+        );
+        assert_eq!(
+            MetaReader::new(&buf, TAG_BTREE, 2).unwrap_err(),
+            MetaError::BadVersion(1)
+        );
+        let mut r = MetaReader::new(&buf, TAG_BTREE, 1).unwrap();
+        assert_eq!(r.u64().unwrap_err(), MetaError::Truncated);
+        assert_eq!(
+            MetaReader::new(&[], TAG_BTREE, 1).unwrap_err(),
+            MetaError::Truncated
+        );
+
+        let mut w = MetaWriter::new(TAG_BTREE, 1);
+        w.u8(1);
+        let buf = w.finish();
+        let r = MetaReader::new(&buf, TAG_BTREE, 1).unwrap();
+        assert!(matches!(r.finish(), Err(MetaError::Invalid(_))));
+    }
+
+    #[test]
+    fn bad_bool_bytes_are_rejected() {
+        let mut w = MetaWriter::new(TAG_BASIC_COLA, 1);
+        w.u8(2);
+        let buf = w.finish();
+        let mut r = MetaReader::new(&buf, TAG_BASIC_COLA, 1).unwrap();
+        assert!(matches!(r.bool(), Err(MetaError::Invalid(_))));
+    }
+}

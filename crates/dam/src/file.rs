@@ -1,37 +1,77 @@
 //! Out-of-core storage: real file I/O behind a bounded user-space page
-//! cache.
+//! cache, with a durable, crash-safe on-disk format.
 //!
 //! The paper's experiments memory-map a 32 GiB file on a RAID array and let
 //! the OS page cache play the role of internal memory. Offline we cannot
 //! rely on (or even observe) the OS page cache, so this module makes
 //! internal memory explicit: a [`FilePages`] store keeps at most
 //! `cache_pages` page frames in RAM under LRU replacement and performs
-//! `read_at`/`write_at` on miss/eviction. Setting the cache budget well
+//! positioned reads/writes on miss/eviction. Setting the cache budget well
 //! below the data size reproduces the out-of-core regime of Figures 2–4.
+//!
+//! # Durability: shadow paging + shadow-committed metadata
+//!
+//! Every store file carries the format of [`crate::format`]: a superblock,
+//! a double-buffered metadata region, then physical data pages. Structures
+//! address *logical* pages; a page table (committed as part of the
+//! metadata) maps them to physical slots. Between two commits, a dirty
+//! logical page is **never written over the physical slot the last commit
+//! maps it to** — its first writeback of the epoch relocates it to a free
+//! slot (shadow paging). [`FilePages::commit_meta`] then makes the new
+//! state durable in three ordered steps:
+//!
+//! 1. write back every dirty page (to shadow slots), barrier;
+//! 2. write the new page table + caller payload to the *inactive*
+//!    metadata slot under the next epoch, barrier;
+//! 3. only now recycle the slots the previous commit referenced.
+//!
+//! A crash at any point therefore recovers to exactly the last committed
+//! state: data writes touched only unreferenced slots, and a torn
+//! metadata write fails its checksum so recovery keeps the previous
+//! epoch. This is verified exhaustively by the crash-injection suite over
+//! [`crate::dev::CrashDev`].
 
+use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
-use std::io::Write;
-#[cfg(not(unix))]
-use std::io::{Read, Seek, SeekFrom};
+use std::io;
 use std::path::Path;
 
+use crate::dev::RawDev;
+use crate::format::{
+    decode_slot, encode_slot, OpenError, Superblock, DEFAULT_SLOT_BYTES, FORMAT_VERSION, KIND_ELEM,
+    KIND_PAGES, SUPER_BYTES,
+};
 use crate::lru::{Access, LruCache};
 use crate::mem::Mem;
 use crate::page::PageStore;
 use crate::pod::Pod;
 use crate::stats::IoStats;
 
-#[cfg(unix)]
-use std::os::unix::fs::FileExt;
-
-/// File-backed pages with a bounded user-space LRU cache of frames.
-pub struct FilePages {
-    file: File,
-    page_size: usize,
-    num_pages: u32,
+/// File-backed pages with a bounded user-space LRU cache of frames and a
+/// shadow-paged durable format (see the module docs).
+pub struct FilePages<D: RawDev = File> {
+    dev: D,
+    sb: Superblock,
+    /// Logical page id → physical slot.
+    table: Vec<u32>,
+    /// The page table of the last committed epoch (prefix of `table`'s
+    /// logical space). A dirty page whose mapping still equals its
+    /// committed mapping must relocate before its first writeback.
+    committed: Vec<u32>,
+    /// Physical slot allocation high-water mark.
+    phys_len: u32,
+    /// Physical slots referenced by neither table (recycled by remaps).
+    free: Vec<u32>,
+    /// Last committed metadata epoch (0 = never committed).
+    epoch: u64,
+    /// Physical slots below this bound existed on the device when the
+    /// store was opened and may hold stale pre-crash bytes beyond the
+    /// committed state; `alloc_page` zeros them before handing them out
+    /// so the "fresh pages read as zeros" contract survives recovery.
+    suspect_end: u32,
     cache: LruCache,
-    frames: std::collections::HashMap<u64, Box<[u8]>>,
-    dirty: std::collections::HashSet<u64>,
+    frames: HashMap<u64, Box<[u8]>>,
+    dirty: HashSet<u64>,
     stats: IoStats,
     /// Recent sequential stream positions, for seek accounting. A device
     /// access adjacent (within a small readahead window) to any tracked
@@ -49,41 +89,258 @@ const MAX_STREAMS: usize = 16;
 /// still counts as sequential.
 const READAHEAD: u64 = 2;
 
-impl std::fmt::Debug for FilePages {
+impl<D: RawDev> std::fmt::Debug for FilePages<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FilePages")
-            .field("page_size", &self.page_size)
-            .field("num_pages", &self.num_pages)
+            .field("page_size", &self.sb.page_size)
+            .field("pages", &self.table.len())
+            .field("phys_pages", &self.phys_len)
+            .field("epoch", &self.epoch)
             .field("cached", &self.frames.len())
             .finish()
     }
 }
 
-impl FilePages {
+impl FilePages<File> {
     /// Creates (truncating) a page store at `path` with room for
     /// `cache_pages` resident frames.
-    pub fn create(path: &Path, page_size: usize, cache_pages: usize) -> std::io::Result<Self> {
-        assert!(page_size > 0);
+    pub fn create(path: &Path, page_size: usize, cache_pages: usize) -> io::Result<Self> {
+        Self::create_sized(path, page_size, cache_pages, DEFAULT_SLOT_BYTES)
+    }
+
+    /// [`FilePages::create`] with an explicit metadata-slot capacity.
+    /// The slot bounds the committable control state — page table
+    /// (4 B per logical page) plus the caller payload — so it caps the
+    /// store at roughly `slot_bytes / 4` pages; size it for the data the
+    /// store must grow to (the capacity is fixed at creation and
+    /// recorded in the superblock).
+    pub fn create_sized(
+        path: &Path,
+        page_size: usize,
+        cache_pages: usize,
+        slot_bytes: usize,
+    ) -> io::Result<Self> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(FilePages {
-            file,
+        Self::create_with_kind(file, page_size, cache_pages, KIND_PAGES, 0, slot_bytes)
+    }
+
+    /// Opens an existing page store at `path`, validating its superblock
+    /// and recovering the last committed metadata epoch; returns the
+    /// store and the caller payload of that epoch. The file is opened
+    /// read-write but **not modified** — a validation failure leaves it
+    /// byte-identical.
+    pub fn open(path: &Path, cache_pages: usize) -> Result<(Self, Vec<u8>), OpenError> {
+        Self::open_at(path, cache_pages, None)
+    }
+
+    /// [`FilePages::open`] bounded to epochs ≤ `max_epoch` (see
+    /// [`FilePages::open_bounded`]).
+    pub fn open_at(
+        path: &Path,
+        cache_pages: usize,
+        max_epoch: Option<u64>,
+    ) -> Result<(Self, Vec<u8>), OpenError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::open_bounded(file, cache_pages, (KIND_PAGES, 0), max_epoch)
+    }
+}
+
+impl<D: RawDev> FilePages<D> {
+    /// Creates a page store on a raw device (the device is assumed
+    /// empty/overwritable); writes the superblock immediately.
+    pub fn create_on(dev: D, page_size: usize, cache_pages: usize) -> io::Result<Self> {
+        Self::create_with_kind(
+            dev,
             page_size,
-            num_pages: 0,
+            cache_pages,
+            KIND_PAGES,
+            0,
+            DEFAULT_SLOT_BYTES,
+        )
+    }
+
+    /// [`FilePages::create_on`] with an explicit metadata-slot capacity
+    /// (see [`FilePages::create_sized`]).
+    pub fn create_on_sized(
+        dev: D,
+        page_size: usize,
+        cache_pages: usize,
+        slot_bytes: usize,
+    ) -> io::Result<Self> {
+        Self::create_with_kind(dev, page_size, cache_pages, KIND_PAGES, 0, slot_bytes)
+    }
+
+    pub(crate) fn create_with_kind(
+        mut dev: D,
+        page_size: usize,
+        cache_pages: usize,
+        kind: u32,
+        elem_bytes: u32,
+        slot_bytes: usize,
+    ) -> io::Result<Self> {
+        assert!(page_size > 0);
+        assert!(
+            slot_bytes > crate::format::SLOT_HDR_BYTES,
+            "metadata slot must fit its header"
+        );
+        let sb = Superblock {
+            version: FORMAT_VERSION,
+            page_size: page_size as u32,
+            kind,
+            elem_bytes,
+            slot_bytes: slot_bytes as u32,
+        };
+        dev.write_all_at(&sb.encode(), 0)?;
+        dev.sync()?;
+        Ok(FilePages {
+            dev,
+            sb,
+            table: Vec::new(),
+            committed: Vec::new(),
+            phys_len: 0,
+            free: Vec::new(),
+            epoch: 0,
+            suspect_end: 0,
             cache: LruCache::new(cache_pages.max(1)),
-            frames: std::collections::HashMap::new(),
-            dirty: std::collections::HashSet::new(),
+            frames: HashMap::new(),
+            dirty: HashSet::new(),
             stats: IoStats::default(),
             streams: Vec::new(),
         })
     }
 
-    /// Real-I/O counters (fetches = `read_at` calls, writebacks =
-    /// `write_at` calls).
+    /// Opens a store on a raw device and recovers the newest committed
+    /// epoch; `expected` is the `(kind, elem_bytes)` pair the caller
+    /// requires. Returns the store and the recovered caller payload.
+    pub fn open_on(
+        dev: D,
+        cache_pages: usize,
+        expected: (u32, u32),
+    ) -> Result<(Self, Vec<u8>), OpenError> {
+        Self::open_bounded(dev, cache_pages, expected, None)
+    }
+
+    /// [`FilePages::open_on`], bounded: recovers the newest committed
+    /// epoch **not exceeding `max_epoch`** (when given). The double
+    /// buffering keeps the previous epoch intact until the next commit,
+    /// so a coordinator that recorded an epoch vector (the sharded
+    /// database's cross-shard commit record) can roll every member store
+    /// back to its recorded epoch after a crash mid-multi-store-commit.
+    pub fn open_bounded(
+        mut dev: D,
+        cache_pages: usize,
+        expected: (u32, u32),
+        max_epoch: Option<u64>,
+    ) -> Result<(Self, Vec<u8>), OpenError> {
+        let mut super_buf = [0u8; SUPER_BYTES];
+        let got = read_fully(&mut dev, &mut super_buf, 0)?;
+        let sb = Superblock::decode(&super_buf, got)?;
+        if (sb.kind, sb.elem_bytes) != expected {
+            return Err(OpenError::WrongKind {
+                found: (sb.kind, sb.elem_bytes),
+                expected,
+            });
+        }
+        // Recover: the valid slot with the highest epoch (within the
+        // bound, if any) wins.
+        let mut best: Option<(u64, Vec<u8>)> = None;
+        let mut newest_seen = 0u64;
+        for i in 0..2 {
+            let mut buf = vec![0u8; sb.slot_bytes as usize];
+            let got = read_fully(&mut dev, &mut buf, sb.slot_off(i))?;
+            if let Some((epoch, payload)) = decode_slot(&buf[..got]) {
+                newest_seen = newest_seen.max(epoch);
+                if max_epoch.is_some_and(|m| epoch > m) {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|(e, _)| epoch > *e) {
+                    best = Some((epoch, payload));
+                }
+            }
+        }
+        let Some((epoch, payload)) = best else {
+            return match max_epoch {
+                Some(m) if newest_seen > 0 => Err(OpenError::Corrupt(format!(
+                    "no committed epoch at or below {m} survives (newest on disk: \
+                     {newest_seen}); the coordinator's commit record is stale"
+                ))),
+                _ => Err(OpenError::NeverCommitted),
+            };
+        };
+        // Parse the store section: logical count, phys high-water mark,
+        // page table; the rest is the caller's payload.
+        if payload.len() < 8 {
+            return Err(OpenError::Corrupt("metadata payload too short".into()));
+        }
+        let logical = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+        let phys_len = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+        // Bound both counts by what the checksummed payload can actually
+        // describe *before* allocating with them (a crafted-but-valid
+        // payload must produce Corrupt, not an allocator abort).
+        let table_end = match logical.checked_mul(4).and_then(|t| t.checked_add(8)) {
+            Some(end) if end <= payload.len() => end,
+            _ => return Err(OpenError::Corrupt("page table truncated".into())),
+        };
+        if (phys_len as usize) > logical.saturating_mul(2).saturating_add(1 << 20) {
+            // Shadow paging needs at most one extra slot per remapped
+            // page; a high-water mark wildly past that is corruption.
+            return Err(OpenError::Corrupt(format!(
+                "physical high-water mark {phys_len} implausible for {logical} logical pages"
+            )));
+        }
+        let mut table = Vec::with_capacity(logical);
+        let mut referenced = vec![false; phys_len as usize];
+        for l in 0..logical {
+            let p = u32::from_le_bytes(payload[8 + 4 * l..12 + 4 * l].try_into().unwrap());
+            if p >= phys_len || std::mem::replace(&mut referenced[p as usize], true) {
+                return Err(OpenError::Corrupt(format!(
+                    "page table maps logical page {l} to invalid or duplicate slot {p}"
+                )));
+            }
+            table.push(p);
+        }
+        let free: Vec<u32> = referenced
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| !r)
+            .map(|(p, _)| p as u32)
+            .collect();
+        let user = payload[table_end..].to_vec();
+        // Slots past the committed high-water mark may hold stale bytes
+        // from synced-but-uncommitted pre-crash writes; remember how far
+        // the device extends so alloc_page can zero them on reuse.
+        let dev_len = dev.dev_len()?;
+        let suspect_end = dev_len
+            .saturating_sub(sb.data_off())
+            .div_ceil(sb.page_size as u64)
+            .min(u32::MAX as u64) as u32;
+        Ok((
+            FilePages {
+                dev,
+                sb,
+                committed: table.clone(),
+                table,
+                phys_len,
+                free,
+                epoch,
+                suspect_end,
+                cache: LruCache::new(cache_pages.max(1)),
+                frames: HashMap::new(),
+                dirty: HashSet::new(),
+                stats: IoStats::default(),
+                streams: Vec::new(),
+            },
+            user,
+        ))
+    }
+
+    /// Real-I/O counters (fetches = device reads, writebacks = device
+    /// writes).
     pub fn stats(&self) -> IoStats {
         self.stats
     }
@@ -100,71 +357,82 @@ impl FilePages {
         std::mem::take(&mut self.stats)
     }
 
-    fn note_device_access(&mut self, id: u64) {
+    /// The last committed metadata epoch (0 = never committed).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Physical slots allocated so far (≥ logical pages; the surplus is
+    /// shadow-paging headroom).
+    pub fn phys_pages(&self) -> u32 {
+        self.phys_len
+    }
+
+    fn page_size_usize(&self) -> usize {
+        self.sb.page_size as usize
+    }
+
+    fn note_device_access(&mut self, phys: u64) {
         if let Some(i) = self
             .streams
             .iter()
-            .position(|&p| id >= p && id <= p + READAHEAD)
+            .position(|&p| phys >= p && phys <= p + READAHEAD)
         {
             let _ = self.streams.remove(i);
-            self.streams.insert(0, id);
+            self.streams.insert(0, phys);
             return;
         }
         self.stats.seeks += 1;
-        self.streams.insert(0, id);
+        self.streams.insert(0, phys);
         self.streams.truncate(MAX_STREAMS);
     }
 
-    fn read_page_from_file(&mut self, id: u64, buf: &mut [u8]) {
-        let off = id * self.page_size as u64;
+    fn page_off(&self, phys: u32) -> u64 {
+        self.sb.data_off() + phys as u64 * self.sb.page_size as u64
+    }
+
+    fn read_page_from_file(&mut self, logical: u64, buf: &mut [u8]) {
+        let phys = self.table[logical as usize];
+        let off = self.page_off(phys);
         self.stats.fetches += 1;
-        self.note_device_access(id);
-        #[cfg(unix)]
-        {
-            // The page may extend past EOF if it was allocated but never
-            // written; treat missing bytes as zero.
-            let mut done = 0usize;
-            while done < buf.len() {
-                match self.file.read_at(&mut buf[done..], off + done as u64) {
-                    Ok(0) => {
-                        buf[done..].fill(0);
-                        break;
-                    }
-                    Ok(n) => done += n,
-                    Err(e) => panic!("read_at failed: {e}"),
+        self.note_device_access(phys as u64);
+        // The page may extend past EOF if it was allocated but never
+        // written; treat missing bytes as zero.
+        let mut done = 0usize;
+        while done < buf.len() {
+            match self.dev.read_at(&mut buf[done..], off + done as u64) {
+                Ok(0) => {
+                    buf[done..].fill(0);
+                    break;
                 }
-            }
-        }
-        #[cfg(not(unix))]
-        {
-            self.file.seek(SeekFrom::Start(off)).unwrap();
-            let mut done = 0usize;
-            while done < buf.len() {
-                match self.file.read(&mut buf[done..]) {
-                    Ok(0) => {
-                        buf[done..].fill(0);
-                        break;
-                    }
-                    Ok(n) => done += n,
-                    Err(e) => panic!("read failed: {e}"),
-                }
+                Ok(n) => done += n,
+                Err(e) => panic!("device read failed: {e}"),
             }
         }
     }
 
-    fn write_page_to_file(&mut self, id: u64, buf: &[u8]) {
-        let off = id * self.page_size as u64;
+    /// The physical slot the next writeback of `logical` must target,
+    /// relocating away from the committed mapping if necessary (shadow
+    /// paging: committed slots are immutable until the next commit).
+    fn phys_for_write(&mut self, logical: u64) -> u32 {
+        let l = logical as usize;
+        if l < self.committed.len() && self.table[l] == self.committed[l] {
+            let fresh = self.free.pop().unwrap_or_else(|| {
+                let p = self.phys_len;
+                self.phys_len += 1;
+                p
+            });
+            self.table[l] = fresh;
+        }
+        self.table[l]
+    }
+
+    fn write_page_to_file(&mut self, logical: u64, buf: &[u8]) -> io::Result<()> {
+        let phys = self.phys_for_write(logical);
+        let off = self.page_off(phys);
         self.stats.writebacks += 1;
-        self.note_device_access(id);
-        #[cfg(unix)]
-        {
-            self.file.write_all_at(buf, off).expect("write_at failed");
-        }
-        #[cfg(not(unix))]
-        {
-            self.file.seek(SeekFrom::Start(off)).unwrap();
-            self.file.write_all(buf).expect("write failed");
-        }
+        self.note_device_access(phys as u64);
+        self.dev.write_all_at(buf, off)
     }
 
     /// Makes page `id` resident and returns whether it was a hit.
@@ -182,11 +450,12 @@ impl FilePages {
                     self.stats.evictions += 1;
                     let frame = self.frames.remove(&victim).expect("evicted frame missing");
                     if victim_dirty || self.dirty.remove(&victim) {
-                        self.write_page_to_file(victim, &frame);
+                        self.write_page_to_file(victim, &frame)
+                            .expect("eviction writeback failed");
                         self.dirty.remove(&victim);
                     }
                 }
-                let mut frame = vec![0u8; self.page_size].into_boxed_slice();
+                let mut frame = vec![0u8; self.page_size_usize()].into_boxed_slice();
                 self.read_page_from_file(id, &mut frame);
                 self.frames.insert(id, frame);
                 if write {
@@ -196,39 +465,102 @@ impl FilePages {
         }
     }
 
-    /// Writes every dirty resident page back to the file.
-    pub fn sync(&mut self) {
-        let dirty: Vec<u64> = self.dirty.iter().copied().collect();
+    /// Writes every dirty resident page back to the device (to shadow
+    /// slots, never over committed data) and issues a durability barrier.
+    /// Does **not** commit metadata: after a crash the store still
+    /// recovers the last [`FilePages::commit_meta`] state.
+    pub fn sync(&mut self) -> io::Result<()> {
+        let mut dirty: Vec<u64> = self.dirty.iter().copied().collect();
+        dirty.sort_unstable();
         for id in dirty {
             let frame = self.frames.get(&id).expect("dirty frame missing").clone();
-            self.write_page_to_file(id, &frame);
+            self.write_page_to_file(id, &frame)?;
+            self.dirty.remove(&id);
         }
-        self.dirty.clear();
-        self.file.flush().ok();
+        self.dev.sync()
+    }
+
+    /// Commits the current state durably: syncs the data pages, then
+    /// shadow-writes the page table plus `user` payload (the structure's
+    /// control state) to the inactive metadata slot under the next epoch.
+    /// After a successful return, a crash at any later point — or a
+    /// reopen — recovers exactly this state.
+    pub fn commit_meta(&mut self, user: &[u8]) -> io::Result<()> {
+        self.sync()?;
+        let mut payload = Vec::with_capacity(8 + 4 * self.table.len() + user.len());
+        payload.extend_from_slice(&(self.table.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&self.phys_len.to_le_bytes());
+        for &p in &self.table {
+            payload.extend_from_slice(&p.to_le_bytes());
+        }
+        payload.extend_from_slice(user);
+        let epoch = self.epoch + 1;
+        let slot = encode_slot(epoch, &payload, self.sb.slot_bytes as usize)?;
+        let off = self.sb.slot_off((epoch % 2) as usize);
+        self.dev.write_all_at(&slot, off)?;
+        self.dev.sync()?;
+        self.epoch = epoch;
+        // Only now are the previous epoch's slots unreferenced and safe
+        // to recycle.
+        for (l, &old) in self.committed.iter().enumerate() {
+            if self.table[l] != old {
+                self.free.push(old);
+            }
+        }
+        self.committed = self.table.clone();
+        Ok(())
     }
 
     /// Drops every resident page (writing back dirty ones), emptying the
     /// user-space cache — the analogue of the paper's "remounted the RAID
     /// array ... to clear the file cache".
-    pub fn drop_cache(&mut self) {
-        self.sync();
+    pub fn drop_cache(&mut self) -> io::Result<()> {
+        self.sync()?;
         self.cache.flush();
         self.frames.clear();
+        Ok(())
     }
 }
 
-impl PageStore for FilePages {
+fn read_fully<D: RawDev>(dev: &mut D, buf: &mut [u8], off: u64) -> io::Result<usize> {
+    let mut done = 0usize;
+    while done < buf.len() {
+        match dev.read_at(&mut buf[done..], off + done as u64)? {
+            0 => break,
+            n => done += n,
+        }
+    }
+    Ok(done)
+}
+
+impl<D: RawDev> PageStore for FilePages<D> {
     fn page_size(&self) -> usize {
-        self.page_size
+        self.page_size_usize()
     }
 
     fn num_pages(&self) -> u32 {
-        self.num_pages
+        self.table.len() as u32
     }
 
     fn alloc_page(&mut self) -> u32 {
-        let id = self.num_pages;
-        self.num_pages += 1;
+        let id = self.table.len() as u32;
+        // Bump-allocated slots only: past the device end a slot reads as
+        // zeros (sparse-file semantics), which is the allocation
+        // contract. Recycled free-list slots hold stale bytes and are
+        // reused only by whole-page writebacks (remaps). One exception:
+        // after crash recovery the device may extend past the committed
+        // high-water mark with stale uncommitted bytes — zero those
+        // before handing them out. (Format bookkeeping, not workload
+        // I/O: deliberately not counted in the transfer stats.)
+        let phys = self.phys_len;
+        self.phys_len += 1;
+        if phys < self.suspect_end {
+            let zeros = vec![0u8; self.page_size_usize()];
+            self.dev
+                .write_all_at(&zeros, self.page_off(phys))
+                .expect("zeroing a recovered slot failed");
+        }
+        self.table.push(phys);
         id
     }
 
@@ -243,17 +575,18 @@ impl PageStore for FilePages {
     }
 }
 
-/// A flat element array over [`FilePages`]: element `i` lives at byte
-/// `i * elem_bytes` of the file, elements never straddle pages.
-pub struct FileMem<T: Pod> {
-    pages: FilePages,
+/// A flat element array over [`FilePages`]: logical element `i` lives at
+/// byte `i * elem_bytes` of the logical page space, elements never
+/// straddle pages.
+pub struct FileMem<T: Pod, D: RawDev = File> {
+    pages: FilePages<D>,
     len: usize,
     elem_bytes: usize,
     per_page: usize,
     _marker: std::marker::PhantomData<T>,
 }
 
-impl<T: Pod> std::fmt::Debug for FileMem<T> {
+impl<T: Pod, D: RawDev> std::fmt::Debug for FileMem<T, D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FileMem")
             .field("len", &self.len)
@@ -262,7 +595,7 @@ impl<T: Pod> std::fmt::Debug for FileMem<T> {
     }
 }
 
-impl<T: Pod> FileMem<T> {
+impl<T: Pod> FileMem<T, File> {
     /// Creates a file-backed element array. `elem_bytes` must be at least
     /// `T::BYTES` (pad to match a modeled layout, e.g. the paper's 32-byte
     /// elements) and must divide `page_size`.
@@ -271,19 +604,145 @@ impl<T: Pod> FileMem<T> {
         page_size: usize,
         cache_pages: usize,
         elem_bytes: usize,
-    ) -> std::io::Result<Self> {
+    ) -> io::Result<Self> {
+        Self::create_sized(path, page_size, cache_pages, elem_bytes, DEFAULT_SLOT_BYTES)
+    }
+
+    /// [`FileMem::create`] with an explicit metadata-slot capacity (see
+    /// [`FilePages::create_sized`]): the slot caps the array at roughly
+    /// `slot_bytes / 4` pages, i.e. `slot_bytes / 4 * (page_size /
+    /// elem_bytes)` elements.
+    pub fn create_sized(
+        path: &Path,
+        page_size: usize,
+        cache_pages: usize,
+        elem_bytes: usize,
+        slot_bytes: usize,
+    ) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Self::create_on_sized(file, page_size, cache_pages, elem_bytes, slot_bytes)
+    }
+
+    /// Opens an existing element array at `path` (see
+    /// [`FilePages::open`]); returns the array and the recovered caller
+    /// payload.
+    pub fn open(
+        path: &Path,
+        cache_pages: usize,
+        elem_bytes: usize,
+    ) -> Result<(Self, Vec<u8>), OpenError> {
+        Self::open_at(path, cache_pages, elem_bytes, None)
+    }
+
+    /// [`FileMem::open`] bounded to epochs ≤ `max_epoch` (see
+    /// [`FilePages::open_bounded`]).
+    pub fn open_at(
+        path: &Path,
+        cache_pages: usize,
+        elem_bytes: usize,
+        max_epoch: Option<u64>,
+    ) -> Result<(Self, Vec<u8>), OpenError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::open_bounded(file, cache_pages, elem_bytes, max_epoch)
+    }
+}
+
+impl<T: Pod, D: RawDev> FileMem<T, D> {
+    /// Creates an element array on a raw device (see
+    /// [`FilePages::create_on`]).
+    pub fn create_on(
+        dev: D,
+        page_size: usize,
+        cache_pages: usize,
+        elem_bytes: usize,
+    ) -> io::Result<Self> {
+        Self::create_on_sized(dev, page_size, cache_pages, elem_bytes, DEFAULT_SLOT_BYTES)
+    }
+
+    /// [`FileMem::create_on`] with an explicit metadata-slot capacity
+    /// (see [`FileMem::create_sized`]).
+    pub fn create_on_sized(
+        dev: D,
+        page_size: usize,
+        cache_pages: usize,
+        elem_bytes: usize,
+        slot_bytes: usize,
+    ) -> io::Result<Self> {
         assert!(elem_bytes >= T::BYTES, "elem_bytes must fit the element");
         assert!(
             page_size.is_multiple_of(elem_bytes),
             "elements must not straddle pages"
         );
         Ok(FileMem {
-            pages: FilePages::create(path, page_size, cache_pages)?,
+            pages: FilePages::create_with_kind(
+                dev,
+                page_size,
+                cache_pages,
+                KIND_ELEM,
+                elem_bytes as u32,
+                slot_bytes,
+            )?,
             len: 0,
             elem_bytes,
             per_page: page_size / elem_bytes,
             _marker: std::marker::PhantomData,
         })
+    }
+
+    /// Opens an element array on a raw device, recovering the committed
+    /// length and the caller payload.
+    pub fn open_on(
+        dev: D,
+        cache_pages: usize,
+        elem_bytes: usize,
+    ) -> Result<(Self, Vec<u8>), OpenError> {
+        Self::open_bounded(dev, cache_pages, elem_bytes, None)
+    }
+
+    /// [`FileMem::open_on`] bounded to epochs ≤ `max_epoch` (see
+    /// [`FilePages::open_bounded`]).
+    pub fn open_bounded(
+        dev: D,
+        cache_pages: usize,
+        elem_bytes: usize,
+        max_epoch: Option<u64>,
+    ) -> Result<(Self, Vec<u8>), OpenError> {
+        assert!(elem_bytes >= T::BYTES, "elem_bytes must fit the element");
+        let (pages, payload) =
+            FilePages::open_bounded(dev, cache_pages, (KIND_ELEM, elem_bytes as u32), max_epoch)?;
+        let page_size = pages.page_size();
+        if !page_size.is_multiple_of(elem_bytes) {
+            return Err(OpenError::Corrupt(format!(
+                "element stride {elem_bytes} does not divide page size {page_size}"
+            )));
+        }
+        if payload.len() < 8 {
+            return Err(OpenError::Corrupt(
+                "element-array metadata too short".into(),
+            ));
+        }
+        let len = u64::from_le_bytes(payload[0..8].try_into().unwrap()) as usize;
+        let per_page = page_size / elem_bytes;
+        if len > pages.num_pages() as usize * per_page {
+            return Err(OpenError::Corrupt(format!(
+                "committed length {len} exceeds the allocated page capacity"
+            )));
+        }
+        Ok((
+            FileMem {
+                pages,
+                len,
+                elem_bytes,
+                per_page,
+                _marker: std::marker::PhantomData,
+            },
+            payload[8..].to_vec(),
+        ))
     }
 
     /// Real-I/O counters of the backing page cache.
@@ -301,8 +760,34 @@ impl<T: Pod> FileMem<T> {
         self.pages.take_stats()
     }
 
+    /// The last committed metadata epoch (0 = never committed).
+    pub fn epoch(&self) -> u64 {
+        self.pages.epoch()
+    }
+
+    /// Page size of the backing store.
+    pub fn page_size(&self) -> usize {
+        use crate::page::PageStore as _;
+        self.pages.page_size()
+    }
+
+    /// Writes dirty pages back (shadow slots) with a durability barrier;
+    /// no metadata commit.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.pages.sync()
+    }
+
+    /// Commits the array durably: data pages, the committed length, and
+    /// the caller's `user` payload (see [`FilePages::commit_meta`]).
+    pub fn commit_meta(&mut self, user: &[u8]) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(8 + user.len());
+        payload.extend_from_slice(&(self.len as u64).to_le_bytes());
+        payload.extend_from_slice(user);
+        self.pages.commit_meta(&payload)
+    }
+
     /// Empties the user-space cache (writes dirty pages back first).
-    pub fn drop_cache(&mut self) {
+    pub fn drop_cache(&mut self) -> io::Result<()> {
         self.pages.drop_cache()
     }
 
@@ -314,7 +799,7 @@ impl<T: Pod> FileMem<T> {
     }
 }
 
-impl<T: Pod> Mem<T> for FileMem<T> {
+impl<T: Pod, D: RawDev> Mem<T> for FileMem<T, D> {
     fn len(&self) -> usize {
         self.len
     }
@@ -344,7 +829,7 @@ impl<T: Pod> Mem<T> for FileMem<T> {
     }
 }
 
-impl<T: Pod> FileMem<T> {
+impl<T: Pod, D: RawDev> FileMem<T, D> {
     /// Reads element `i` (requires `&mut self` because it may fault a page
     /// into the cache). This is the accessor the structures actually use;
     /// the `Mem::get` path is only reachable through `&self`, which a file
@@ -360,13 +845,13 @@ impl<T: Pod> FileMem<T> {
 /// A [`Mem`] adapter over [`FileMem`] using interior mutability, so the
 /// element-array structures (which read through `&self`) can run unchanged
 /// on top of a file.
-pub struct SharedFileMem<T: Pod> {
-    inner: std::cell::RefCell<FileMem<T>>,
+pub struct SharedFileMem<T: Pod, D: RawDev = File> {
+    inner: std::cell::RefCell<FileMem<T, D>>,
 }
 
-impl<T: Pod> SharedFileMem<T> {
+impl<T: Pod, D: RawDev> SharedFileMem<T, D> {
     /// Wraps a [`FileMem`].
-    pub fn new(inner: FileMem<T>) -> Self {
+    pub fn new(inner: FileMem<T, D>) -> Self {
         SharedFileMem {
             inner: std::cell::RefCell::new(inner),
         }
@@ -388,13 +873,18 @@ impl<T: Pod> SharedFileMem<T> {
         self.inner.borrow_mut().take_stats()
     }
 
+    /// Writes dirty pages back with a durability barrier.
+    pub fn sync(&self) -> io::Result<()> {
+        self.inner.borrow_mut().sync()
+    }
+
     /// Empties the user-space page cache.
-    pub fn drop_cache(&self) {
+    pub fn drop_cache(&self) -> io::Result<()> {
         self.inner.borrow_mut().drop_cache()
     }
 }
 
-impl<T: Pod> Mem<T> for SharedFileMem<T> {
+impl<T: Pod, D: RawDev> Mem<T> for SharedFileMem<T, D> {
     fn len(&self) -> usize {
         self.inner.borrow().len()
     }
@@ -417,11 +907,11 @@ impl<T: Pod> Mem<T> for SharedFileMem<T> {
 /// the other as its storage backend. Backed by `Arc<Mutex<…>>`, so a
 /// file-backed dictionary is `Send` and can serve as one shard of a
 /// sharded database whose sub-batches are applied on worker threads.
-pub struct ArcFileMem<T: Pod> {
-    inner: std::sync::Arc<std::sync::Mutex<FileMem<T>>>,
+pub struct ArcFileMem<T: Pod, D: RawDev = File> {
+    inner: std::sync::Arc<std::sync::Mutex<FileMem<T, D>>>,
 }
 
-impl<T: Pod> Clone for ArcFileMem<T> {
+impl<T: Pod, D: RawDev> Clone for ArcFileMem<T, D> {
     fn clone(&self) -> Self {
         ArcFileMem {
             inner: self.inner.clone(),
@@ -429,15 +919,15 @@ impl<T: Pod> Clone for ArcFileMem<T> {
     }
 }
 
-impl<T: Pod> ArcFileMem<T> {
+impl<T: Pod, D: RawDev> ArcFileMem<T, D> {
     /// Wraps a [`FileMem`].
-    pub fn new(inner: FileMem<T>) -> Self {
+    pub fn new(inner: FileMem<T, D>) -> Self {
         ArcFileMem {
             inner: std::sync::Arc::new(std::sync::Mutex::new(inner)),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, FileMem<T>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, FileMem<T, D>> {
         self.inner.lock().expect("file store mutex poisoned")
     }
 
@@ -458,13 +948,29 @@ impl<T: Pod> ArcFileMem<T> {
         self.lock().take_stats()
     }
 
+    /// Writes dirty pages back with a durability barrier.
+    pub fn sync(&self) -> io::Result<()> {
+        self.lock().sync()
+    }
+
+    /// Commits the array's state plus the caller's payload durably (see
+    /// [`FileMem::commit_meta`]).
+    pub fn commit_meta(&self, user: &[u8]) -> io::Result<()> {
+        self.lock().commit_meta(user)
+    }
+
+    /// The last committed metadata epoch.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch()
+    }
+
     /// Empties the user-space page cache.
-    pub fn drop_cache(&self) {
+    pub fn drop_cache(&self) -> io::Result<()> {
         self.lock().drop_cache()
     }
 }
 
-impl<T: Pod> Mem<T> for ArcFileMem<T> {
+impl<T: Pod, D: RawDev> Mem<T> for ArcFileMem<T, D> {
     fn len(&self) -> usize {
         self.lock().len()
     }
@@ -483,20 +989,27 @@ impl<T: Pod> Mem<T> for ArcFileMem<T> {
 }
 
 /// A cloneable, thread-safe handle to [`FilePages`] (see [`ArcFileMem`]).
-#[derive(Clone)]
-pub struct ArcFilePages {
-    inner: std::sync::Arc<std::sync::Mutex<FilePages>>,
+pub struct ArcFilePages<D: RawDev = File> {
+    inner: std::sync::Arc<std::sync::Mutex<FilePages<D>>>,
 }
 
-impl ArcFilePages {
+impl<D: RawDev> Clone for ArcFilePages<D> {
+    fn clone(&self) -> Self {
+        ArcFilePages {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<D: RawDev> ArcFilePages<D> {
     /// Wraps a [`FilePages`].
-    pub fn new(inner: FilePages) -> Self {
+    pub fn new(inner: FilePages<D>) -> Self {
         ArcFilePages {
             inner: std::sync::Arc::new(std::sync::Mutex::new(inner)),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, FilePages> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, FilePages<D>> {
         self.inner.lock().expect("file store mutex poisoned")
     }
 
@@ -516,13 +1029,29 @@ impl ArcFilePages {
         self.lock().take_stats()
     }
 
+    /// Writes dirty pages back with a durability barrier.
+    pub fn sync(&self) -> io::Result<()> {
+        self.lock().sync()
+    }
+
+    /// Commits the store's state plus the caller's payload durably (see
+    /// [`FilePages::commit_meta`]).
+    pub fn commit_meta(&self, user: &[u8]) -> io::Result<()> {
+        self.lock().commit_meta(user)
+    }
+
+    /// The last committed metadata epoch.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch()
+    }
+
     /// Empties the user-space page cache.
-    pub fn drop_cache(&self) {
+    pub fn drop_cache(&self) -> io::Result<()> {
         self.lock().drop_cache()
     }
 }
 
-impl crate::page::PageStore for ArcFilePages {
+impl<D: RawDev> crate::page::PageStore for ArcFilePages<D> {
     fn page_size(&self) -> usize {
         self.lock().page_size()
     }
@@ -547,6 +1076,7 @@ impl crate::page::PageStore for ArcFilePages {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dev::CrashDev;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -578,7 +1108,7 @@ mod tests {
         let mut fp = FilePages::create(&path, 128, 4).unwrap();
         let id = fp.alloc_page();
         fp.with_page_mut(id, |pg| pg[7] = 99);
-        fp.drop_cache();
+        fp.drop_cache().unwrap();
         assert_eq!(fp.with_page(id, |pg| pg[7]), 99);
         std::fs::remove_file(path).ok();
     }
@@ -591,7 +1121,7 @@ mod tests {
         for i in 0..1000usize {
             fm.set(i, (i as u64, (i * 3) as u64));
         }
-        fm.drop_cache();
+        fm.drop_cache().unwrap();
         for i in (0..1000usize).rev() {
             assert_eq!(fm.get_mut(i), (i as u64, (i * 3) as u64));
         }
@@ -610,7 +1140,7 @@ mod tests {
         for i in 0..300usize {
             sm.set(i, i as u64 * 7);
         }
-        sm.drop_cache();
+        sm.drop_cache().unwrap();
         for i in 0..300usize {
             assert_eq!(sm.get(i), i as u64 * 7);
         }
@@ -625,7 +1155,7 @@ mod tests {
         let b = a.clone();
         a.resize(100, 0);
         a.set(50, 1234);
-        b.drop_cache();
+        b.drop_cache().unwrap();
         assert_eq!(a.get(50), 1234);
         assert!(b.stats().fetches > 0);
         std::fs::remove_file(path).ok();
@@ -637,7 +1167,7 @@ mod tests {
         use crate::page::PageStore;
         let id = p.alloc_page();
         p.with_page_mut(id, |pg| pg[0] = 7);
-        q.drop_cache();
+        q.drop_cache().unwrap();
         assert_eq!(p.with_page(id, |pg| pg[0]), 7);
         std::fs::remove_file(path).ok();
     }
@@ -654,7 +1184,7 @@ mod tests {
         let phase1 = m.take_stats();
         assert!(phase1.accesses > 0, "prefill phase touched the store");
         assert_eq!(m.stats(), IoStats::default(), "take resets the counters");
-        m.drop_cache();
+        m.drop_cache().unwrap();
         let _ = m.take_stats();
         for i in 0..500usize {
             assert_eq!(m.get(i), i as u64);
@@ -677,6 +1207,7 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<ArcFileMem<u64>>();
         assert_send::<ArcFilePages>();
+        assert_send::<ArcFileMem<u64, CrashDev>>();
     }
 
     #[test]
@@ -686,5 +1217,134 @@ mod tests {
         let id = fp.alloc_page();
         assert_eq!(fp.with_page(id, |pg| pg.to_vec()), vec![0u8; 128]);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn commit_and_reopen_recovers_pages_and_payload() {
+        let path = tmp("reopen-pages");
+        {
+            let mut fp = FilePages::create(&path, 128, 2).unwrap();
+            for i in 0..5u32 {
+                let id = fp.alloc_page();
+                fp.with_page_mut(id, |pg| pg[0] = i as u8 + 10);
+            }
+            fp.commit_meta(b"root=3").unwrap();
+            assert_eq!(fp.epoch(), 1);
+        }
+        let (mut fp, payload) = FilePages::open(&path, 2).unwrap();
+        assert_eq!(payload, b"root=3");
+        assert_eq!(fp.num_pages(), 5);
+        assert_eq!(fp.epoch(), 1);
+        for i in 0..5u32 {
+            assert_eq!(fp.with_page(i, |pg| pg[0]), i as u8 + 10);
+        }
+        // A second epoch replaces the first.
+        fp.with_page_mut(0, |pg| pg[0] = 99);
+        fp.commit_meta(b"root=7").unwrap();
+        drop(fp);
+        let (mut fp, payload) = FilePages::open(&path, 2).unwrap();
+        assert_eq!(payload, b"root=7");
+        assert_eq!(fp.epoch(), 2);
+        assert_eq!(fp.with_page(0, |pg| pg[0]), 99);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn file_mem_commit_restores_len() {
+        let path = tmp("reopen-mem");
+        {
+            let mut fm: FileMem<u64> = FileMem::create(&path, 512, 2, 8).unwrap();
+            fm.resize(100, 0);
+            for i in 0..100usize {
+                fm.set(i, i as u64 * 3);
+            }
+            fm.commit_meta(b"cola").unwrap();
+        }
+        let (mut fm, payload) = FileMem::<u64>::open(&path, 2, 8).unwrap();
+        assert_eq!(payload, b"cola");
+        assert_eq!(fm.len(), 100);
+        for i in 0..100usize {
+            assert_eq!(fm.get_mut(i), i as u64 * 3);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn uncommitted_writes_never_touch_committed_slots() {
+        // The shadow-paging invariant the crash guarantee rests on: after
+        // a commit, overwrite a page heavily *without* committing, then
+        // reopen the device image — the committed state must be intact.
+        let dev = CrashDev::new();
+        let mut fp = FilePages::create_on(dev.clone(), 128, 2).unwrap();
+        let id = fp.alloc_page();
+        fp.with_page_mut(id, |pg| pg.fill(0xAA));
+        fp.commit_meta(b"v1").unwrap();
+        fp.with_page_mut(id, |pg| pg.fill(0xBB));
+        fp.sync().unwrap(); // durable data write, but no meta commit
+        drop(fp);
+        let (mut re, payload) =
+            FilePages::open_on(CrashDev::from_image(dev.snapshot()), 2, (KIND_PAGES, 0)).unwrap();
+        assert_eq!(payload, b"v1");
+        assert_eq!(re.with_page(id, |pg| pg.to_vec()), vec![0xAA; 128]);
+    }
+
+    #[test]
+    fn open_rejects_wrong_kind_and_missing_commit() {
+        let dev = CrashDev::new();
+        let fm: FileMem<u64, CrashDev> = FileMem::create_on(dev.clone(), 512, 2, 8).unwrap();
+        drop(fm);
+        // Created but never committed.
+        assert!(matches!(
+            FileMem::<u64, CrashDev>::open_on(CrashDev::from_image(dev.snapshot()), 2, 8),
+            Err(OpenError::NeverCommitted)
+        ));
+        // Commit, then misread the store's identity in every way.
+        let dev = CrashDev::new();
+        let mut fm: FileMem<u64, CrashDev> = FileMem::create_on(dev.clone(), 512, 2, 8).unwrap();
+        fm.commit_meta(b"").unwrap();
+        drop(fm);
+        // Wrong stride.
+        assert!(matches!(
+            FileMem::<u64, CrashDev>::open_on(CrashDev::from_image(dev.snapshot()), 2, 16),
+            Err(OpenError::WrongKind { .. })
+        ));
+        // An element array opened as a raw page store.
+        assert!(matches!(
+            FilePages::open_on(CrashDev::from_image(dev.snapshot()), 2, (KIND_PAGES, 0)),
+            Err(OpenError::WrongKind { .. })
+        ));
+        // Not a store at all.
+        assert!(matches!(
+            FilePages::<CrashDev>::open_on(
+                CrashDev::from_image(b"hello world".to_vec()),
+                2,
+                (KIND_PAGES, 0)
+            ),
+            Err(OpenError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn shadow_remap_reuses_freed_slots() {
+        let dev = CrashDev::new();
+        let mut fp = FilePages::create_on(dev, 64, 4).unwrap();
+        let a = fp.alloc_page();
+        let b = fp.alloc_page();
+        fp.with_page_mut(a, |pg| pg[0] = 1);
+        fp.with_page_mut(b, |pg| pg[0] = 2);
+        fp.commit_meta(b"").unwrap();
+        // Epoch 2: both pages dirty → both relocate to fresh slots.
+        fp.with_page_mut(a, |pg| pg[0] = 3);
+        fp.with_page_mut(b, |pg| pg[0] = 4);
+        fp.commit_meta(b"").unwrap();
+        let grown = fp.phys_pages();
+        assert_eq!(grown, 4, "two shadow slots allocated");
+        // Epoch 3: the slots freed by epoch 2 are recycled, not grown.
+        fp.with_page_mut(a, |pg| pg[0] = 5);
+        fp.with_page_mut(b, |pg| pg[0] = 6);
+        fp.commit_meta(b"").unwrap();
+        assert_eq!(fp.phys_pages(), grown, "freed slots were reused");
+        assert_eq!(fp.with_page(a, |pg| pg[0]), 5);
+        assert_eq!(fp.with_page(b, |pg| pg[0]), 6);
     }
 }

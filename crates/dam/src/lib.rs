@@ -25,7 +25,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dev;
 pub mod file;
+pub mod format;
 pub mod lru;
 pub mod mem;
 pub mod page;
@@ -33,7 +35,9 @@ pub mod pod;
 pub mod sim;
 pub mod stats;
 
+pub use dev::{CrashDev, DevOp, RawDev};
 pub use file::{ArcFileMem, ArcFilePages, FileMem, FilePages, SharedFileMem};
+pub use format::OpenError;
 pub use lru::LruCache;
 pub use mem::{Mem, PlainMem, SimMem};
 pub use page::{PageStore, SimPages, VecPages, DEFAULT_PAGE_SIZE};

@@ -93,7 +93,7 @@ fn file_pages_mirror_memory() {
             fp.with_page_mut(pg, |p| p[off] = val);
             mirror[pg as usize][off] = val;
         }
-        fp.drop_cache();
+        fp.drop_cache().unwrap();
         for pg in 0..16u32 {
             let got = fp.with_page(pg, |p| p.to_vec());
             assert_eq!(&got[..], &mirror[pg as usize][..]);
@@ -115,7 +115,7 @@ fn seek_model_distinguishes_patterns() {
     for pg in 0..512u32 {
         fp.with_page_mut(pg, |p| p[0] = 1);
     }
-    fp.sync();
+    fp.sync().unwrap();
     let seq_seeks = fp.stats().seeks;
     assert!(
         seq_seeks <= 8,
@@ -130,7 +130,7 @@ fn seek_model_distinguishes_patterns() {
         let pg = (x % 512) as u32;
         fp.with_page_mut(pg, |p| p[1] = 2);
     }
-    fp.sync();
+    fp.sync().unwrap();
     let rnd_seeks = fp.stats().seeks - seq_seeks;
     assert!(
         rnd_seeks > 256,

@@ -742,6 +742,16 @@ impl ShuttleTree {
     }
 }
 
+/// The shuttle tree is memory-only (its file layout is *measured*
+/// through `LayoutImage`, never served from disk), so its persisted
+/// control state is just the structure tag: the facade refuses to build
+/// it file-backed, and this payload is never restored.
+impl cosbt_core::Persist for ShuttleTree {
+    fn save_meta(&mut self) -> Vec<u8> {
+        cosbt_core::MetaWriter::new(cosbt_core::persist::TAG_SHUTTLE, 1).finish()
+    }
+}
+
 impl cosbt_core::Dictionary for ShuttleTree {
     fn insert(&mut self, key: u64, val: u64) {
         ShuttleTree::insert(self, key, val)

@@ -91,8 +91,8 @@ fn main() {
     );
 
     // Queries: look up a recent source's events, cold cache.
-    cola.drop_cache();
-    btree.drop_cache();
+    cola.drop_cache().expect("cache writeback");
+    btree.drop_cache().expect("cache writeback");
     let t0 = Instant::now();
     let mut found = 0;
     for t in (0..n).step_by((n / 1000).max(1) as usize) {

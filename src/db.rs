@@ -24,14 +24,20 @@
 //! `.parallel_ingest(true)` applies batches on worker threads (see
 //! [`crate::shard`]).
 
-use std::path::PathBuf;
+use std::io;
+use std::path::{Path, PathBuf};
 
 use cosbt_brt::Brt;
 use cosbt_btree::BTree;
 use cosbt_core::entry::Cell;
-use cosbt_core::{
-    BasicCola, Cursor, DeamortBasicCola, DeamortCola, Dictionary, GCola, UpdateBatch,
+use cosbt_core::persist::{
+    peek_tag, tag_name, TAG_BASIC_COLA, TAG_BRT, TAG_BTREE, TAG_DEAMORT, TAG_DEAMORT_BASIC,
+    TAG_GCOLA,
 };
+use cosbt_core::{
+    BasicCola, Cursor, DeamortBasicCola, DeamortCola, Dictionary, GCola, MetaError, UpdateBatch,
+};
+use cosbt_dam::format::{fnv1a, sibling_path, DEFAULT_SLOT_BYTES};
 use cosbt_dam::{ArcFileMem, ArcFilePages, FileMem, FilePages, IoStats, DEFAULT_PAGE_SIZE};
 use cosbt_shuttle::ShuttleTree;
 
@@ -115,12 +121,301 @@ impl From<std::io::Error> for BuildError {
     }
 }
 
+/// Why a [`DbBuilder::open`] call failed. Every variant is diagnosable
+/// without reading the file yourself, and **no open path ever modifies
+/// or unlinks an existing file** — a failed open leaves the store
+/// byte-identical.
+#[derive(Debug)]
+pub enum OpenError {
+    /// A required file (data file, shard file, or shard manifest) does
+    /// not exist. [`DbBuilder::open_or_create`] falls back to creation on
+    /// this variant and only this variant.
+    Missing(PathBuf),
+    /// The storage layer rejected the file: wrong magic, unsupported
+    /// on-disk format version, payload-kind mismatch, checksum failure,
+    /// or a store that was created but never synced.
+    Store {
+        /// The offending file.
+        path: PathBuf,
+        /// The storage-layer diagnosis.
+        source: cosbt_dam::OpenError,
+    },
+    /// The file was written with a different page size than this build
+    /// uses.
+    PageSizeMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// Page size recorded in the file's superblock.
+        found: usize,
+        /// Page size the builder expected.
+        expected: usize,
+    },
+    /// The file holds a different structure (or structure parameters)
+    /// than the builder was configured for.
+    StructureMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// Human label of what the file holds.
+        found: String,
+        /// Human label of what the builder asked for.
+        expected: String,
+    },
+    /// The shard manifest records a different shard count than the
+    /// builder was configured for.
+    ShardCountMismatch {
+        /// Shard count recorded in the manifest.
+        found: usize,
+        /// Shard count the builder asked for.
+        expected: usize,
+    },
+    /// The builder supplied explicit splitters that disagree with the
+    /// manifest (omit [`DbBuilder::shard_splitters`] to adopt the
+    /// persisted routing).
+    SplitterMismatch {
+        /// Splitters recorded in the manifest.
+        found: Vec<u64>,
+        /// Splitters the builder supplied.
+        expected: Vec<u64>,
+    },
+    /// The shard manifest exists but fails validation.
+    ManifestCorrupt {
+        /// The manifest file.
+        path: PathBuf,
+        /// What failed.
+        why: String,
+    },
+    /// The store opened cleanly but the structure's control state did not
+    /// decode.
+    Meta {
+        /// The offending file.
+        path: PathBuf,
+        /// The structure-layer diagnosis.
+        source: MetaError,
+    },
+    /// The builder configuration itself is invalid (or names the memory
+    /// backend, which has nothing to open).
+    Unsupported(BuildError),
+    /// An I/O error outside superblock validation.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::Missing(p) => write!(f, "no store at {}", p.display()),
+            OpenError::Store { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            OpenError::PageSizeMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "{}: page size mismatch (file {found}, expected {expected})",
+                path.display()
+            ),
+            OpenError::StructureMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "{}: structure mismatch (file holds {found}, builder asked for {expected})",
+                path.display()
+            ),
+            OpenError::ShardCountMismatch { found, expected } => write!(
+                f,
+                "shard count mismatch (manifest records {found}, builder asked for {expected})"
+            ),
+            OpenError::SplitterMismatch { found, expected } => write!(
+                f,
+                "splitter mismatch (manifest {found:?}, builder {expected:?})"
+            ),
+            OpenError::ManifestCorrupt { path, why } => {
+                write!(f, "{}: corrupt shard manifest: {why}", path.display())
+            }
+            OpenError::Meta { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            OpenError::Unsupported(e) => write!(f, "{e}"),
+            OpenError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpenError::Store { source, .. } => Some(source),
+            OpenError::Meta { source, .. } => Some(source),
+            OpenError::Unsupported(e) => Some(e),
+            OpenError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for OpenError {
+    fn from(e: BuildError) -> Self {
+        match e {
+            BuildError::Io(io) => OpenError::Io(io),
+            other => OpenError::Unsupported(other),
+        }
+    }
+}
+
+/// Maps a storage-layer open failure on `path` to the facade error,
+/// folding "file not found" into [`OpenError::Missing`].
+fn store_error(path: &Path, e: cosbt_dam::OpenError) -> OpenError {
+    if e.is_missing() {
+        OpenError::Missing(path.to_path_buf())
+    } else {
+        OpenError::Store {
+            path: path.to_path_buf(),
+            source: e,
+        }
+    }
+}
+
+/// Magic of the shard manifest file (`<base>.manifest`).
+const MANIFEST_MAGIC: [u8; 8] = *b"COSBTMAN";
+/// Manifest format version.
+const MANIFEST_VERSION: u32 = 1;
+
+/// The routing configuration a sharded file-backed database persists at
+/// creation, so a reopened database routes identically. Written once,
+/// atomically (temp file + rename); never rewritten, so it needs no
+/// shadow commit.
+#[derive(Debug, Clone, PartialEq)]
+struct Manifest {
+    shards: u32,
+    structure_tag: u8,
+    /// Structure parameter (growth factor / fanout; 0 if none).
+    param: u64,
+    splitters: Vec<u64>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.shards.to_le_bytes());
+        out.push(self.structure_tag);
+        out.extend_from_slice(&self.param.to_le_bytes());
+        out.extend_from_slice(&(self.splitters.len() as u32).to_le_bytes());
+        for &s in &self.splitters {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        let ck = fnv1a(&out);
+        out.extend_from_slice(&ck.to_le_bytes());
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<Manifest, String> {
+        if buf.len() < 8 || buf[0..8] != MANIFEST_MAGIC {
+            return Err("bad manifest magic".into());
+        }
+        if buf.len() < 33 {
+            return Err("truncated manifest".into());
+        }
+        let ck = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
+        if ck != fnv1a(&buf[..buf.len() - 8]) {
+            return Err("manifest checksum mismatch".into());
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != MANIFEST_VERSION {
+            return Err(format!("unsupported manifest version {version}"));
+        }
+        let shards = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+        let structure_tag = buf[16];
+        let param = u64::from_le_bytes(buf[17..25].try_into().unwrap());
+        let count = u32::from_le_bytes(buf[25..29].try_into().unwrap()) as usize;
+        if buf.len() != 29 + 8 * count + 8 {
+            return Err("manifest length disagrees with splitter count".into());
+        }
+        let splitters = (0..count)
+            .map(|i| u64::from_le_bytes(buf[29 + 8 * i..37 + 8 * i].try_into().unwrap()))
+            .collect();
+        Ok(Manifest {
+            shards,
+            structure_tag,
+            param,
+            splitters,
+        })
+    }
+
+    fn write_atomic(&self, path: &Path) -> io::Result<()> {
+        write_file_atomic(path, &self.encode())
+    }
+}
+
+/// Writes `bytes` to `path` atomically: temp file, contents fsynced,
+/// rename. (The parent-directory fsync is omitted; on the platforms we
+/// target a rename reaching the directory after a crash without its
+/// contents is not a failure mode the tests model.)
+fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+    let tmp = sibling_path(path, ".tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+/// Magic of the cross-shard commit record (`<base>.commit`).
+const COMMIT_MAGIC: [u8; 8] = *b"COSBTCPT";
+
+/// The atomic commit point of a **sharded** file-backed database.
+///
+/// Each shard's store commit is individually crash-atomic, but a crash
+/// between two shards' commits would otherwise recover a whole-database
+/// state that never existed (half a batch applied). `Db::sync` therefore
+/// commits every shard first and only then renames this record — one
+/// epoch per shard — into place; `DbBuilder::open` rolls every shard
+/// back to its recorded epoch (the double-buffered metadata region still
+/// holds it). The rename is the cross-shard commit point.
+fn encode_commit_record(epochs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + 8 * epochs.len());
+    out.extend_from_slice(&COMMIT_MAGIC);
+    out.extend_from_slice(&(epochs.len() as u32).to_le_bytes());
+    for &e in epochs {
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+    let ck = fnv1a(&out);
+    out.extend_from_slice(&ck.to_le_bytes());
+    out
+}
+
+fn decode_commit_record(buf: &[u8]) -> Result<Vec<u64>, String> {
+    if buf.len() < 8 || buf[0..8] != COMMIT_MAGIC {
+        return Err("bad commit-record magic".into());
+    }
+    if buf.len() < 20 {
+        return Err("truncated commit record".into());
+    }
+    let ck = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
+    if ck != fnv1a(&buf[..buf.len() - 8]) {
+        return Err("commit-record checksum mismatch".into());
+    }
+    let count = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    if buf.len() != 12 + 8 * count + 8 {
+        return Err("commit-record length disagrees with shard count".into());
+    }
+    Ok((0..count)
+        .map(|i| u64::from_le_bytes(buf[12 + 8 * i..20 + 8 * i].try_into().unwrap()))
+        .collect())
+}
+
 /// Builder for a [`Db`]; see the module docs for a walkthrough.
 #[derive(Debug, Clone)]
 pub struct DbBuilder {
     structure: Structure,
     backend: Backend,
     cache_bytes: usize,
+    meta_slot_bytes: usize,
     deamortized: bool,
     pointer_density: f64,
     shards: usize,
@@ -134,6 +429,7 @@ impl Default for DbBuilder {
             structure: Structure::GCola { g: 4 },
             backend: Backend::Mem,
             cache_bytes: 16 * 1024 * 1024,
+            meta_slot_bytes: DEFAULT_SLOT_BYTES,
             deamortized: false,
             pointer_density: 0.1,
             shards: 1,
@@ -171,6 +467,21 @@ impl DbBuilder {
     /// transfer counts the out-of-core experiments measure).
     pub fn cache_bytes(mut self, bytes: usize) -> DbBuilder {
         self.cache_bytes = bytes;
+        self
+    }
+
+    /// Capacity of each shard file's metadata commit slot (default
+    /// 256 KiB; file backends only, fixed at creation). The slot holds
+    /// the committed page table (4 bytes per page) plus the structure's
+    /// control state, so it caps a shard at roughly
+    /// `bytes / 4 × page_size` of data — 256 KiB ⇒ ~256 MiB per shard at
+    /// 4 KiB pages. Past the cap, `sync` fails with `InvalidInput` on
+    /// every call (loudly — the store itself keeps working, but commits
+    /// no longer fit). Size this for the data a store must grow to; it
+    /// is ignored by [`DbBuilder::open`], which reads the capacity from
+    /// the superblock.
+    pub fn meta_slot_bytes(mut self, bytes: usize) -> DbBuilder {
+        self.meta_slot_bytes = bytes;
         self
     }
 
@@ -233,8 +544,10 @@ impl DbBuilder {
         self
     }
 
-    /// Instantiates the configured dictionary.
-    pub fn build(self) -> Result<Db, BuildError> {
+    /// Validates the configuration (structure parameters, modifiers,
+    /// shard layout) without touching any backend. Shared by
+    /// [`DbBuilder::build`] and [`DbBuilder::open`].
+    fn validate(&self) -> Result<(), BuildError> {
         let label = self.label();
         let unsupported = |what: &str| BuildError::Unsupported(format!("{what} ({label})"));
 
@@ -267,6 +580,9 @@ impl DbBuilder {
         if self.shards == 0 {
             return Err(unsupported("shard count must be at least 1"));
         }
+        if self.meta_slot_bytes < 4096 {
+            return Err(unsupported("metadata slot capacity must be at least 4 KiB"));
+        }
         if let Some(splitters) = &self.splitters {
             if splitters.len() != self.shards - 1 {
                 return Err(unsupported(
@@ -288,7 +604,18 @@ impl DbBuilder {
                 "cache budget too small: each shard's page cache needs at least 2 pages",
             ));
         }
+        Ok(())
+    }
 
+    /// Instantiates the configured dictionary, creating (truncating) the
+    /// backing files for file backends. A freshly built file-backed
+    /// database is committed immediately, so it can be reopened with
+    /// [`DbBuilder::open`] even before the first explicit
+    /// [`Db::sync`].
+    pub fn build(self) -> Result<Db, BuildError> {
+        self.validate()?;
+        let label = self.label();
+        let unsupported = |what: &str| BuildError::Unsupported(format!("{what} ({label})"));
         let mut dicts: Vec<Shard> = Vec::with_capacity(self.shards);
         let mut ios: Vec<IoHandle> = Vec::new();
         for i in 0..self.shards {
@@ -322,30 +649,350 @@ impl DbBuilder {
                 }
             }
         }
-        let dict: Shard = if self.shards == 1 {
-            dicts.pop().expect("one shard was built")
+        let dict: DbDict = if self.shards == 1 {
+            DbDict::Single(dicts.pop().expect("one shard was built"))
         } else {
             let splitters = self
                 .splitters
                 .clone()
                 .unwrap_or_else(|| even_splitters(self.shards));
-            Box::new(ShardRouter::new(dicts, splitters, self.parallel_ingest))
+            DbDict::Sharded(ShardRouter::new(dicts, splitters, self.parallel_ingest))
         };
-        Ok(Db { dict, ios, label })
+        let commit_path = match (&self.backend, self.shards) {
+            (Backend::File(base), n) if n > 1 => Some(self.commit_record_path(base)),
+            _ => None,
+        };
+        let mut db = Db {
+            dict,
+            ios,
+            label,
+            dirty: false,
+            commit_path,
+        };
+        if let Backend::File(base) = &self.backend {
+            // Make the fresh (empty) database immediately reopenable:
+            // write the shard manifest (sharded configs) and commit the
+            // initial metadata epoch. A failure here unwinds like a
+            // failed shard build — no partial files left behind.
+            let init = (|| -> io::Result<()> {
+                if self.shards > 1 {
+                    self.manifest().write_atomic(&self.manifest_path(base))?;
+                }
+                db.sync()
+            })();
+            if let Err(e) = init {
+                drop(db);
+                for p in self.data_paths() {
+                    std::fs::remove_file(p).ok();
+                }
+                return Err(BuildError::Io(e));
+            }
+        }
+        Ok(db)
+    }
+
+    /// Opens an existing file-backed database previously created (and
+    /// synced) with this configuration. The builder must be configured
+    /// with the same structure and shard layout the file holds — every
+    /// mismatch is a distinct typed [`OpenError`] — and the open path
+    /// **never modifies or unlinks** the files it inspects. The
+    /// lookahead-pointer density of a g-COLA is restored from the file;
+    /// cache budget and parallel-ingest are runtime knobs and may differ
+    /// per open.
+    ///
+    /// ```no_run
+    /// use cosbt::{Backend, DbBuilder, Structure};
+    ///
+    /// let builder = DbBuilder::new()
+    ///     .structure(Structure::GCola { g: 4 })
+    ///     .backend(Backend::File("index.db".into()));
+    /// let mut db = builder.clone().build().unwrap();
+    /// db.insert(7, 70);
+    /// db.sync().unwrap();
+    /// drop(db);
+    /// let mut db = builder.open().unwrap();
+    /// assert_eq!(db.get(7), Some(70));
+    /// ```
+    pub fn open(self) -> Result<Db, OpenError> {
+        self.validate().map_err(OpenError::from)?;
+        let label = self.label();
+        let Backend::File(base) = &self.backend else {
+            return Err(OpenError::Unsupported(BuildError::Unsupported(format!(
+                "nothing to open for the memory backend ({label})"
+            ))));
+        };
+        // Sharded: recover the persisted routing first and require the
+        // builder to agree with it.
+        let splitters = if self.shards > 1 {
+            let mpath = self.manifest_path(base);
+            let bytes = std::fs::read(&mpath).map_err(|e| {
+                if e.kind() == io::ErrorKind::NotFound {
+                    OpenError::Missing(mpath.clone())
+                } else {
+                    OpenError::Io(e)
+                }
+            })?;
+            let manifest = Manifest::decode(&bytes).map_err(|why| OpenError::ManifestCorrupt {
+                path: mpath.clone(),
+                why,
+            })?;
+            if manifest.shards as usize != self.shards {
+                return Err(OpenError::ShardCountMismatch {
+                    found: manifest.shards as usize,
+                    expected: self.shards,
+                });
+            }
+            let expected = self.manifest();
+            if manifest.structure_tag != expected.structure_tag || manifest.param != expected.param
+            {
+                return Err(OpenError::StructureMismatch {
+                    path: mpath,
+                    found: tag_name(manifest.structure_tag).to_string(),
+                    expected: tag_name(expected.structure_tag).to_string(),
+                });
+            }
+            if let Some(requested) = &self.splitters {
+                if *requested != manifest.splitters {
+                    return Err(OpenError::SplitterMismatch {
+                        found: manifest.splitters.clone(),
+                        expected: requested.clone(),
+                    });
+                }
+            }
+            Some(manifest.splitters)
+        } else {
+            None
+        };
+        // Sharded: the cross-shard commit record pins the epoch every
+        // shard must be rolled back to, so a crash between two shards'
+        // commits cannot surface a mixed whole-database state.
+        let epochs: Option<Vec<u64>> = if self.shards > 1 {
+            let cpath = self.commit_record_path(base);
+            let bytes = std::fs::read(&cpath).map_err(|e| {
+                if e.kind() == io::ErrorKind::NotFound {
+                    OpenError::Store {
+                        path: cpath.clone(),
+                        source: cosbt_dam::OpenError::NeverCommitted,
+                    }
+                } else {
+                    OpenError::Io(e)
+                }
+            })?;
+            let epochs =
+                decode_commit_record(&bytes).map_err(|why| OpenError::ManifestCorrupt {
+                    path: cpath.clone(),
+                    why,
+                })?;
+            if epochs.len() != self.shards {
+                return Err(OpenError::ManifestCorrupt {
+                    path: cpath,
+                    why: format!(
+                        "commit record holds {} epochs for {} shards",
+                        epochs.len(),
+                        self.shards
+                    ),
+                });
+            }
+            Some(epochs)
+        } else {
+            None
+        };
+        let mut dicts: Vec<Shard> = Vec::with_capacity(self.shards);
+        let mut ios: Vec<IoHandle> = Vec::with_capacity(self.shards);
+        for i in 0..self.shards {
+            let max_epoch = epochs.as_ref().map(|e| e[i]);
+            let (dict, io) = self.open_shard(i, base, max_epoch)?;
+            dicts.push(dict);
+            ios.push(io);
+        }
+        let dict = if self.shards == 1 {
+            DbDict::Single(dicts.pop().expect("one shard was opened"))
+        } else {
+            DbDict::Sharded(ShardRouter::new(
+                dicts,
+                splitters.expect("sharded opens recovered splitters"),
+                self.parallel_ingest,
+            ))
+        };
+        Ok(Db {
+            dict,
+            ios,
+            label,
+            dirty: false,
+            commit_path: if self.shards > 1 {
+                Some(self.commit_record_path(base))
+            } else {
+                None
+            },
+        })
+    }
+
+    /// [`DbBuilder::open`] if the store exists, [`DbBuilder::build`]
+    /// otherwise. Only a genuinely missing store — **no** backing file
+    /// of this configuration present at all — falls back to creation; a
+    /// present-but-invalid store, and equally a *partially* missing one
+    /// (a lost manifest next to intact shard files), surfaces its open
+    /// error untouched. `build` truncates every backing file, so
+    /// re-creating over remnants would destroy data an operator may
+    /// want to inspect or repair.
+    pub fn open_or_create(self) -> Result<Db, OpenError> {
+        match self.clone().open() {
+            Err(err @ OpenError::Missing(_)) => {
+                if self.data_paths().iter().any(|p| p.exists()) {
+                    return Err(err);
+                }
+                self.build().map_err(OpenError::from)
+            }
+            other => other,
+        }
+    }
+
+    /// The structure-metadata tag this configuration produces (what
+    /// [`cosbt_core::Persist::save_meta`] will emit) plus its parameter.
+    fn structure_identity(&self) -> (u8, u64) {
+        match (self.structure, self.deamortized) {
+            (Structure::BasicCola, false) => (TAG_BASIC_COLA, 0),
+            (Structure::BasicCola, true) => (TAG_DEAMORT_BASIC, 0),
+            (Structure::GCola { g }, false) => (TAG_GCOLA, g as u64),
+            (Structure::GCola { .. }, true) => (TAG_DEAMORT, 2),
+            (Structure::BTree, _) => (TAG_BTREE, 0),
+            (Structure::Brt, _) => (TAG_BRT, 0),
+            (Structure::Shuttle { c }, _) => (cosbt_core::persist::TAG_SHUTTLE, c as u64),
+        }
+    }
+
+    fn manifest(&self) -> Manifest {
+        let (structure_tag, param) = self.structure_identity();
+        Manifest {
+            shards: self.shards as u32,
+            structure_tag,
+            param,
+            splitters: self
+                .splitters
+                .clone()
+                .unwrap_or_else(|| even_splitters(self.shards)),
+        }
+    }
+
+    /// Path of the shard manifest: `<base>.manifest`.
+    fn manifest_path(&self, base: &Path) -> PathBuf {
+        sibling_path(base, ".manifest")
+    }
+
+    /// Path of the cross-shard commit record: `<base>.commit`.
+    fn commit_record_path(&self, base: &Path) -> PathBuf {
+        sibling_path(base, ".commit")
+    }
+
+    /// Opens shard `idx`'s store file and reconstructs its structure from
+    /// the committed metadata.
+    fn open_shard(
+        &self,
+        idx: usize,
+        base: &Path,
+        max_epoch: Option<u64>,
+    ) -> Result<(Shard, IoHandle), OpenError> {
+        let path = self.shard_file_path(base, idx);
+        let cache_pages = (self.cache_bytes / self.shards / DEFAULT_PAGE_SIZE).max(2);
+        let (expected_tag, _) = self.structure_identity();
+        let meta_err = |source: MetaError| OpenError::Meta {
+            path: path.clone(),
+            source,
+        };
+        let check = |found_meta: &[u8]| -> Result<(), OpenError> {
+            match peek_tag(found_meta) {
+                Some(tag) if tag == expected_tag => Ok(()),
+                Some(tag) => Err(OpenError::StructureMismatch {
+                    path: path.clone(),
+                    found: tag_name(tag).to_string(),
+                    expected: self.label(),
+                }),
+                None => Err(meta_err(MetaError::Truncated)),
+            }
+        };
+        match self.structure {
+            Structure::Shuttle { .. } => Err(OpenError::Unsupported(BuildError::Unsupported(
+                format!("the shuttle tree is in-memory only ({})", self.label()),
+            ))),
+            Structure::BTree | Structure::Brt => {
+                let (store, meta) = FilePages::open_at(&path, cache_pages, max_epoch)
+                    .map_err(|e| store_error(&path, e))?;
+                self.check_page_size(&path, cosbt_dam::PageStore::page_size(&store))?;
+                check(&meta)?;
+                let store = ArcFilePages::new(store);
+                let dict: Shard = match self.structure {
+                    Structure::BTree => {
+                        Box::new(BTree::from_parts(store.clone(), &meta).map_err(meta_err)?)
+                    }
+                    _ => Box::new(Brt::from_parts(store.clone(), &meta).map_err(meta_err)?),
+                };
+                Ok((dict, IoHandle::Pages(store)))
+            }
+            Structure::BasicCola | Structure::GCola { .. } => {
+                let (store, meta) = FileMem::<Cell>::open_at(&path, cache_pages, 32, max_epoch)
+                    .map_err(|e| store_error(&path, e))?;
+                self.check_page_size(&path, store.page_size())?;
+                check(&meta)?;
+                let mem = ArcFileMem::new(store);
+                let dict: Shard = match (self.structure, self.deamortized) {
+                    (Structure::BasicCola, false) => {
+                        Box::new(BasicCola::from_parts(mem.clone(), &meta).map_err(meta_err)?)
+                    }
+                    (Structure::BasicCola, true) => Box::new(
+                        DeamortBasicCola::from_parts(mem.clone(), &meta).map_err(meta_err)?,
+                    ),
+                    (Structure::GCola { g }, false) => {
+                        let cola = GCola::from_parts(mem.clone(), &meta).map_err(meta_err)?;
+                        if cola.growth() != g {
+                            return Err(OpenError::StructureMismatch {
+                                path,
+                                found: format!("{}-COLA", cola.growth()),
+                                expected: format!("{g}-COLA"),
+                            });
+                        }
+                        Box::new(cola)
+                    }
+                    (Structure::GCola { .. }, true) => {
+                        Box::new(DeamortCola::from_parts(mem.clone(), &meta).map_err(meta_err)?)
+                    }
+                    _ => unreachable!(),
+                };
+                Ok((dict, IoHandle::Mem(mem)))
+            }
+        }
+    }
+
+    fn check_page_size(&self, path: &Path, found: usize) -> Result<(), OpenError> {
+        if found != DEFAULT_PAGE_SIZE {
+            return Err(OpenError::PageSizeMismatch {
+                path: path.to_path_buf(),
+                found,
+                expected: DEFAULT_PAGE_SIZE,
+            });
+        }
+        Ok(())
     }
 
     /// The backing-file paths this configuration stores data in: the
-    /// configured path itself when unsharded, `<path>.shard<i>` per
-    /// shard otherwise; empty for the memory backend. This is the one
-    /// source of the shard-file naming convention — harnesses that own
-    /// the files' lifecycle (e.g. the bench CLI's delete-after-run)
-    /// should unlink exactly this list rather than re-deriving names.
+    /// configured path itself when unsharded, `<path>.shard<i>` per shard
+    /// plus the `<path>.manifest` routing manifest otherwise; empty for
+    /// the memory backend. This is the one source of the file naming
+    /// convention — harnesses that own the files' lifecycle (e.g. the
+    /// bench CLI's delete-after-run) should unlink exactly this list
+    /// rather than re-deriving names.
     pub fn data_paths(&self) -> Vec<PathBuf> {
         match &self.backend {
             Backend::Mem => Vec::new(),
-            Backend::File(base) => (0..self.shards)
-                .map(|i| self.shard_file_path(base, i))
-                .collect(),
+            Backend::File(base) => {
+                let mut paths: Vec<PathBuf> = (0..self.shards)
+                    .map(|i| self.shard_file_path(base, i))
+                    .collect();
+                if self.shards > 1 {
+                    paths.push(self.manifest_path(base));
+                    paths.push(self.commit_record_path(base));
+                }
+                paths
+            }
         }
     }
 
@@ -398,10 +1045,11 @@ impl DbBuilder {
                          through LayoutImage, not served from disk)",
                     )),
                     Structure::BTree | Structure::Brt => {
-                        let store = ArcFilePages::new(FilePages::create(
+                        let store = ArcFilePages::new(FilePages::create_sized(
                             &path,
                             DEFAULT_PAGE_SIZE,
                             cache_pages,
+                            self.meta_slot_bytes,
                         )?);
                         let dict: Shard = match structure {
                             Structure::BTree => Box::new(BTree::new(store.clone())),
@@ -411,11 +1059,12 @@ impl DbBuilder {
                     }
                     Structure::BasicCola | Structure::GCola { .. } => {
                         // 32-byte modeled elements, as in the paper.
-                        let mem = ArcFileMem::new(FileMem::<Cell>::create(
+                        let mem = ArcFileMem::new(FileMem::<Cell>::create_sized(
                             &path,
                             DEFAULT_PAGE_SIZE,
                             cache_pages,
                             32,
+                            self.meta_slot_bytes,
                         )?);
                         let dict: Shard = match (structure, self.deamortized) {
                             (Structure::BasicCola, false) => Box::new(BasicCola::new(mem.clone())),
@@ -535,10 +1184,24 @@ impl IoHandle {
         }
     }
 
-    fn drop_cache(&self) {
+    fn drop_cache(&self) -> io::Result<()> {
         match self {
             IoHandle::Mem(m) => m.drop_cache(),
             IoHandle::Pages(p) => p.drop_cache(),
+        }
+    }
+
+    fn commit_meta(&self, structure_meta: &[u8]) -> io::Result<()> {
+        match self {
+            IoHandle::Mem(m) => m.commit_meta(structure_meta),
+            IoHandle::Pages(p) => p.commit_meta(structure_meta),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            IoHandle::Mem(m) => m.epoch(),
+            IoHandle::Pages(p) => p.epoch(),
         }
     }
 }
@@ -564,6 +1227,65 @@ impl IoProbe {
     }
 }
 
+/// The dictionary a [`Db`] drives: one structure, or a [`ShardRouter`]
+/// over several. Kept as an enum (not a boxed trait object) so the
+/// facade can reach each shard individually — [`Db::sync`] must pair
+/// every shard's serialized control state with *its own* store's
+/// metadata commit.
+enum DbDict {
+    Single(Shard),
+    Sharded(ShardRouter),
+}
+
+impl DbDict {
+    fn as_dyn(&mut self) -> &mut dyn Dictionary {
+        match self {
+            DbDict::Single(s) => s.as_mut(),
+            DbDict::Sharded(r) => r,
+        }
+    }
+}
+
+impl Dictionary for DbDict {
+    fn insert(&mut self, key: u64, val: u64) {
+        self.as_dyn().insert(key, val)
+    }
+
+    fn delete(&mut self, key: u64) {
+        self.as_dyn().delete(key)
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.as_dyn().get(key)
+    }
+
+    fn cursor(&mut self, lo: u64, hi: u64) -> Cursor<'_> {
+        self.as_dyn().cursor(lo, hi)
+    }
+
+    fn apply(&mut self, batch: &mut UpdateBatch) {
+        self.as_dyn().apply(batch)
+    }
+
+    fn insert_batch(&mut self, sorted: &[(u64, u64)]) {
+        self.as_dyn().insert_batch(sorted)
+    }
+
+    fn physical_len(&self) -> usize {
+        match self {
+            DbDict::Single(s) => s.physical_len(),
+            DbDict::Sharded(r) => r.physical_len(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            DbDict::Single(s) => s.name(),
+            DbDict::Sharded(r) => r.name(),
+        }
+    }
+}
+
 /// A dictionary built by [`DbBuilder`]: any of the six structures behind
 /// the one [`Dictionary`] interface — optionally range-partitioned across
 /// shards — with uniform access to the backing stores' I/O counters and
@@ -571,6 +1293,11 @@ impl IoProbe {
 ///
 /// `Db` is [`Send`], so a whole database (sharded or not) can move to a
 /// worker thread.
+///
+/// File-backed databases are **durable**: [`Db::sync`] commits the
+/// current state crash-safely (see `cosbt_dam::file`), dropping the
+/// handle syncs best-effort, and [`DbBuilder::open`] reconstructs the
+/// database from the files later.
 ///
 /// ```
 /// use cosbt::{DbBuilder, Structure};
@@ -584,10 +1311,18 @@ impl IoProbe {
 /// assert_eq!(db.label(), "B-tree");
 /// ```
 pub struct Db {
-    dict: Shard,
-    /// One handle per file-backed shard; empty for memory backends.
+    dict: DbDict,
+    /// One handle per file-backed shard, in shard order; empty for
+    /// memory backends.
     ios: Vec<IoHandle>,
     label: String,
+    /// Whether the dictionary may have changed since the last commit;
+    /// gates the best-effort sync-on-drop so a read-only session never
+    /// rewrites metadata.
+    dirty: bool,
+    /// Path of the cross-shard commit record (`Some` only for sharded
+    /// file-backed databases).
+    commit_path: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for Db {
@@ -612,11 +1347,13 @@ impl Db {
 
     /// Inserts or overwrites `key`.
     pub fn insert(&mut self, key: u64, val: u64) {
+        self.dirty = true;
         self.dict.insert(key, val)
     }
 
     /// Deletes `key`.
     pub fn delete(&mut self, key: u64) {
+        self.dirty = true;
         self.dict.delete(key)
     }
 
@@ -637,11 +1374,13 @@ impl Db {
 
     /// Applies and drains a batch of updates.
     pub fn apply(&mut self, batch: &mut UpdateBatch) {
+        self.dirty = true;
         self.dict.apply(batch)
     }
 
     /// Inserts a key-sorted run of pairs in one batched pass.
     pub fn insert_batch(&mut self, sorted: &[(u64, u64)]) {
+        self.dirty = true;
         self.dict.insert_batch(sorted)
     }
 
@@ -653,8 +1392,60 @@ impl Db {
     }
 
     /// The inner dictionary, for interfaces that want the trait object.
+    /// Conservatively marks the database dirty (the borrow can mutate
+    /// without going through the tracked methods).
     pub fn dict_mut(&mut self) -> &mut dyn Dictionary {
-        self.dict.as_mut()
+        self.dirty = true;
+        self.dict.as_dyn()
+    }
+
+    /// Commits the current state durably (a no-op returning `Ok` for
+    /// memory backends). For every file-backed shard this serializes the
+    /// structure's control state ([`cosbt_core::Persist`]) and runs the
+    /// store's shadow commit: data pages, then metadata, each behind a
+    /// durability barrier — a crash at any point leaves either the
+    /// previous or the new committed state of that store, never a
+    /// mixture. A **sharded** database additionally makes the commit
+    /// atomic across shards: every shard commits first, then the
+    /// cross-shard commit record (`<base>.commit`, one epoch per shard)
+    /// is renamed into place; on reopen each shard is rolled back to its
+    /// recorded epoch, so a crash between two shards' commits still
+    /// recovers the previous whole-database state. I/O errors propagate;
+    /// nothing is swallowed — and if writing the commit record itself
+    /// fails repeatedly while shard commits keep advancing, the record
+    /// can fall more than one epoch behind and the next open reports it
+    /// stale (`Corrupt`) instead of guessing.
+    ///
+    /// Dropping a file-backed `Db` syncs best-effort (errors reported
+    /// to stderr but not propagated, skipped entirely if nothing changed
+    /// since the last commit); call `sync` explicitly where durability
+    /// failures must be handled.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.ios.is_empty() {
+            return Ok(());
+        }
+        match &mut self.dict {
+            DbDict::Single(s) => {
+                let meta = s.save_meta();
+                self.ios[0].commit_meta(&meta)?;
+            }
+            DbDict::Sharded(r) => {
+                let shards = r.shards_mut();
+                debug_assert_eq!(shards.len(), self.ios.len());
+                for (shard, io) in shards.iter_mut().zip(&self.ios) {
+                    let meta = shard.save_meta();
+                    io.commit_meta(&meta)?;
+                }
+                // Cross-shard commit point: rename the epoch vector into
+                // place only after every shard's own commit is durable.
+                if let Some(cp) = &self.commit_path {
+                    let epochs: Vec<u64> = self.ios.iter().map(IoHandle::epoch).collect();
+                    write_file_atomic(cp, &encode_commit_record(&epochs))?;
+                }
+            }
+        }
+        self.dirty = false;
+        Ok(())
     }
 
     /// I/O-counter probe; `None` for memory backends. Counters aggregate
@@ -692,22 +1483,60 @@ impl Db {
         self.ios.iter().map(|h| h.take_stats()).sum()
     }
 
+    /// Declares the in-memory state disposable: suppresses the
+    /// best-effort sync-on-drop until the next mutation. For throwaway
+    /// stores — benchmark scratch cells whose files are unlinked right
+    /// after — where the final commit (which quiesces deamortized
+    /// structures and fsyncs metadata) would be pure wasted I/O.
+    /// Explicit [`Db::sync`] still works afterwards.
+    pub fn discard_on_drop(&mut self) {
+        self.dirty = false;
+    }
+
     /// Empties every shard's user-space page cache — the paper's
     /// "remount" — so the next operations run cold (no-op for memory
-    /// backends).
-    pub fn drop_cache(&self) {
+    /// backends). Dirty pages are written back first, so I/O errors
+    /// propagate.
+    pub fn drop_cache(&self) -> io::Result<()> {
         for h in &self.ios {
-            h.drop_cache();
+            h.drop_cache()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Db {
+    /// Best-effort sync-on-drop for file-backed databases, so a scope
+    /// exit never silently loses a committed-state opportunity. A
+    /// failure is reported to stderr (Drop cannot propagate) — call
+    /// [`Db::sync`] explicitly where errors must be handled.
+    fn drop(&mut self) {
+        // Never commit during a panic unwind: the panic may have left a
+        // merge or split half-applied, and serializing that bookkeeping
+        // would durably overwrite the last *good* epoch (quiescing an
+        // inconsistent structure could also double-panic into an abort).
+        if std::thread::panicking() {
+            return;
+        }
+        if self.dirty && !self.ios.is_empty() {
+            if let Err(e) = self.sync() {
+                // Drop cannot propagate; a durability failure must still
+                // be visible somewhere. Callers that need the error call
+                // sync() themselves.
+                eprintln!("cosbt: sync-on-drop of '{}' failed: {e}", self.label);
+            }
         }
     }
 }
 
 impl Dictionary for Db {
     fn insert(&mut self, key: u64, val: u64) {
+        self.dirty = true;
         self.dict.insert(key, val)
     }
 
     fn delete(&mut self, key: u64) {
+        self.dirty = true;
         self.dict.delete(key)
     }
 
@@ -720,10 +1549,12 @@ impl Dictionary for Db {
     }
 
     fn apply(&mut self, batch: &mut UpdateBatch) {
+        self.dirty = true;
         self.dict.apply(batch)
     }
 
     fn insert_batch(&mut self, sorted: &[(u64, u64)]) {
+        self.dirty = true;
         self.dict.insert_batch(sorted)
     }
 
@@ -823,7 +1654,7 @@ mod tests {
             for k in 0..2000u64 {
                 db.insert(k, k + 7);
             }
-            db.drop_cache();
+            db.drop_cache().unwrap();
             assert_eq!(db.get(1500), Some(1507), "{}", db.label());
             assert!(db.io_stats().accesses > 0, "{}", db.label());
             drop(db);
@@ -845,7 +1676,7 @@ mod tests {
             .unwrap();
         let run: Vec<(u64, u64)> = (0..2000u64).map(|k| (k, k + 7)).collect();
         db.insert_batch(&run);
-        db.drop_cache();
+        db.drop_cache().unwrap();
         let probe = db.io_probe().expect("file backend has a probe");
         let before = probe.stats();
         // One get per shard's partition → every shard's store is touched.
@@ -919,13 +1750,27 @@ mod tests {
         assert_eq!(b.data_paths(), vec![base.clone()], "unsharded: the path");
         let b = b.shards(3);
         let paths = b.data_paths();
-        assert_eq!(paths.len(), 3);
-        for (i, p) in paths.iter().enumerate() {
+        assert_eq!(
+            paths.len(),
+            5,
+            "3 shard files plus the routing manifest and the commit record"
+        );
+        for (i, p) in paths[..3].iter().enumerate() {
             assert!(
                 p.to_string_lossy().ends_with(&format!(".shard{i}")),
                 "{p:?}"
             );
         }
+        assert!(
+            paths[3].to_string_lossy().ends_with(".manifest"),
+            "{:?}",
+            paths[3]
+        );
+        assert!(
+            paths[4].to_string_lossy().ends_with(".commit"),
+            "{:?}",
+            paths[4]
+        );
         // The advertised contract: building then unlinking data_paths
         // leaves nothing behind.
         let db = b.clone().build().unwrap();
@@ -978,7 +1823,7 @@ mod tests {
         let prefill = db.take_io_stats();
         assert!(prefill.accesses > 0);
         assert_eq!(db.io_stats(), IoStats::default());
-        db.drop_cache();
+        db.drop_cache().unwrap();
         let _ = db.take_io_stats();
         for k in (0..2000u64).step_by(101) {
             assert_eq!(db.get(k), Some(k));

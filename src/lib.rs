@@ -75,7 +75,9 @@
 mod db;
 pub mod shard;
 
-pub use db::{Backend, BuildError, Db, DbBuilder, IoProbe, Structure, VALID_COMBINATIONS};
+pub use db::{
+    Backend, BuildError, Db, DbBuilder, IoProbe, OpenError, Structure, VALID_COMBINATIONS,
+};
 pub use shard::ShardRouter;
 
 /// The shared dictionary API: trait, batches, cursors.

@@ -21,11 +21,19 @@
 //! at a time. The trade-off — skewed key distributions load shards
 //! unevenly — is what custom splitters are for.
 
-use cosbt_core::{Cursor, Dictionary, MergeCursor, UpdateBatch};
+use cosbt_core::{Cursor, Dictionary, MergeCursor, Persist, UpdateBatch};
 
-/// A dictionary shard: any structure over any backend, `Send` so
-/// sub-batches can be applied on worker threads.
-pub type Shard = Box<dyn Dictionary + Send>;
+/// The trait bundle a shard must satisfy: the dictionary operations, the
+/// persistence boundary (so a file-backed shard can serialize its control
+/// state into its store's metadata commit), and `Send` (so sub-batches
+/// can be applied on worker threads). Blanket-implemented; user code
+/// never implements it directly.
+pub trait ShardDict: Dictionary + Persist + Send {}
+
+impl<T: Dictionary + Persist + Send> ShardDict for T {}
+
+/// A dictionary shard: any structure over any backend.
+pub type Shard = Box<dyn ShardDict>;
 
 /// Below this many operations a batch is applied sequentially even with
 /// parallel ingest on: scoped worker threads are spawned per batch, and
@@ -113,6 +121,14 @@ impl ShardRouter {
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Mutable access to the shards in routing order, for per-shard
+    /// maintenance the router cannot express itself — [`crate::Db::sync`]
+    /// pairs each shard's [`Persist::save_meta`] with its own backing
+    /// store's metadata commit.
+    pub fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
     }
 
     /// The shard boundaries.

@@ -39,7 +39,7 @@ fn gcola_out_of_core() {
     let mem = ArcFileMem::new(FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 8, 32).unwrap());
     let handle = mem.clone();
     let mut d = GCola::new(mem, 4, 0.1);
-    run_file_backed("4-COLA", &mut d, &|| handle.drop_cache());
+    run_file_backed("4-COLA", &mut d, &|| handle.drop_cache().unwrap());
     assert!(handle.stats().fetches > 0, "must have touched disk");
     std::fs::remove_file(path).ok();
 }
@@ -50,7 +50,7 @@ fn basic_cola_out_of_core() {
     let mem = ArcFileMem::new(FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 8, 32).unwrap());
     let handle = mem.clone();
     let mut d = BasicCola::new(mem);
-    run_file_backed("basic-COLA", &mut d, &|| handle.drop_cache());
+    run_file_backed("basic-COLA", &mut d, &|| handle.drop_cache().unwrap());
     std::fs::remove_file(path).ok();
 }
 
@@ -60,7 +60,7 @@ fn deamort_cola_out_of_core() {
     let mem = ArcFileMem::new(FileMem::<Cell>::create(&path, DEFAULT_PAGE_SIZE, 8, 32).unwrap());
     let handle = mem.clone();
     let mut d = DeamortCola::new(mem);
-    run_file_backed("deamortized-COLA", &mut d, &|| handle.drop_cache());
+    run_file_backed("deamortized-COLA", &mut d, &|| handle.drop_cache().unwrap());
     std::fs::remove_file(path).ok();
 }
 
@@ -70,7 +70,7 @@ fn btree_out_of_core() {
     let pages = ArcFilePages::new(FilePages::create(&path, DEFAULT_PAGE_SIZE, 8).unwrap());
     let handle = pages.clone();
     let mut d = BTree::new(pages);
-    run_file_backed("B-tree", &mut d, &|| handle.drop_cache());
+    run_file_backed("B-tree", &mut d, &|| handle.drop_cache().unwrap());
     std::fs::remove_file(path).ok();
 }
 
@@ -80,7 +80,7 @@ fn brt_out_of_core() {
     let pages = ArcFilePages::new(FilePages::create(&path, DEFAULT_PAGE_SIZE, 8).unwrap());
     let handle = pages.clone();
     let mut d = Brt::new(pages);
-    run_file_backed("BRT", &mut d, &|| handle.drop_cache());
+    run_file_backed("BRT", &mut d, &|| handle.drop_cache().unwrap());
     std::fs::remove_file(path).ok();
 }
 

@@ -26,8 +26,8 @@ use cosbt_bench::json::{self, Json};
 use cosbt_bench::measure::{results_dir, write_atomic};
 use cosbt_bench::scaled;
 use cosbt_bench::scenario::{
-    compare_documents, csv_from_document, merge_document, run, run_reopen, RunMeta, Scenario,
-    SCENARIOS,
+    compare_documents, csv_from_document, merge_document, run, run_concurrent, run_reopen, RunMeta,
+    Scenario, SCENARIOS,
 };
 use cosbt_bench::workloads::KeyDist;
 
@@ -107,6 +107,10 @@ fn usage() -> ExitCode {
          \x20                              reopen from the files, measure first-read latency\n\
          \x20                              and transfers (file backend only)\n\
          \x20 --reopen-samples N           cold point reads in the reopen phase (default 2000)\n\
+         \x20 --clients N                  contended phase: N reader threads on pinned\n\
+         \x20                              snapshots vs the writer; records read p99 under\n\
+         \x20                              contention and writer throughput\n\
+         \x20 --client-writes N            writer ops in the --clients phase (default n/4)\n\
          \x20 --out DIR                    artifact directory (default results/)\n\
          \n\
          compare options:\n\
@@ -302,6 +306,8 @@ fn cmd_run(args: &mut Args) -> ExitCode {
     let seed = args.num("--seed").unwrap_or(42);
     let reopen = args.flag("--reopen");
     let reopen_samples = args.num("--reopen-samples").unwrap_or(2000);
+    let clients = args.num("--clients").unwrap_or(0) as usize;
+    let client_writes = args.num("--client-writes").unwrap_or(n / 4);
     let out = args
         .opt("--out")
         .map(PathBuf::from)
@@ -354,6 +360,22 @@ fn cmd_run(args: &mut Args) -> ExitCode {
     );
     let mut report = run(scenario, dist, meta, &mut db);
     report.print();
+    if clients > 0 {
+        let conc = run_concurrent(&mut db, dist, seed, clients, client_writes);
+        println!(
+            "clients {}: {} reads ({} hits) p50 {} ns p99 {} ns; writer {:.0} ops/s \
+             ({} ops, {} epochs)",
+            conc.clients,
+            conc.reads,
+            conc.read_hits,
+            conc.read_latency.p50(),
+            conc.read_latency.p99(),
+            conc.writer_throughput,
+            conc.writer_ops,
+            conc.epochs_published,
+        );
+        report.concurrent = Some(conc);
+    }
     let reopen_result = if reopen {
         match run_reopen(built.builder.clone(), db, dist, seed, reopen_samples) {
             Ok((cold, reopened)) => {

@@ -11,14 +11,17 @@
 //! `BENCH_*.json` trajectory), and against a `BTreeMap` model replay
 //! (the property suite in `tests/scenario_model.rs`).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use cosbt::Db;
+use cosbt::testkit::Rng;
+use cosbt::{Db, DbSnapshot};
 use cosbt_dam::IoStats;
 
 use crate::histogram::Histogram;
 use crate::json::Json;
-use crate::workloads::{prefill_run, KeyDist, Op, OpMix, OpStream};
+use crate::workloads::{prefill_run, KeyDist, KeyGen, Op, OpMix, OpStream};
 
 /// Bump when the `BENCH_*.json` layout changes shape; `bench compare`
 /// refuses to diff across schema versions.
@@ -189,6 +192,31 @@ pub struct ReopenReport {
     pub io: IoStats,
 }
 
+/// The `--clients N` phase: N reader threads serving point lookups off
+/// pinned snapshots while the writer keeps publishing epochs — the
+/// contention cell recorded into `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct ConcurrentReport {
+    /// Reader thread count.
+    pub clients: usize,
+    /// Wall-clock seconds of the contended phase.
+    pub elapsed_s: f64,
+    /// Point reads served across all readers.
+    pub reads: u64,
+    /// Reads that found a live key.
+    pub read_hits: u64,
+    /// Read latency under contention, merged across readers (the p99
+    /// here is the headline number: snapshot reads must not stall while
+    /// the writer publishes).
+    pub read_latency: Histogram,
+    /// Writes applied by the writer during the phase.
+    pub writer_ops: u64,
+    /// Writer ops per second while all readers hammer snapshots.
+    pub writer_throughput: f64,
+    /// Epochs the writer published during the phase.
+    pub epochs_published: u64,
+}
+
 /// Everything one scenario × cell execution measured.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -216,6 +244,9 @@ pub struct ScenarioReport {
     /// (file cells only). Optional, so trajectories with and without the
     /// phase keep one run identity.
     pub reopen: Option<ReopenReport>,
+    /// Measurements of the `--clients N` contended phase, when
+    /// requested. Optional for the same run-identity reason as `reopen`.
+    pub concurrent: Option<ConcurrentReport>,
 }
 
 /// Batch size for prefill `insert_batch` runs and drain chunks.
@@ -329,6 +360,91 @@ pub fn run(scenario: &Scenario, dist: KeyDist, meta: RunMeta, db: &mut Db) -> Sc
         io_prefill,
         io_run,
         reopen: None,
+        concurrent: None,
+    }
+}
+
+/// The `--clients N` contended phase: `clients` reader threads run point
+/// lookups against the freshest published snapshot (each iteration clones
+/// the latest [`DbSnapshot`] out of a shared slot — one brief mutex touch,
+/// then every read is lock-free against the pinned epoch) while the
+/// writer applies `write_ops` upserts in chunks, publishing a new epoch
+/// per chunk. Keys on both sides come from the run's distribution, so
+/// readers mostly hit. Returns merged reader latency plus writer
+/// throughput under contention.
+pub fn run_concurrent(
+    db: &mut Db,
+    dist: KeyDist,
+    seed: u64,
+    clients: usize,
+    write_ops: u64,
+) -> ConcurrentReport {
+    const WRITE_CHUNK: usize = 4 * 1024;
+    let epochs_before = db.snapshot_stats().published;
+    let latest: Arc<Mutex<DbSnapshot>> = Arc::new(Mutex::new(db.snapshot()));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..clients)
+        .map(|c| {
+            let latest = Arc::clone(&latest);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut keygen = KeyGen::new(dist);
+                let mut rng = Rng::new(seed ^ 0xC11E_4700 ^ (c as u64) << 32);
+                let mut hist = Histogram::new();
+                let mut hits = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let snap = latest.lock().unwrap().clone();
+                    for _ in 0..256 {
+                        let k = keygen.next_key(&mut rng);
+                        let t = Instant::now();
+                        if std::hint::black_box(snap.get(k)).is_some() {
+                            hits += 1;
+                        }
+                        let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        hist.record(ns);
+                    }
+                }
+                (hist, hits)
+            })
+        })
+        .collect();
+
+    let mut keygen = KeyGen::new(dist);
+    let mut rng = Rng::new(seed ^ 0x3717_E400);
+    let started = Instant::now();
+    let mut written = 0u64;
+    while written < write_ops {
+        let n = WRITE_CHUNK.min((write_ops - written) as usize);
+        let mut chunk: Vec<(u64, u64)> = (0..n)
+            .map(|_| (keygen.next_key(&mut rng), rng.next_u64()))
+            .collect();
+        chunk.sort_unstable_by_key(|&(k, _)| k);
+        db.insert_batch(&chunk);
+        written += n as u64;
+        *latest.lock().unwrap() = db.snapshot();
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+
+    let mut read_latency = Histogram::new();
+    let mut reads = 0u64;
+    let mut read_hits = 0u64;
+    for r in readers {
+        let (hist, hits) = r.join().expect("reader thread panicked");
+        reads += hist.count();
+        read_hits += hits;
+        read_latency.merge(&hist);
+    }
+    ConcurrentReport {
+        clients,
+        elapsed_s,
+        reads,
+        read_hits,
+        read_latency,
+        writer_ops: written,
+        writer_throughput: written as f64 / elapsed_s.max(1e-9),
+        epochs_published: db.snapshot_stats().published - epochs_before,
     }
 }
 
@@ -410,6 +526,17 @@ impl ScenarioReport {
                 .with("hits", r.hits.into())
                 .with("io", io_json(&r.io))
         });
+        let concurrent_json = self.concurrent.as_ref().map(|c| {
+            Json::obj()
+                .with("clients", (c.clients as u64).into())
+                .with("elapsed_s", c.elapsed_s.into())
+                .with("reads", c.reads.into())
+                .with("read_hits", c.read_hits.into())
+                .with("read_latency_ns", histogram_json(&c.read_latency))
+                .with("writer_ops", c.writer_ops.into())
+                .with("writer_throughput_ops_per_sec", c.writer_throughput.into())
+                .with("epochs_published", c.epochs_published.into())
+        });
         let base = Json::obj()
             .with(
                 "meta",
@@ -443,8 +570,12 @@ impl ScenarioReport {
                     .with("prefill", io_json(&self.io_prefill))
                     .with("run", io_json(&self.io_run)),
             );
-        match reopen_json {
+        let base = match reopen_json {
             Some(r) => base.with("reopen", r),
+            None => base,
+        };
+        match concurrent_json {
+            Some(c) => base.with("concurrent", c),
             None => base,
         }
     }

@@ -1,0 +1,577 @@
+//! Epoch/snapshot manager: pinned committed versions with grace-period
+//! reclamation.
+//!
+//! This is the MVCC core of the concurrency subsystem. The mutable
+//! write-optimized structures stay single-writer (their caches mutate on
+//! reads), and *readers never touch them*: every committed version of
+//! the database is represented as an [`EpochVersion`] — an immutable,
+//! newest-first stack of sorted [`Run`]s, exactly a COLA level structure
+//! lifted onto the heap and shared via `Arc`. The writer publishes the
+//! next version atomically ([`EpochManager::publish_with`]); readers
+//! [`pin`](EpochManager::pin) a version and query it lock-free (binary
+//! searches over immutable slices, no mutex on the read path).
+//!
+//! Reclamation is grace-period based, in the style of Twigg et al.'s
+//! persistent streaming indexes: when a publish supersedes runs, they
+//! are parked on a retire list tagged with the last epoch that
+//! referenced them, and freed only once every pinned reader has moved
+//! past that epoch. The same horizon, projected per shard onto the
+//! backing stores' committed *store* epochs, gates physical page
+//! recycling in the shadow-paged file layer (see
+//! [`EpochManager::shard_gate`]).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::dict::BatchOp;
+
+/// An immutable sorted run of update operations: strictly increasing
+/// keys, each mapped to `Some(value)` (upsert) or `None` (tombstone).
+/// Cheap to clone (`Arc`-backed); the shared unit of an
+/// [`EpochVersion`].
+#[derive(Clone)]
+pub struct Run {
+    entries: Arc<[BatchOp]>,
+}
+
+impl std::fmt::Debug for Run {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Run").field("len", &self.len()).finish()
+    }
+}
+
+impl Run {
+    /// Wraps entries already sorted by strictly increasing key.
+    pub fn from_sorted(entries: Vec<BatchOp>) -> Run {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        Run {
+            entries: entries.into(),
+        }
+    }
+
+    /// Builds a run from arrival-ordered operations: stable-sorts by
+    /// key and keeps the last operation per key (tombstones included).
+    pub fn from_ops(mut ops: Vec<BatchOp>) -> Run {
+        ops.sort_by_key(|&(k, _)| k);
+        let mut out: Vec<BatchOp> = Vec::with_capacity(ops.len());
+        for op in ops {
+            match out.last_mut() {
+                Some(last) if last.0 == op.0 => *last = op,
+                _ => out.push(op),
+            }
+        }
+        Run::from_sorted(out)
+    }
+
+    /// The operation recorded for `key`, if any: `Some(Some(v))` =
+    /// upsert, `Some(None)` = tombstone, `None` = key not in this run.
+    pub fn get(&self, key: u64) -> Option<Option<u64>> {
+        self.entries
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// The sorted entries.
+    pub fn entries(&self) -> &[BatchOp] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Identity comparison: do two handles share the same backing
+    /// allocation? Used by compaction to verify a merged suffix is
+    /// still current at publish time.
+    pub fn ptr_eq(&self, other: &Run) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries)
+    }
+}
+
+/// Merges a newest-first stack of runs into one run, newer entries
+/// shadowing older ones. With `drop_tombstones`, deletions are removed
+/// from the result — only valid when the stack's oldest run is the
+/// logical base (nothing older exists for a tombstone to shadow).
+pub fn merge_runs(newest_first: &[Run], drop_tombstones: bool) -> Run {
+    let mut acc: Vec<BatchOp> = match newest_first.last() {
+        Some(oldest) => oldest.entries().to_vec(),
+        None => Vec::new(),
+    };
+    for newer in newest_first.iter().rev().skip(1) {
+        acc = merge_two(&acc, newer.entries());
+    }
+    if drop_tombstones {
+        acc.retain(|&(_, v)| v.is_some());
+    }
+    Run::from_sorted(acc)
+}
+
+/// Two-way sorted merge; on equal keys `newer` wins.
+fn merge_two(older: &[BatchOp], newer: &[BatchOp]) -> Vec<BatchOp> {
+    let mut out = Vec::with_capacity(older.len() + newer.len());
+    let (mut i, mut j) = (0, 0);
+    while i < older.len() && j < newer.len() {
+        match older[i].0.cmp(&newer[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(older[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(newer[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(newer[j]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&older[i..]);
+    out.extend_from_slice(&newer[j..]);
+    out
+}
+
+/// One committed, immutable version of the database: a monotone
+/// sequence number, the newest-first run stack, and the per-shard
+/// committed *store* epochs it corresponds to (the PR 4 cross-shard
+/// epoch vector; empty for in-memory backends).
+#[derive(Clone, Debug)]
+pub struct EpochVersion {
+    seq: u64,
+    runs: Vec<Run>,
+    store_epochs: Arc<[u64]>,
+}
+
+impl EpochVersion {
+    /// The version's sequence number (0 = the empty initial version).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The newest-first run stack.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Per-shard committed store epochs at publish time.
+    pub fn store_epochs(&self) -> &[u64] {
+        &self.store_epochs
+    }
+
+    /// Shared handle to the store-epoch vector.
+    pub fn store_epochs_arc(&self) -> Arc<[u64]> {
+        self.store_epochs.clone()
+    }
+
+    /// Point lookup: newest run containing the key wins; a tombstone
+    /// reads as absent.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        for run in &self.runs {
+            if let Some(op) = run.get(key) {
+                return op;
+            }
+        }
+        None
+    }
+
+    /// Total physical entries across runs (≥ live keys; superseded
+    /// entries and tombstones count until compaction).
+    pub fn physical_entries(&self) -> usize {
+        self.runs.iter().map(Run::len).sum()
+    }
+}
+
+/// Per-pinned-epoch bookkeeping.
+struct PinSlot {
+    count: usize,
+    store_epochs: Arc<[u64]>,
+}
+
+/// Runs superseded by a publish, tagged with the last version sequence
+/// that referenced them.
+struct RetiredRuns {
+    seq: u64,
+    runs: Vec<Run>,
+}
+
+struct State {
+    current: Arc<EpochVersion>,
+    pins: BTreeMap<u64, PinSlot>,
+    retired: Vec<RetiredRuns>,
+    published: u64,
+    retired_total: u64,
+    reclaimed_total: u64,
+}
+
+/// A point-in-time reading of the manager's counters, for tests and
+/// diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Versions published so far (including compactions).
+    pub published: u64,
+    /// Runs ever retired by a publish.
+    pub retired_runs: u64,
+    /// Retired runs whose grace period elapsed and were freed.
+    pub reclaimed_runs: u64,
+    /// Distinct epochs currently pinned by at least one reader.
+    pub pinned_epochs: usize,
+    /// Retired runs still parked awaiting the pin horizon.
+    pub retired_pending: usize,
+}
+
+/// The epoch/snapshot manager (used through `Arc<EpochManager>`).
+///
+/// One short critical section guards version publication, pinning and
+/// retirement; reads against a pinned version never take it.
+pub struct EpochManager {
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for EpochManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("EpochManager")
+            .field("published", &s.published)
+            .field("pinned_epochs", &s.pinned_epochs)
+            .field("retired_pending", &s.retired_pending)
+            .finish()
+    }
+}
+
+impl EpochManager {
+    /// A manager holding the empty initial version (seq 0, no runs).
+    pub fn new() -> Arc<EpochManager> {
+        Arc::new(EpochManager {
+            state: Mutex::new(State {
+                current: Arc::new(EpochVersion {
+                    seq: 0,
+                    runs: Vec::new(),
+                    store_epochs: Arc::from([]),
+                }),
+                pins: BTreeMap::new(),
+                retired: Vec::new(),
+                published: 0,
+                retired_total: 0,
+                reclaimed_total: 0,
+            }),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("epoch manager mutex poisoned")
+    }
+
+    /// The current (newest committed) version.
+    pub fn current(&self) -> Arc<EpochVersion> {
+        self.lock().current.clone()
+    }
+
+    /// Pins the current version and returns a guard; the version's runs
+    /// (and, via the shard gates, its store pages) outlive every pin.
+    pub fn pin(self: &Arc<Self>) -> PinnedEpoch {
+        let mut st = self.lock();
+        let version = st.current.clone();
+        let slot = st.pins.entry(version.seq).or_insert_with(|| PinSlot {
+            count: 0,
+            store_epochs: version.store_epochs_arc(),
+        });
+        slot.count += 1;
+        drop(st);
+        PinnedEpoch {
+            mgr: self.clone(),
+            version,
+        }
+    }
+
+    /// Publishes the next version. The closure runs under the manager's
+    /// lock with the current version and returns the new run stack plus
+    /// its store-epoch vector — or `None` to abort (e.g. a compactor
+    /// discovering its input is stale). On publish, runs present in the
+    /// old version but absent from the new one are retired under the
+    /// old sequence number and freed once no pin is at or below it.
+    pub fn publish_with<F>(&self, f: F) -> Option<Arc<EpochVersion>>
+    where
+        F: FnOnce(&EpochVersion) -> Option<(Vec<Run>, Arc<[u64]>)>,
+    {
+        let mut st = self.lock();
+        let cur = st.current.clone();
+        let (runs, store_epochs) = f(&cur)?;
+        let new = Arc::new(EpochVersion {
+            seq: cur.seq + 1,
+            runs,
+            store_epochs,
+        });
+        let dropped: Vec<Run> = cur
+            .runs
+            .iter()
+            .filter(|r| !new.runs.iter().any(|n| n.ptr_eq(r)))
+            .cloned()
+            .collect();
+        if !dropped.is_empty() {
+            st.retired_total += dropped.len() as u64;
+            st.retired.push(RetiredRuns {
+                seq: cur.seq,
+                runs: dropped,
+            });
+        }
+        st.current = new.clone();
+        st.published += 1;
+        Self::collect_locked(&mut st);
+        Some(new)
+    }
+
+    /// Frees retired runs whose grace period has elapsed: everything
+    /// tagged strictly below the lowest pinned sequence.
+    fn collect_locked(st: &mut State) {
+        let horizon = st.pins.keys().next().copied().unwrap_or(u64::MAX);
+        let mut reclaimed = 0u64;
+        st.retired.retain(|r| {
+            if r.seq < horizon {
+                reclaimed += r.runs.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        st.reclaimed_total += reclaimed;
+    }
+
+    fn unpin(&self, seq: u64) {
+        let mut st = self.lock();
+        let remove = {
+            let slot = st.pins.get_mut(&seq).expect("unpin of unpinned epoch");
+            slot.count -= 1;
+            slot.count == 0
+        };
+        if remove {
+            st.pins.remove(&seq);
+            Self::collect_locked(&mut st);
+        }
+    }
+
+    fn repin(&self, seq: u64) {
+        let mut st = self.lock();
+        st.pins
+            .get_mut(&seq)
+            .expect("repin of unpinned epoch")
+            .count += 1;
+    }
+
+    /// The lowest committed *store* epoch of shard `shard` referenced
+    /// by any pin, or `u64::MAX` when nothing constrains reclamation —
+    /// the horizon behind [`EpochManager::shard_gate`].
+    pub fn min_pinned_store_epoch(&self, shard: usize) -> u64 {
+        let st = self.lock();
+        st.pins
+            .values()
+            .filter_map(|p| p.store_epochs.get(shard).copied())
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// A [`ReclaimGate`](cosbt_dam::ReclaimGate) projecting the pin set
+    /// onto shard `shard`'s store epochs, for installation on that
+    /// shard's backing store: pages superseded at a store epoch some
+    /// pin still references are not recycled.
+    pub fn shard_gate(self: &Arc<Self>, shard: usize) -> Arc<dyn cosbt_dam::ReclaimGate> {
+        Arc::new(ShardGate {
+            mgr: self.clone(),
+            shard,
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EpochStats {
+        let st = self.lock();
+        EpochStats {
+            published: st.published,
+            retired_runs: st.retired_total,
+            reclaimed_runs: st.reclaimed_total,
+            pinned_epochs: st.pins.len(),
+            retired_pending: st.retired.iter().map(|r| r.runs.len()).sum(),
+        }
+    }
+}
+
+/// Projects an [`EpochManager`]'s pin set onto one shard's committed
+/// store epochs (see [`EpochManager::shard_gate`]).
+struct ShardGate {
+    mgr: Arc<EpochManager>,
+    shard: usize,
+}
+
+impl cosbt_dam::ReclaimGate for ShardGate {
+    fn reclaim_horizon(&self) -> u64 {
+        self.mgr.min_pinned_store_epoch(self.shard)
+    }
+}
+
+/// A pinned committed version: dereferences to the [`EpochVersion`] it
+/// holds. While any clone is alive, the version's runs are retained and
+/// the backing stores will not recycle pages its store epochs
+/// reference. Dropping the last clone lifts the pin and lets the
+/// manager reclaim.
+pub struct PinnedEpoch {
+    mgr: Arc<EpochManager>,
+    version: Arc<EpochVersion>,
+}
+
+impl std::fmt::Debug for PinnedEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedEpoch")
+            .field("seq", &self.version.seq)
+            .finish()
+    }
+}
+
+impl Clone for PinnedEpoch {
+    fn clone(&self) -> Self {
+        self.mgr.repin(self.version.seq);
+        PinnedEpoch {
+            mgr: self.mgr.clone(),
+            version: self.version.clone(),
+        }
+    }
+}
+
+impl Drop for PinnedEpoch {
+    fn drop(&mut self) {
+        self.mgr.unpin(self.version.seq);
+    }
+}
+
+impl std::ops::Deref for PinnedEpoch {
+    type Target = EpochVersion;
+
+    fn deref(&self) -> &EpochVersion {
+        &self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn publish_run(mgr: &Arc<EpochManager>, ops: Vec<BatchOp>) {
+        let run = Run::from_ops(ops);
+        mgr.publish_with(|cur| {
+            let mut runs = Vec::with_capacity(cur.runs().len() + 1);
+            runs.push(run.clone());
+            runs.extend_from_slice(cur.runs());
+            Some((runs, cur.store_epochs_arc()))
+        })
+        .expect("unconditional publish");
+    }
+
+    #[test]
+    fn runs_normalize_and_shadow() {
+        let r = Run::from_ops(vec![(3, Some(30)), (1, Some(10)), (3, None)]);
+        assert_eq!(r.entries(), &[(1, Some(10)), (3, None)]);
+        assert_eq!(r.get(1), Some(Some(10)));
+        assert_eq!(r.get(3), Some(None));
+        assert_eq!(r.get(2), None);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn merge_newer_wins_and_tombstones_drop_at_base() {
+        let old = Run::from_sorted(vec![(1, Some(1)), (2, Some(2)), (3, Some(3))]);
+        let new = Run::from_sorted(vec![(2, None), (4, Some(4))]);
+        let kept = merge_runs(&[new.clone(), old.clone()], false);
+        assert_eq!(
+            kept.entries(),
+            &[(1, Some(1)), (2, None), (3, Some(3)), (4, Some(4))]
+        );
+        let base = merge_runs(&[new, old], true);
+        assert_eq!(base.entries(), &[(1, Some(1)), (3, Some(3)), (4, Some(4))]);
+    }
+
+    #[test]
+    fn pinned_version_is_immutable_under_later_publishes() {
+        let mgr = EpochManager::new();
+        publish_run(&mgr, vec![(1, Some(10)), (2, Some(20))]);
+        let pin = mgr.pin();
+        assert_eq!(pin.seq(), 1);
+        publish_run(&mgr, vec![(2, None), (3, Some(30))]);
+        // The pin still reads the old version; current reads the new.
+        assert_eq!(pin.get(2), Some(20));
+        assert_eq!(pin.get(3), None);
+        let cur = mgr.current();
+        assert_eq!(cur.get(2), None);
+        assert_eq!(cur.get(3), Some(30));
+    }
+
+    #[test]
+    fn retirement_waits_for_pins() {
+        let mgr = EpochManager::new();
+        publish_run(&mgr, vec![(1, Some(1))]);
+        let pin = mgr.pin();
+        // Compact: replace the whole stack with one merged run.
+        publish_run(&mgr, vec![(2, Some(2))]);
+        let merged = merge_runs(mgr.current().runs(), true);
+        mgr.publish_with(|cur| Some((vec![merged], cur.store_epochs_arc())));
+        let s = mgr.stats();
+        assert!(s.retired_pending > 0, "pin holds retired runs");
+        drop(pin);
+        // Reclamation happens at the next state change.
+        publish_run(&mgr, vec![(3, Some(3))]);
+        let s = mgr.stats();
+        assert_eq!(s.retired_pending, 0);
+        assert_eq!(s.reclaimed_runs, s.retired_runs);
+    }
+
+    #[test]
+    fn clone_repins_and_drop_unpins() {
+        let mgr = EpochManager::new();
+        publish_run(&mgr, vec![(1, Some(1))]);
+        let a = mgr.pin();
+        let b = a.clone();
+        assert_eq!(mgr.stats().pinned_epochs, 1);
+        drop(a);
+        assert_eq!(mgr.stats().pinned_epochs, 1);
+        drop(b);
+        assert_eq!(mgr.stats().pinned_epochs, 0);
+    }
+
+    #[test]
+    fn shard_gate_tracks_min_pinned_store_epoch() {
+        let mgr = EpochManager::new();
+        mgr.publish_with(|_| Some((Vec::new(), Arc::from([5u64, 7u64]))));
+        let pin = mgr.pin();
+        mgr.publish_with(|_| Some((Vec::new(), Arc::from([9u64, 9u64]))));
+        let _pin2 = mgr.pin();
+        let g0 = mgr.shard_gate(0);
+        let g1 = mgr.shard_gate(1);
+        assert_eq!(g0.reclaim_horizon(), 5);
+        assert_eq!(g1.reclaim_horizon(), 7);
+        drop(pin);
+        assert_eq!(g0.reclaim_horizon(), 9);
+        // A shard index no pin has an epoch for → unconstrained.
+        assert_eq!(mgr.min_pinned_store_epoch(7), u64::MAX);
+    }
+
+    #[test]
+    fn stale_compaction_aborts() {
+        let mgr = EpochManager::new();
+        publish_run(&mgr, vec![(1, Some(1))]);
+        let before = mgr.current();
+        publish_run(&mgr, vec![(2, Some(2))]);
+        // A compactor that captured `before` must notice the world moved.
+        let out = mgr.publish_with(|cur| {
+            if cur.seq() != before.seq() {
+                return None;
+            }
+            Some((Vec::new(), cur.store_epochs_arc()))
+        });
+        assert!(out.is_none());
+        assert_eq!(mgr.current().seq(), 2);
+    }
+}

@@ -25,9 +25,11 @@ pub mod deamort;
 pub mod deamort_basic;
 pub mod dict;
 pub mod entry;
+pub mod epoch;
 pub mod gcola;
 pub mod persist;
 pub mod stats;
+pub mod worker;
 
 pub use basic::BasicCola;
 pub use cursor::{MergeCursor, Run, RunMergeCursor};
@@ -35,6 +37,8 @@ pub use deamort::DeamortCola;
 pub use deamort_basic::DeamortBasicCola;
 pub use dict::{BatchOp, Cursor, CursorOps, Dictionary, UpdateBatch, VecCursor};
 pub use entry::Cell;
+pub use epoch::{EpochManager, EpochStats, EpochVersion, PinnedEpoch};
 pub use gcola::GCola;
 pub use persist::{MetaError, MetaReader, MetaWriter, Persist};
 pub use stats::ColaStats;
+pub use worker::WorkerPool;

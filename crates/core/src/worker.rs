@@ -1,0 +1,301 @@
+//! Background worker pool: deamortized merge work off the caller's
+//! thread.
+//!
+//! The deamortized COLA spreads merge work across operations so no
+//! single insert pays a full merge; this pool moves that budgeted work
+//! off the writer's thread entirely — the "background write thread"
+//! design. Jobs are plain closures (the snapshot layer submits run
+//! compactions; they touch only `Arc`-shared heap runs, never the
+//! backing stores), executed FIFO by a fixed set of threads.
+//!
+//! Shutdown is cooperative and *bounded*: [`WorkerPool::shutdown`]
+//! (and the drop path) waits up to a timeout for workers to finish,
+//! then detaches and reports stragglers instead of hanging the caller.
+//! A panicking job is caught, counted, and reported; it never takes a
+//! worker thread down.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Jobs currently executing.
+    active: usize,
+    /// Worker threads that have not yet exited their loop.
+    alive: usize,
+    /// Jobs that panicked (caught and discarded).
+    panics: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signals workers: work available or shutdown requested.
+    work: Condvar,
+    /// Signals waiters: pool went idle or a worker exited.
+    idle: Condvar,
+}
+
+/// A fixed-size pool of background worker threads executing queued
+/// closures FIFO.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+/// How long the drop path waits for in-flight jobs before detaching
+/// them (see [`WorkerPool::shutdown`]).
+pub const DROP_SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl WorkerPool {
+    /// Spawns a pool of `workers.max(1)` threads.
+    pub fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                active: 0,
+                alive: 0,
+                panics: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let n = workers.max(1);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let shared = shared.clone();
+            shared.state.lock().expect("pool mutex poisoned").alive += 1;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cosbt-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread failed"),
+            );
+        }
+        WorkerPool { shared, handles }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.shared.state.lock().expect("pool mutex poisoned")
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues a job. Panics if the pool is already shutting down
+    /// (callers own the pool; submitting after shutdown is a bug).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut st = self.lock();
+        assert!(!st.shutdown, "submit after shutdown");
+        st.queue.push_back(Box::new(job));
+        drop(st);
+        self.shared.work.notify_one();
+    }
+
+    /// Queued-but-unstarted plus currently-executing jobs.
+    pub fn pending(&self) -> usize {
+        let st = self.lock();
+        st.queue.len() + st.active
+    }
+
+    /// Jobs that panicked so far (each is caught and reported to
+    /// stderr; the worker survives).
+    pub fn panics(&self) -> u64 {
+        self.lock().panics
+    }
+
+    /// Blocks until every queued and in-flight job has finished.
+    pub fn drain(&self) {
+        let mut st = self.lock();
+        while !st.queue.is_empty() || st.active > 0 {
+            st = self
+                .shared
+                .idle
+                .wait(st)
+                .expect("pool mutex poisoned while draining");
+        }
+    }
+
+    /// Requests shutdown and waits up to `timeout` for workers to
+    /// finish their current jobs and exit (queued-but-unstarted jobs
+    /// still run first). On timeout the remaining workers are detached
+    /// and their count returned as `Err`; they keep running but the
+    /// pool's resources are released when they eventually finish.
+    pub fn shutdown(mut self, timeout: Duration) -> Result<(), usize> {
+        self.shutdown_inner(timeout)
+    }
+
+    fn shutdown_inner(&mut self, timeout: Duration) -> Result<(), usize> {
+        if self.handles.is_empty() {
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        st.shutdown = true;
+        self.shared.work.notify_all();
+        let stragglers = loop {
+            if st.alive == 0 {
+                break 0;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break st.alive;
+            }
+            let (guard, _) = self
+                .shared
+                .idle
+                .wait_timeout(st, deadline - now)
+                .expect("pool mutex poisoned during shutdown");
+            st = guard;
+        };
+        drop(st);
+        let handles = std::mem::take(&mut self.handles);
+        if stragglers == 0 {
+            for h in handles {
+                let _ = h.join();
+            }
+            Ok(())
+        } else {
+            // Detach: dropping the handles releases them; the threads
+            // exit on their own once their jobs finish.
+            drop(handles);
+            Err(stragglers)
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Bounded-timeout shutdown: reports stragglers to stderr instead
+    /// of hanging or silently detaching.
+    fn drop(&mut self) {
+        if let Err(n) = self.shutdown_inner(DROP_SHUTDOWN_TIMEOUT) {
+            eprintln!(
+                "cosbt: {n} background worker(s) still busy after \
+                 {DROP_SHUTDOWN_TIMEOUT:?}; detaching them"
+            );
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool mutex poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.active += 1;
+                    break Some(job);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.work.wait(st).expect("pool mutex poisoned");
+            }
+        };
+        let Some(job) = job else { break };
+        let result = catch_unwind(AssertUnwindSafe(job));
+        let mut st = shared.state.lock().expect("pool mutex poisoned");
+        st.active -= 1;
+        if result.is_err() {
+            st.panics += 1;
+            eprintln!("cosbt: a background job panicked (caught; worker continues)");
+        }
+        if st.queue.is_empty() && st.active == 0 {
+            shared.idle.notify_all();
+        }
+    }
+    let mut st = shared.state.lock().expect("pool mutex poisoned");
+    st.alive -= 1;
+    shared.idle.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_drain_waits() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = counter.clone();
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        assert_eq!(pool.pending(), 0);
+        pool.shutdown(Duration::from_secs(5)).unwrap();
+    }
+
+    #[test]
+    fn zero_workers_rounds_up_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicking_job_is_caught_and_counted() {
+        let pool = WorkerPool::new(1);
+        pool.submit(|| panic!("boom"));
+        let ok = Arc::new(AtomicUsize::new(0));
+        let o = ok.clone();
+        pool.submit(move || {
+            o.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.drain();
+        assert_eq!(pool.panics(), 1);
+        assert_eq!(ok.load(Ordering::Relaxed), 1, "worker survived the panic");
+        pool.shutdown(Duration::from_secs(5)).unwrap();
+    }
+
+    #[test]
+    fn shutdown_times_out_on_stuck_job_and_detaches() {
+        let pool = WorkerPool::new(1);
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let r = release.clone();
+        pool.submit(move || {
+            let (m, cv) = &*r;
+            let mut go = m.lock().unwrap();
+            while !*go {
+                go = cv.wait(go).unwrap();
+            }
+        });
+        // Give the worker a moment to pick the job up, then time out.
+        while pool.pending() > 1 {
+            std::thread::yield_now();
+        }
+        let res = pool.shutdown(Duration::from_millis(50));
+        assert_eq!(res, Err(1), "the stuck worker is reported, not joined");
+        // Unstick the detached thread so the test process exits cleanly.
+        let (m, cv) = &*release;
+        *m.lock().unwrap() = true;
+        cv.notify_all();
+    }
+}

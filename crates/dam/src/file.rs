@@ -45,7 +45,10 @@ use crate::lru::{Access, LruCache};
 use crate::mem::Mem;
 use crate::page::PageStore;
 use crate::pod::Pod;
-use crate::stats::IoStats;
+use crate::reclaim::ReclaimGate;
+use crate::stats::{AtomicIoStats, IoStats};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// File-backed pages with a bounded user-space LRU cache of frames and a
 /// shadow-paged durable format (see the module docs).
@@ -72,7 +75,17 @@ pub struct FilePages<D: RawDev = File> {
     cache: LruCache,
     frames: HashMap<u64, Box<[u8]>>,
     dirty: HashSet<u64>,
-    stats: IoStats,
+    /// Shared with observer handles: counters are atomic so `stats` /
+    /// `take_stats` probes on other threads never wait on (or race
+    /// with) the store's own lock.
+    stats: Arc<AtomicIoStats>,
+    /// Superseded committed slots awaiting reclamation, tagged with the
+    /// last committed epoch that referenced them (FIFO: tags ascend).
+    /// Drained to `free` once the tag falls below the gate's horizon.
+    retired: VecDeque<(u64, Vec<u32>)>,
+    /// When set, pinned-reader horizon that gates recycling of retired
+    /// slots; `None` (the default) recycles at the next commit.
+    gate: Option<Arc<dyn ReclaimGate>>,
     /// Recent sequential stream positions, for seek accounting. A device
     /// access adjacent (within a small readahead window) to any tracked
     /// stream is sequential; anything else is a seek and starts a new
@@ -209,7 +222,9 @@ impl<D: RawDev> FilePages<D> {
             cache: LruCache::new(cache_pages.max(1)),
             frames: HashMap::new(),
             dirty: HashSet::new(),
-            stats: IoStats::default(),
+            stats: Arc::new(AtomicIoStats::new()),
+            retired: VecDeque::new(),
+            gate: None,
             streams: Vec::new(),
         })
     }
@@ -332,7 +347,9 @@ impl<D: RawDev> FilePages<D> {
                 cache: LruCache::new(cache_pages.max(1)),
                 frames: HashMap::new(),
                 dirty: HashSet::new(),
-                stats: IoStats::default(),
+                stats: Arc::new(AtomicIoStats::new()),
+                retired: VecDeque::new(),
+                gate: None,
                 streams: Vec::new(),
             },
             user,
@@ -342,19 +359,41 @@ impl<D: RawDev> FilePages<D> {
     /// Real-I/O counters (fetches = device reads, writebacks = device
     /// writes).
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Resets the I/O counters.
-    pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     /// Returns the counters accumulated so far and resets them: one call
     /// closes a measurement phase and opens the next (cache residency is
-    /// untouched, so a warm cache stays warm across phases).
-    pub fn take_stats(&mut self) -> IoStats {
-        std::mem::take(&mut self.stats)
+    /// untouched, so a warm cache stays warm across phases). Each
+    /// counter is atomically swapped to zero, so even with a concurrent
+    /// mutator every transfer lands in exactly one phase.
+    pub fn take_stats(&self) -> IoStats {
+        self.stats.take()
+    }
+
+    /// The shared atomic counter block, for observers that must read
+    /// the counters without acquiring the store's lock.
+    pub fn stats_handle(&self) -> Arc<AtomicIoStats> {
+        self.stats.clone()
+    }
+
+    /// Installs the reclamation gate consulted before recycling
+    /// superseded committed slots (see [`crate::ReclaimGate`]). Without
+    /// a gate, slots are recycled as soon as the next commit supersedes
+    /// them — the single-threaded behaviour.
+    pub fn set_reclaim_gate(&mut self, gate: Arc<dyn ReclaimGate>) {
+        self.gate = Some(gate);
+    }
+
+    /// Superseded committed slots currently parked on the retire list
+    /// (awaiting the gate's horizon).
+    pub fn retired_slots(&self) -> usize {
+        self.retired.iter().map(|(_, v)| v.len()).sum()
     }
 
     /// The last committed metadata epoch (0 = never committed).
@@ -382,7 +421,7 @@ impl<D: RawDev> FilePages<D> {
             self.streams.insert(0, phys);
             return;
         }
-        self.stats.seeks += 1;
+        self.stats.inc_seeks();
         self.streams.insert(0, phys);
         self.streams.truncate(MAX_STREAMS);
     }
@@ -394,7 +433,7 @@ impl<D: RawDev> FilePages<D> {
     fn read_page_from_file(&mut self, logical: u64, buf: &mut [u8]) {
         let phys = self.table[logical as usize];
         let off = self.page_off(phys);
-        self.stats.fetches += 1;
+        self.stats.inc_fetches();
         self.note_device_access(phys as u64);
         // The page may extend past EOF if it was allocated but never
         // written; treat missing bytes as zero.
@@ -417,6 +456,9 @@ impl<D: RawDev> FilePages<D> {
     fn phys_for_write(&mut self, logical: u64) -> u32 {
         let l = logical as usize;
         if l < self.committed.len() && self.table[l] == self.committed[l] {
+            if self.free.is_empty() {
+                self.reclaim_retired();
+            }
             let fresh = self.free.pop().unwrap_or_else(|| {
                 let p = self.phys_len;
                 self.phys_len += 1;
@@ -427,27 +469,44 @@ impl<D: RawDev> FilePages<D> {
         self.table[l]
     }
 
+    /// Moves retired slots whose epoch tag has fallen below the gate's
+    /// horizon onto the free list. Without a gate everything retired is
+    /// immediately reclaimable.
+    fn reclaim_retired(&mut self) {
+        if self.retired.is_empty() {
+            return;
+        }
+        let horizon = match &self.gate {
+            Some(g) => g.reclaim_horizon(),
+            None => u64::MAX,
+        };
+        while self.retired.front().is_some_and(|(tag, _)| *tag < horizon) {
+            let (_, slots) = self.retired.pop_front().expect("front checked");
+            self.free.extend(slots);
+        }
+    }
+
     fn write_page_to_file(&mut self, logical: u64, buf: &[u8]) -> io::Result<()> {
         let phys = self.phys_for_write(logical);
         let off = self.page_off(phys);
-        self.stats.writebacks += 1;
+        self.stats.inc_writebacks();
         self.note_device_access(phys as u64);
         self.dev.write_all_at(buf, off)
     }
 
     /// Makes page `id` resident and returns whether it was a hit.
     fn ensure_resident(&mut self, id: u64, write: bool) {
-        self.stats.accesses += 1;
+        self.stats.inc_accesses();
         match self.cache.access(id, write) {
             Access::Hit => {
-                self.stats.hits += 1;
+                self.stats.inc_hits();
                 if write {
                     self.dirty.insert(id);
                 }
             }
             Access::Miss { evicted } => {
                 if let Some((victim, victim_dirty)) = evicted {
-                    self.stats.evictions += 1;
+                    self.stats.inc_evictions();
                     let frame = self.frames.remove(&victim).expect("evicted frame missing");
                     if victim_dirty || self.dirty.remove(&victim) {
                         self.write_page_to_file(victim, &frame)
@@ -500,13 +559,23 @@ impl<D: RawDev> FilePages<D> {
         self.dev.write_all_at(&slot, off)?;
         self.dev.sync()?;
         self.epoch = epoch;
-        // Only now are the previous epoch's slots unreferenced and safe
-        // to recycle.
-        for (l, &old) in self.committed.iter().enumerate() {
-            if self.table[l] != old {
-                self.free.push(old);
-            }
+        // Only now are the previous epoch's slots unreferenced by the
+        // *newest* committed table — but a pinned reader may still be on
+        // an older committed epoch that references them. Park them on
+        // the retire list tagged with the superseded epoch; without a
+        // gate the immediate reclaim below frees them right away, which
+        // is the original single-threaded behaviour.
+        let superseded: Vec<u32> = self
+            .committed
+            .iter()
+            .enumerate()
+            .filter(|&(l, &old)| self.table[l] != old)
+            .map(|(_, &old)| old)
+            .collect();
+        if !superseded.is_empty() {
+            self.retired.push_back((epoch - 1, superseded));
         }
+        self.reclaim_retired();
         self.committed = self.table.clone();
         Ok(())
     }
@@ -751,13 +820,24 @@ impl<T: Pod, D: RawDev> FileMem<T, D> {
     }
 
     /// Resets the I/O counters.
-    pub fn reset_stats(&mut self) {
+    pub fn reset_stats(&self) {
         self.pages.reset_stats()
     }
 
     /// Snapshot-and-reset of the counters (see [`FilePages::take_stats`]).
-    pub fn take_stats(&mut self) -> IoStats {
+    pub fn take_stats(&self) -> IoStats {
         self.pages.take_stats()
+    }
+
+    /// The shared atomic counter block (see [`FilePages::stats_handle`]).
+    pub fn stats_handle(&self) -> Arc<AtomicIoStats> {
+        self.pages.stats_handle()
+    }
+
+    /// Installs a reclamation gate on the backing page store (see
+    /// [`FilePages::set_reclaim_gate`]).
+    pub fn set_reclaim_gate(&mut self, gate: Arc<dyn ReclaimGate>) {
+        self.pages.set_reclaim_gate(gate)
     }
 
     /// The last committed metadata epoch (0 = never committed).
@@ -909,12 +989,17 @@ impl<T: Pod, D: RawDev> Mem<T> for SharedFileMem<T, D> {
 /// sharded database whose sub-batches are applied on worker threads.
 pub struct ArcFileMem<T: Pod, D: RawDev = File> {
     inner: std::sync::Arc<std::sync::Mutex<FileMem<T, D>>>,
+    /// Cached counter block: stats observers bypass `inner`'s lock, so
+    /// a probe thread never waits on (or deadlocks with) a writer
+    /// holding the store through a long merge.
+    stats: Arc<AtomicIoStats>,
 }
 
 impl<T: Pod, D: RawDev> Clone for ArcFileMem<T, D> {
     fn clone(&self) -> Self {
         ArcFileMem {
             inner: self.inner.clone(),
+            stats: self.stats.clone(),
         }
     }
 }
@@ -922,8 +1007,10 @@ impl<T: Pod, D: RawDev> Clone for ArcFileMem<T, D> {
 impl<T: Pod, D: RawDev> ArcFileMem<T, D> {
     /// Wraps a [`FileMem`].
     pub fn new(inner: FileMem<T, D>) -> Self {
+        let stats = inner.stats_handle();
         ArcFileMem {
             inner: std::sync::Arc::new(std::sync::Mutex::new(inner)),
+            stats,
         }
     }
 
@@ -931,21 +1018,30 @@ impl<T: Pod, D: RawDev> ArcFileMem<T, D> {
         self.inner.lock().expect("file store mutex poisoned")
     }
 
-    /// I/O counters of the backing store.
+    /// I/O counters of the backing store. Lock-free: reads the shared
+    /// atomic counters without touching the store's mutex.
     pub fn stats(&self) -> IoStats {
-        self.lock().stats()
+        self.stats.snapshot()
     }
 
-    /// Resets the I/O counters.
+    /// Resets the I/O counters (lock-free).
     pub fn reset_stats(&self) {
-        self.lock().reset_stats()
+        self.stats.reset()
     }
 
-    /// Snapshot-and-reset of the counters under one lock acquisition, so
-    /// a phase boundary cannot lose concurrent accesses between the read
-    /// and the reset (the per-phase idiom of the scenario harness).
+    /// Snapshot-and-reset of the counters. Each counter is atomically
+    /// swapped to zero, so a phase boundary cannot lose or double-count
+    /// concurrent accesses (the per-phase idiom of the scenario
+    /// harness) — and, being lock-free, it cannot be starved by a
+    /// writer holding the store through a long merge.
     pub fn take_stats(&self) -> IoStats {
-        self.lock().take_stats()
+        self.stats.take()
+    }
+
+    /// Installs a reclamation gate on the backing store (see
+    /// [`FilePages::set_reclaim_gate`]).
+    pub fn set_reclaim_gate(&self, gate: Arc<dyn ReclaimGate>) {
+        self.lock().set_reclaim_gate(gate)
     }
 
     /// Writes dirty pages back with a durability barrier.
@@ -991,12 +1087,16 @@ impl<T: Pod, D: RawDev> Mem<T> for ArcFileMem<T, D> {
 /// A cloneable, thread-safe handle to [`FilePages`] (see [`ArcFileMem`]).
 pub struct ArcFilePages<D: RawDev = File> {
     inner: std::sync::Arc<std::sync::Mutex<FilePages<D>>>,
+    /// Cached counter block (see [`ArcFileMem`]): stats observers
+    /// bypass `inner`'s lock.
+    stats: Arc<AtomicIoStats>,
 }
 
 impl<D: RawDev> Clone for ArcFilePages<D> {
     fn clone(&self) -> Self {
         ArcFilePages {
             inner: self.inner.clone(),
+            stats: self.stats.clone(),
         }
     }
 }
@@ -1004,8 +1104,10 @@ impl<D: RawDev> Clone for ArcFilePages<D> {
 impl<D: RawDev> ArcFilePages<D> {
     /// Wraps a [`FilePages`].
     pub fn new(inner: FilePages<D>) -> Self {
+        let stats = inner.stats_handle();
         ArcFilePages {
             inner: std::sync::Arc::new(std::sync::Mutex::new(inner)),
+            stats,
         }
     }
 
@@ -1013,20 +1115,27 @@ impl<D: RawDev> ArcFilePages<D> {
         self.inner.lock().expect("file store mutex poisoned")
     }
 
-    /// I/O counters of the backing store.
+    /// I/O counters of the backing store (lock-free, see
+    /// [`ArcFileMem::stats`]).
     pub fn stats(&self) -> IoStats {
-        self.lock().stats()
+        self.stats.snapshot()
     }
 
-    /// Resets the I/O counters.
+    /// Resets the I/O counters (lock-free).
     pub fn reset_stats(&self) {
-        self.lock().reset_stats()
+        self.stats.reset()
     }
 
-    /// Snapshot-and-reset of the counters under one lock acquisition
+    /// Snapshot-and-reset of the counters, atomic per counter
     /// (see [`ArcFileMem::take_stats`]).
     pub fn take_stats(&self) -> IoStats {
-        self.lock().take_stats()
+        self.stats.take()
+    }
+
+    /// Installs a reclamation gate on the backing store (see
+    /// [`FilePages::set_reclaim_gate`]).
+    pub fn set_reclaim_gate(&self, gate: Arc<dyn ReclaimGate>) {
+        self.lock().set_reclaim_gate(gate)
     }
 
     /// Writes dirty pages back with a durability barrier.
@@ -1346,5 +1455,75 @@ mod tests {
         assert_eq!(fp.phys_pages(), grown, "freed slots were reused");
         assert_eq!(fp.with_page(a, |pg| pg[0]), 5);
         assert_eq!(fp.with_page(b, |pg| pg[0]), 6);
+    }
+
+    #[test]
+    fn reclaim_gate_defers_slot_reuse_until_horizon() {
+        use crate::reclaim::ReclaimGate;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct Horizon(AtomicU64);
+        impl ReclaimGate for Horizon {
+            fn reclaim_horizon(&self) -> u64 {
+                self.0.load(Ordering::Relaxed)
+            }
+        }
+
+        // A "reader" pins old committed epochs: horizon 0 = everything
+        // retired is still referenced.
+        let gate = Arc::new(Horizon(AtomicU64::new(0)));
+        let dev = CrashDev::new();
+        let mut fp = FilePages::create_on(dev.clone(), 64, 4).unwrap();
+        fp.set_reclaim_gate(gate.clone());
+        let a = fp.alloc_page();
+        let b = fp.alloc_page();
+        fp.with_page_mut(a, |pg| pg[0] = 1);
+        fp.with_page_mut(b, |pg| pg[0] = 2);
+        fp.commit_meta(b"").unwrap(); // epoch 1
+        fp.with_page_mut(a, |pg| pg[0] = 3);
+        fp.with_page_mut(b, |pg| pg[0] = 4);
+        fp.commit_meta(b"").unwrap(); // epoch 2: retires epoch-1 slots
+        let grown = fp.phys_pages();
+        assert_eq!(grown, 4, "two shadow slots allocated");
+        assert_eq!(fp.retired_slots(), 2);
+        // Epoch 3 with the horizon still at 0: retired slots must NOT be
+        // recycled (an ungated store would reuse them here) — the store
+        // grows instead.
+        fp.with_page_mut(a, |pg| pg[0] = 5);
+        fp.with_page_mut(b, |pg| pg[0] = 6);
+        fp.commit_meta(b"").unwrap(); // epoch 3
+        assert_eq!(fp.phys_pages(), grown + 2, "pinned slots were not reused");
+        // Epoch 4, same: epoch 3's superseded slots park as well.
+        fp.with_page_mut(a, |pg| pg[0] = 7);
+        fp.with_page_mut(b, |pg| pg[0] = 8);
+        fp.commit_meta(b"").unwrap(); // epoch 4
+        assert_eq!(fp.phys_pages(), grown + 4);
+        assert_eq!(fp.retired_slots(), 6);
+        // This is what the gate buys: epoch 3 is still fully intact on
+        // the device (its pages were never scribbled), so a coordinator
+        // rolling this store back — or a pinned reader re-reading
+        // through epoch 3's table — sees epoch 3's bytes.
+        let (mut old, _) = FilePages::open_bounded(
+            CrashDev::from_image(dev.snapshot()),
+            4,
+            (KIND_PAGES, 0),
+            Some(3),
+        )
+        .unwrap();
+        assert_eq!(old.with_page(a, |pg| pg[0]), 5);
+        assert_eq!(old.with_page(b, |pg| pg[0]), 6);
+        // Release the pin: everything retired below the new horizon is
+        // recycled by the next remaps instead of growing the file.
+        gate.0.store(u64::MAX, Ordering::Relaxed);
+        fp.with_page_mut(a, |pg| pg[0] = 9);
+        fp.with_page_mut(b, |pg| pg[0] = 10);
+        fp.commit_meta(b"").unwrap(); // epoch 5
+        assert_eq!(
+            fp.phys_pages(),
+            grown + 4,
+            "retired slots recycled once unpinned"
+        );
+        assert_eq!(fp.with_page(a, |pg| pg[0]), 9);
+        assert_eq!(fp.with_page(b, |pg| pg[0]), 10);
     }
 }

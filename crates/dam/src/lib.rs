@@ -32,6 +32,7 @@ pub mod lru;
 pub mod mem;
 pub mod page;
 pub mod pod;
+pub mod reclaim;
 pub mod sim;
 pub mod stats;
 
@@ -42,5 +43,6 @@ pub use lru::LruCache;
 pub use mem::{Mem, PlainMem, SimMem};
 pub use page::{PageStore, SimPages, VecPages, DEFAULT_PAGE_SIZE};
 pub use pod::Pod;
+pub use reclaim::{FixedHorizon, ReclaimGate};
 pub use sim::{new_shared_sim, CacheConfig, IoSim, SharedSim};
-pub use stats::IoStats;
+pub use stats::{AtomicIoStats, IoStats};

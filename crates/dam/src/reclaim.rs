@@ -1,0 +1,65 @@
+//! Epoch-aware reclamation gates for shadow-paged stores.
+//!
+//! Shadow paging ([`crate::FilePages`]) never overwrites the last
+//! committed image of a page: the first write in each epoch relocates
+//! the page to a free physical slot, and the slot holding the previous
+//! committed image is released at the *next* commit. Without readers
+//! that released slot can be recycled immediately. With MVCC readers
+//! pinning historical committed epochs, recycling must wait until no
+//! pinned reader can still reference the slot — otherwise a reopened
+//! snapshot of epoch `E` could observe pages rewritten by epoch
+//! `E + k`.
+//!
+//! A [`ReclaimGate`] is the store's view of that constraint: a
+//! callback answering "what is the oldest committed epoch any reader
+//! still pins?". The store keeps superseded slots on an epoch-tagged
+//! retire list and only moves them to the free list once their tag
+//! falls below the gate's horizon. Stores without a gate (the default,
+//! and all single-threaded use) recycle immediately, preserving the
+//! pre-MVCC behaviour and block-transfer counts bit-for-bit.
+
+use std::sync::Arc;
+
+/// Decides when superseded committed pages may be recycled.
+///
+/// Implemented by the snapshot/epoch layer (which knows the pinned
+/// readers); consumed by [`crate::FilePages`].
+pub trait ReclaimGate: Send + Sync {
+    /// The oldest *store* epoch still pinned by any reader, or
+    /// `u64::MAX` when nothing is pinned.
+    ///
+    /// A slot retired while committing store epoch `E + 1` was last
+    /// referenced by the committed table of epoch `E`; it is tagged
+    /// `E` and may be recycled once `E < reclaim_horizon()` — i.e.
+    /// once every pinned reader is on a strictly newer epoch.
+    fn reclaim_horizon(&self) -> u64;
+}
+
+/// A fixed horizon, mainly useful in tests: `FixedHorizon(u64::MAX)`
+/// reclaims everything, `FixedHorizon(0)` reclaims nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedHorizon(pub u64);
+
+impl ReclaimGate for FixedHorizon {
+    fn reclaim_horizon(&self) -> u64 {
+        self.0
+    }
+}
+
+impl<G: ReclaimGate + ?Sized> ReclaimGate for Arc<G> {
+    fn reclaim_horizon(&self) -> u64 {
+        (**self).reclaim_horizon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_horizon_reports_its_value() {
+        assert_eq!(FixedHorizon(7).reclaim_horizon(), 7);
+        let arc: Arc<dyn ReclaimGate> = Arc::new(FixedHorizon(9));
+        assert_eq!(arc.reclaim_horizon(), 9);
+    }
+}

@@ -1,5 +1,7 @@
 //! Block-transfer counters for the DAM simulator.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Counters accumulated by [`crate::IoSim`].
 ///
 /// In the DAM model the *cost* of an algorithm is `fetches + writebacks`:
@@ -97,6 +99,110 @@ impl std::iter::Sum for IoStats {
     }
 }
 
+/// Lock-free [`IoStats`] accumulator shared between a store and its
+/// observers.
+///
+/// The file stores increment these counters while holding their own
+/// lock, but observers (`stats` / `take_stats` probes on another
+/// thread) must not have to acquire that lock: a reader blocked behind
+/// a long merge would starve, and a non-atomic snapshot-and-reset
+/// could drop or double-count transfers. Each counter is an
+/// independent `AtomicU64`; [`take`](AtomicIoStats::take) swaps each
+/// counter to zero so every increment lands in exactly one phase.
+/// Relaxed ordering suffices: the counters are statistics, not
+/// synchronization — no other memory is published through them.
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    accesses: AtomicU64,
+    hits: AtomicU64,
+    fetches: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+    seeks: AtomicU64,
+}
+
+impl AtomicIoStats {
+    /// New accumulator with all counters at zero.
+    pub fn new() -> AtomicIoStats {
+        AtomicIoStats::default()
+    }
+
+    /// Count one logical block access.
+    #[inline]
+    pub fn inc_accesses(&self) {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one access that found its block resident.
+    #[inline]
+    pub fn inc_hits(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one block fetched from external memory.
+    #[inline]
+    pub fn inc_fetches(&self) {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one block evicted from internal memory.
+    #[inline]
+    pub fn inc_evictions(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one dirty block written back to external memory.
+    #[inline]
+    pub fn inc_writebacks(&self) {
+        self.writebacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one non-sequential device access.
+    #[inline]
+    pub fn inc_seeks(&self) {
+        self.seeks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read all counters without resetting them.
+    ///
+    /// Counters are loaded one at a time, so a snapshot taken while
+    /// another thread is mid-operation may straddle that operation
+    /// (e.g. see its access but not yet its fetch); totals are still
+    /// never lost.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            accesses: self.accesses.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            fetches: self.fetches.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Atomically (per counter) read and zero the counters.
+    ///
+    /// Each counter is `swap(0)`-ed, so concurrent increments land
+    /// either in the returned window or the next one — never both,
+    /// never neither. This is what makes phase accounting
+    /// (`prefill` / `measured`) exact even with a racing writer.
+    pub fn take(&self) -> IoStats {
+        IoStats {
+            accesses: self.accesses.swap(0, Ordering::Relaxed),
+            hits: self.hits.swap(0, Ordering::Relaxed),
+            fetches: self.fetches.swap(0, Ordering::Relaxed),
+            evictions: self.evictions.swap(0, Ordering::Relaxed),
+            writebacks: self.writebacks.swap(0, Ordering::Relaxed),
+            seeks: self.seeks.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters, discarding their values.
+    pub fn reset(&self) {
+        self.take();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +285,48 @@ mod tests {
         let mut acc = a;
         acc += b;
         assert_eq!(acc, total);
+    }
+
+    #[test]
+    fn atomic_take_never_loses_or_double_counts() {
+        use std::sync::Arc;
+        let stats = Arc::new(AtomicIoStats::new());
+        let n = 20_000u64;
+        let worker = {
+            let s = stats.clone();
+            std::thread::spawn(move || {
+                for _ in 0..n {
+                    s.inc_fetches();
+                    s.inc_writebacks();
+                }
+            })
+        };
+        // Race take() against the incrementing worker: every increment
+        // must land in exactly one taken window.
+        let mut total = IoStats::default();
+        for _ in 0..500 {
+            total += stats.take();
+        }
+        worker.join().unwrap();
+        total += stats.take();
+        assert_eq!(total.fetches, n);
+        assert_eq!(total.writebacks, n);
+        assert_eq!(stats.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn atomic_snapshot_reads_without_reset() {
+        let stats = AtomicIoStats::new();
+        stats.inc_accesses();
+        stats.inc_hits();
+        stats.inc_seeks();
+        let a = stats.snapshot();
+        let b = stats.snapshot();
+        assert_eq!(a, b);
+        assert_eq!(a.accesses, 1);
+        assert_eq!(a.seeks, 1);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoStats::default());
     }
 
     #[test]

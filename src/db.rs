@@ -35,13 +35,15 @@ use cosbt_core::persist::{
     TAG_GCOLA,
 };
 use cosbt_core::{
-    BasicCola, Cursor, DeamortBasicCola, DeamortCola, Dictionary, GCola, MetaError, UpdateBatch,
+    BasicCola, Cursor, DeamortBasicCola, DeamortCola, Dictionary, EpochStats, GCola, MetaError,
+    UpdateBatch, WorkerPool,
 };
 use cosbt_dam::format::{fnv1a, sibling_path, DEFAULT_SLOT_BYTES};
 use cosbt_dam::{ArcFileMem, ArcFilePages, FileMem, FilePages, IoStats, DEFAULT_PAGE_SIZE};
 use cosbt_shuttle::ShuttleTree;
 
 use crate::shard::{even_splitters, Shard, ShardRouter};
+use crate::snapshot::{DbSnapshot, MvccState};
 
 /// Which data structure a [`DbBuilder`] instantiates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -421,6 +423,7 @@ pub struct DbBuilder {
     shards: usize,
     splitters: Option<Vec<u64>>,
     parallel_ingest: bool,
+    background_merge: usize,
 }
 
 impl Default for DbBuilder {
@@ -435,6 +438,7 @@ impl Default for DbBuilder {
             shards: 1,
             splitters: None,
             parallel_ingest: false,
+            background_merge: 0,
         }
     }
 }
@@ -541,6 +545,17 @@ impl DbBuilder {
     /// single shard; point operations are always routed directly.
     pub fn parallel_ingest(mut self, on: bool) -> DbBuilder {
         self.parallel_ingest = on;
+        self
+    }
+
+    /// Runs snapshot-overlay compactions (the deamortized merge work
+    /// behind [`Db::snapshot`]) on `n_workers` background threads
+    /// instead of inline on the writer's thread (default 0 = inline).
+    /// The pool is drained by [`Db::sync`] and joined — with a bounded
+    /// timeout — when the database drops. A runtime knob: it changes
+    /// scheduling, never on-disk state.
+    pub fn background_merge(mut self, n_workers: usize) -> DbBuilder {
+        self.background_merge = n_workers;
         self
     }
 
@@ -668,7 +683,9 @@ impl DbBuilder {
             label,
             dirty: false,
             commit_path,
+            mvcc: self.mvcc_state(),
         };
+        db.install_reclaim_gates();
         if let Backend::File(base) = &self.backend {
             // Make the fresh (empty) database immediately reopenable:
             // write the shard manifest (sharded configs) and commit the
@@ -814,7 +831,7 @@ impl DbBuilder {
                 self.parallel_ingest,
             ))
         };
-        Ok(Db {
+        let mut db = Db {
             dict,
             ios,
             label,
@@ -824,7 +841,10 @@ impl DbBuilder {
             } else {
                 None
             },
-        })
+            mvcc: self.mvcc_state(),
+        };
+        db.install_reclaim_gates();
+        Ok(db)
     }
 
     /// [`DbBuilder::open`] if the store exists, [`DbBuilder::build`]
@@ -845,6 +865,17 @@ impl DbBuilder {
             }
             other => other,
         }
+    }
+
+    /// Fresh MVCC state for a database this builder constructs: the
+    /// epoch manager plus, when requested, the background merge pool.
+    fn mvcc_state(&self) -> MvccState {
+        let pool = if self.background_merge > 0 {
+            Some(WorkerPool::new(self.background_merge))
+        } else {
+            None
+        };
+        MvccState::new(pool)
     }
 
     /// The structure-metadata tag this configuration produces (what
@@ -1204,6 +1235,13 @@ impl IoHandle {
             IoHandle::Pages(p) => p.epoch(),
         }
     }
+
+    fn set_reclaim_gate(&self, gate: std::sync::Arc<dyn cosbt_dam::ReclaimGate>) {
+        match self {
+            IoHandle::Mem(m) => m.set_reclaim_gate(gate),
+            IoHandle::Pages(p) => p.set_reclaim_gate(gate),
+        }
+    }
 }
 
 /// A cheap cloneable reader of a file-backed [`Db`]'s I/O counters,
@@ -1224,6 +1262,23 @@ impl IoProbe {
     /// Cumulative block transfers (fetches + writebacks).
     pub fn transfers(&self) -> u64 {
         self.stats().transfers()
+    }
+
+    /// Returns the counters accumulated so far (summed across shards)
+    /// and resets them, mirroring [`Db::take_io_stats`] — usable while
+    /// another thread holds the database mutably. Each counter is
+    /// atomically swapped to zero, so a probe racing a concurrent
+    /// writer can neither drop nor double-count a transfer, and (being
+    /// lock-free) cannot be starved by a writer mid-merge.
+    pub fn take_stats(&self) -> IoStats {
+        self.handles.iter().map(|h| h.take_stats()).sum()
+    }
+
+    /// Resets the counters of every shard (lock-free).
+    pub fn reset_stats(&self) {
+        for h in &self.handles {
+            h.reset_stats();
+        }
     }
 }
 
@@ -1323,6 +1378,10 @@ pub struct Db {
     /// Path of the cross-shard commit record (`Some` only for sharded
     /// file-backed databases).
     commit_path: Option<PathBuf>,
+    /// Epoch/snapshot machinery (see [`crate::snapshot`]). Lazy: until
+    /// the first [`Db::snapshot`] call it mirrors nothing and costs one
+    /// branch per write.
+    mvcc: MvccState,
 }
 
 impl std::fmt::Debug for Db {
@@ -1348,12 +1407,14 @@ impl Db {
     /// Inserts or overwrites `key`.
     pub fn insert(&mut self, key: u64, val: u64) {
         self.dirty = true;
+        self.mvcc.record(key, Some(val));
         self.dict.insert(key, val)
     }
 
     /// Deletes `key`.
     pub fn delete(&mut self, key: u64) {
         self.dirty = true;
+        self.mvcc.record(key, None);
         self.dict.delete(key)
     }
 
@@ -1375,12 +1436,15 @@ impl Db {
     /// Applies and drains a batch of updates.
     pub fn apply(&mut self, batch: &mut UpdateBatch) {
         self.dirty = true;
+        // Record before `apply` drains the batch.
+        self.mvcc.record_ops(batch.ops());
         self.dict.apply(batch)
     }
 
     /// Inserts a key-sorted run of pairs in one batched pass.
     pub fn insert_batch(&mut self, sorted: &[(u64, u64)]) {
         self.dirty = true;
+        self.mvcc.record_inserts(sorted);
         self.dict.insert_batch(sorted)
     }
 
@@ -1396,6 +1460,9 @@ impl Db {
     /// without going through the tracked methods).
     pub fn dict_mut(&mut self) -> &mut dyn Dictionary {
         self.dirty = true;
+        // Mutations through the raw trait object bypass the mirror; the
+        // next snapshot() reseeds from a full scan instead of trusting it.
+        self.mvcc.invalidate();
         self.dict.as_dyn()
     }
 
@@ -1421,6 +1488,12 @@ impl Db {
     /// since the last commit); call `sync` explicitly where durability
     /// failures must be handled.
     pub fn sync(&mut self) -> io::Result<()> {
+        // Quiesce background merges first: a worker publishing a
+        // compacted epoch mid-commit is harmless for correctness (it
+        // only touches the in-memory overlay), but draining here gives
+        // `sync` a simple contract — after it returns, no background
+        // work is in flight.
+        self.mvcc.drain();
         if self.ios.is_empty() {
             return Ok(());
         }
@@ -1503,6 +1576,47 @@ impl Db {
         }
         Ok(())
     }
+
+    /// An immutable, shareable snapshot of the current contents.
+    ///
+    /// The returned [`DbSnapshot`] is `Send + Sync + Clone`: hand clones
+    /// to reader threads and they serve `get`/`range`/`cursor` against
+    /// the pinned version without any lock, while this `Db` keeps
+    /// writing and publishing newer epochs. Pinned versions also hold
+    /// back on-disk page reclamation for file-backed stores, so a
+    /// long-lived snapshot keeps its bytes addressable.
+    ///
+    /// The first call activates the overlay with a full scan (`O(N)`);
+    /// subsequent calls publish only the writes since the previous
+    /// snapshot. A database that never calls `snapshot()` pays nothing —
+    /// single-threaded transfer counts are byte-identical to builds
+    /// without this subsystem.
+    pub fn snapshot(&mut self) -> DbSnapshot {
+        let store_epochs: std::sync::Arc<[u64]> = self.ios.iter().map(IoHandle::epoch).collect();
+        if self.mvcc.needs_seed() {
+            let base = self.dict.range(0, u64::MAX);
+            self.mvcc.seed(base, store_epochs);
+        } else {
+            self.mvcc.publish_pending(store_epochs);
+        }
+        self.mvcc.maybe_compact();
+        DbSnapshot::new(self.mvcc.mgr.pin())
+    }
+
+    /// Counters of the epoch/snapshot subsystem (epochs published, runs
+    /// retired/reclaimed, currently pinned snapshots).
+    pub fn snapshot_stats(&self) -> EpochStats {
+        self.mvcc.mgr.stats()
+    }
+
+    /// Points every store's page reclamation at the epoch manager so
+    /// retired pages are recycled only once no pinned snapshot can
+    /// still need them.
+    fn install_reclaim_gates(&mut self) {
+        for (i, io) in self.ios.iter().enumerate() {
+            io.set_reclaim_gate(self.mvcc.mgr.shard_gate(i));
+        }
+    }
 }
 
 impl Drop for Db {
@@ -1511,6 +1625,20 @@ impl Drop for Db {
     /// failure is reported to stderr (Drop cannot propagate) — call
     /// [`Db::sync`] explicitly where errors must be handled.
     fn drop(&mut self) {
+        // Stop background merge workers before anything else. Bounded:
+        // a wedged worker is detached and reported rather than hanging
+        // the drop forever. Jobs only touch the in-memory overlay, so
+        // abandoning one never corrupts durable state.
+        if let Some(pool) = self.mvcc.pool.take() {
+            if let Err(n) = pool.shutdown(cosbt_core::worker::DROP_SHUTDOWN_TIMEOUT) {
+                eprintln!(
+                    "cosbt: drop of '{}' abandoned {n} background merge worker(s) \
+                     still running after {:?}",
+                    self.label,
+                    cosbt_core::worker::DROP_SHUTDOWN_TIMEOUT
+                );
+            }
+        }
         // Never commit during a panic unwind: the panic may have left a
         // merge or split half-applied, and serializing that bookkeeping
         // would durably overwrite the last *good* epoch (quiescing an
@@ -1530,32 +1658,31 @@ impl Drop for Db {
 }
 
 impl Dictionary for Db {
+    // Forward through the inherent methods so trait-dispatched writes
+    // hit the dirty flag and the snapshot mirror exactly like direct
+    // calls do.
     fn insert(&mut self, key: u64, val: u64) {
-        self.dirty = true;
-        self.dict.insert(key, val)
+        Db::insert(self, key, val)
     }
 
     fn delete(&mut self, key: u64) {
-        self.dirty = true;
-        self.dict.delete(key)
+        Db::delete(self, key)
     }
 
     fn get(&mut self, key: u64) -> Option<u64> {
-        self.dict.get(key)
+        Db::get(self, key)
     }
 
     fn cursor(&mut self, lo: u64, hi: u64) -> Cursor<'_> {
-        self.dict.cursor(lo, hi)
+        Db::cursor(self, lo, hi)
     }
 
     fn apply(&mut self, batch: &mut UpdateBatch) {
-        self.dirty = true;
-        self.dict.apply(batch)
+        Db::apply(self, batch)
     }
 
     fn insert_batch(&mut self, sorted: &[(u64, u64)]) {
-        self.dirty = true;
-        self.dict.insert_batch(sorted)
+        Db::insert_batch(self, sorted)
     }
 
     fn physical_len(&self) -> usize {

@@ -74,11 +74,13 @@
 
 mod db;
 pub mod shard;
+pub mod snapshot;
 
 pub use db::{
     Backend, BuildError, Db, DbBuilder, IoProbe, OpenError, Structure, VALID_COMBINATIONS,
 };
 pub use shard::ShardRouter;
+pub use snapshot::{DbSnapshot, SnapshotCursor};
 
 /// The shared dictionary API: trait, batches, cursors.
 pub use cosbt_core::{BatchOp, Cursor, CursorOps, Dictionary, UpdateBatch, VecCursor};

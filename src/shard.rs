@@ -25,12 +25,16 @@ use cosbt_core::{Cursor, Dictionary, MergeCursor, Persist, UpdateBatch};
 
 /// The trait bundle a shard must satisfy: the dictionary operations, the
 /// persistence boundary (so a file-backed shard can serialize its control
-/// state into its store's metadata commit), and `Send` (so sub-batches
-/// can be applied on worker threads). Blanket-implemented; user code
-/// never implements it directly.
-pub trait ShardDict: Dictionary + Persist + Send {}
+/// state into its store's metadata commit), and `Send + Sync` (so
+/// sub-batches can be applied on worker threads, and a `&Db` — e.g. an
+/// I/O probe racing a writer — can be shared across threads). Every
+/// structure in the workspace is `Sync`: shared mutable state lives
+/// behind `Arc<Mutex<…>>` in the file backends and plain owned memory
+/// elsewhere. Blanket-implemented; user code never implements it
+/// directly.
+pub trait ShardDict: Dictionary + Persist + Send + Sync {}
 
-impl<T: Dictionary + Persist + Send> ShardDict for T {}
+impl<T: Dictionary + Persist + Send + Sync> ShardDict for T {}
 
 /// A dictionary shard: any structure over any backend.
 pub type Shard = Box<dyn ShardDict>;

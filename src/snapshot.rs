@@ -1,0 +1,504 @@
+//! MVCC snapshots of a [`Db`](crate::Db): lock-free readers over pinned
+//! epochs, one writer, background run compaction.
+//!
+//! [`Db::snapshot`](crate::Db::snapshot) publishes the database's current
+//! logical contents as an immutable epoch — a newest-first stack of
+//! sorted runs managed by [`cosbt_core::EpochManager`] — and returns a
+//! [`DbSnapshot`] pinning it. Snapshots are `Send + Sync + Clone` and
+//! `'static`: any number of reader threads can run gets, ranges, and
+//! bidirectional cursors against their pinned epochs while the single
+//! writer keeps mutating the underlying structures and publishing newer
+//! epochs. Reads never touch the writer's structures, caches, or locks.
+//!
+//! The overlay is **lazy**: until the first `snapshot()` call a `Db`
+//! carries no mirror and its single-threaded behaviour (including
+//! block-transfer counts) is bit-for-bit unchanged. The first call seeds
+//! a base run with a full scan; afterwards every write through the `Db`
+//! facade is also appended to a pending delta, and each `snapshot()`
+//! publishes the delta as a new run. When the run stack grows past a
+//! threshold it is compacted — inline, or on the
+//! [`background_merge`](crate::DbBuilder::background_merge) worker pool
+//! so a long merge never stalls the writer or the readers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cosbt_core::epoch::{merge_runs, Run};
+use cosbt_core::{BatchOp, Cursor, CursorOps, EpochManager, PinnedEpoch, WorkerPool};
+
+/// Compact when an epoch's run stack exceeds this many runs. Small
+/// enough to keep point reads cheap (one binary search per run), large
+/// enough that compaction is batched COLA-style work, not per-publish.
+pub(crate) const MAX_SNAPSHOT_RUNS: usize = 8;
+
+/// Per-`Db` MVCC state: the epoch manager, the mirror of writes not yet
+/// published, and the optional background worker pool.
+pub(crate) struct MvccState {
+    pub(crate) mgr: Arc<EpochManager>,
+    /// Writes since the last published epoch, in arrival order. Only
+    /// mirrored while `active`.
+    pending: Vec<BatchOp>,
+    /// Background pool for compactions (`None` = compact inline).
+    pub(crate) pool: Option<WorkerPool>,
+    /// Single-flight latch: at most one background compaction in the
+    /// queue at a time.
+    merging: Arc<AtomicBool>,
+    /// Whether the overlay has been seeded and is mirroring writes.
+    active: bool,
+    /// Set when `dict_mut` hands out raw access the mirror cannot see;
+    /// forces a reseed (full rescan) at the next snapshot.
+    stale: bool,
+}
+
+impl MvccState {
+    pub(crate) fn new(pool: Option<WorkerPool>) -> MvccState {
+        MvccState {
+            mgr: EpochManager::new(),
+            pending: Vec::new(),
+            pool,
+            merging: Arc::new(AtomicBool::new(false)),
+            active: false,
+            stale: false,
+        }
+    }
+
+    /// Mirrors one write (no-op until the overlay is active).
+    #[inline]
+    pub(crate) fn record(&mut self, key: u64, op: Option<u64>) {
+        if self.active {
+            self.pending.push((key, op));
+        }
+    }
+
+    /// Mirrors a batch of writes in arrival order.
+    #[inline]
+    pub(crate) fn record_ops(&mut self, ops: &[BatchOp]) {
+        if self.active {
+            self.pending.extend_from_slice(ops);
+        }
+    }
+
+    /// Mirrors a sorted insert run.
+    #[inline]
+    pub(crate) fn record_inserts(&mut self, sorted: &[(u64, u64)]) {
+        if self.active {
+            self.pending
+                .extend(sorted.iter().map(|&(k, v)| (k, Some(v))));
+        }
+    }
+
+    /// Marks the mirror unreliable (raw dictionary access escaped).
+    pub(crate) fn invalidate(&mut self) {
+        if self.active {
+            self.stale = true;
+            self.pending.clear();
+        }
+    }
+
+    /// Whether the next snapshot must reseed with a full scan.
+    pub(crate) fn needs_seed(&self) -> bool {
+        !self.active || self.stale
+    }
+
+    /// Publishes `base` (the full logical contents) as a fresh
+    /// single-run epoch and arms the mirror.
+    pub(crate) fn seed(&mut self, base: Vec<(u64, u64)>, store_epochs: Arc<[u64]>) {
+        self.pending.clear();
+        self.active = true;
+        self.stale = false;
+        let run = Run::from_sorted(base.into_iter().map(|(k, v)| (k, Some(v))).collect());
+        self.mgr
+            .publish_with(|_| Some((vec![run], store_epochs)))
+            .expect("unconditional publish");
+    }
+
+    /// Publishes the pending delta (if any) as a new run on top of the
+    /// current epoch.
+    pub(crate) fn publish_pending(&mut self, store_epochs: Arc<[u64]>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let run = Run::from_ops(std::mem::take(&mut self.pending));
+        self.mgr
+            .publish_with(|cur| {
+                let mut runs = Vec::with_capacity(cur.runs().len() + 1);
+                runs.push(run);
+                runs.extend_from_slice(cur.runs());
+                Some((runs, store_epochs))
+            })
+            .expect("unconditional publish");
+    }
+
+    /// Compacts the run stack if it outgrew the threshold: on the
+    /// worker pool when configured (single-flight), else inline.
+    pub(crate) fn maybe_compact(&self) {
+        if self.mgr.current().runs().len() <= MAX_SNAPSHOT_RUNS {
+            return;
+        }
+        match &self.pool {
+            Some(pool) => {
+                if self.merging.swap(true, Ordering::AcqRel) {
+                    return; // one compaction in flight already
+                }
+                let mgr = self.mgr.clone();
+                let merging = self.merging.clone();
+                pool.submit(move || {
+                    compact_once(&mgr);
+                    merging.store(false, Ordering::Release);
+                });
+            }
+            None => compact_once(&self.mgr),
+        }
+    }
+
+    /// Waits for queued background compactions to finish.
+    pub(crate) fn drain(&self) {
+        if let Some(pool) = &self.pool {
+            pool.drain();
+        }
+    }
+}
+
+/// Merges the oldest half of the current epoch's run stack into one
+/// run and publishes the result. The merge itself runs without the
+/// manager's lock (this is the long part — it may run on a worker
+/// thread); the publish closure then verifies the merged suffix is
+/// still the epoch's suffix and aborts otherwise (the writer only
+/// prepends runs, so the only way it changed is a reseed).
+fn compact_once(mgr: &Arc<EpochManager>) {
+    let cur = mgr.current();
+    let n = cur.runs().len();
+    if n <= MAX_SNAPSHOT_RUNS {
+        return;
+    }
+    // Keep the newest half intact; fold the oldest half (which always
+    // includes the base run, so tombstones can be dropped).
+    let keep = n / 2;
+    let suffix: Vec<Run> = cur.runs()[keep..].to_vec();
+    let merged = merge_runs(&suffix, true);
+    mgr.publish_with(|latest| {
+        let lr = latest.runs();
+        if lr.len() < suffix.len() {
+            return None;
+        }
+        let tail = &lr[lr.len() - suffix.len()..];
+        if !tail.iter().zip(&suffix).all(|(a, b)| a.ptr_eq(b)) {
+            return None;
+        }
+        let mut runs = lr[..lr.len() - suffix.len()].to_vec();
+        runs.push(merged);
+        Some((runs, latest.store_epochs_arc()))
+    });
+}
+
+/// A read-only, point-in-time view of a [`Db`](crate::Db), pinned to
+/// one published epoch.
+///
+/// Obtained from [`Db::snapshot`](crate::Db::snapshot). `Clone` is
+/// cheap (re-pins the same epoch); the handle is `Send + Sync` and
+/// `'static`, so it can be handed to any number of reader threads.
+/// Reads are lock-free — binary searches over immutable `Arc`-shared
+/// runs — and are never affected by later writes, merges, or syncs on
+/// the originating database. While any clone (or cursor) is alive, the
+/// epoch's runs are retained and the backing stores will not recycle
+/// pages its committed store epochs reference.
+///
+/// ```
+/// use cosbt::DbBuilder;
+///
+/// let mut db = DbBuilder::new().build().unwrap();
+/// db.insert(1, 10);
+/// let snap = db.snapshot();
+/// db.insert(1, 99); // later write, invisible to `snap`
+/// db.delete(1);
+/// assert_eq!(snap.get(1), Some(10));
+/// assert_eq!(db.get(1), None);
+/// ```
+#[derive(Clone)]
+pub struct DbSnapshot {
+    pinned: PinnedEpoch,
+}
+
+impl std::fmt::Debug for DbSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbSnapshot")
+            .field("epoch", &self.pinned.seq())
+            .field("runs", &self.pinned.runs().len())
+            .finish()
+    }
+}
+
+impl DbSnapshot {
+    pub(crate) fn new(pinned: PinnedEpoch) -> DbSnapshot {
+        DbSnapshot { pinned }
+    }
+
+    /// The pinned epoch's sequence number (monotone per database).
+    pub fn epoch(&self) -> u64 {
+        self.pinned.seq()
+    }
+
+    /// Per-shard committed store epochs this snapshot corresponds to
+    /// (the cross-shard epoch vector; empty for memory backends).
+    pub fn store_epochs(&self) -> &[u64] {
+        self.pinned.store_epochs()
+    }
+
+    /// Number of runs in the pinned epoch (diagnostics; bounded by
+    /// compaction).
+    pub fn run_count(&self) -> usize {
+        self.pinned.runs().len()
+    }
+
+    /// Looks up `key` in the pinned epoch. Lock-free.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.pinned.get(key)
+    }
+
+    /// All live entries with `lo <= key <= hi` in the pinned epoch.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut cur = self.cursor(lo, hi);
+        let mut out = Vec::new();
+        while let Some(e) = cur.next() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// A bidirectional streaming cursor over live entries in
+    /// `[lo, hi]`, with the same gap semantics as
+    /// [`Dictionary::cursor`](cosbt_core::Dictionary::cursor). The
+    /// cursor owns a pin on the epoch, so it may outlive the snapshot
+    /// handle it came from.
+    pub fn cursor(&self, lo: u64, hi: u64) -> SnapshotCursor {
+        SnapshotCursor::new(self.pinned.clone(), lo, hi)
+    }
+
+    /// Like [`DbSnapshot::cursor`], boxed into the facade's generic
+    /// [`Cursor`] type.
+    pub fn cursor_dyn(&self, lo: u64, hi: u64) -> Cursor<'static> {
+        Cursor::new(self.cursor(lo, hi))
+    }
+}
+
+/// One run restricted to the cursor's key window.
+struct RunWindow {
+    run: Run,
+    /// First entry index inside the window.
+    lo: usize,
+    /// One past the last entry index inside the window.
+    hi: usize,
+    /// Gap position in `[lo, hi]`.
+    pos: usize,
+}
+
+impl RunWindow {
+    fn at(&self, i: usize) -> BatchOp {
+        self.run.entries()[i]
+    }
+}
+
+/// A bidirectional cursor over a pinned epoch (see
+/// [`DbSnapshot::cursor`]): a k-way walk of the epoch's runs, newest
+/// run winning on key ties, tombstones skipped. Owns its pin, so the
+/// epoch stays alive for the cursor's lifetime; implements
+/// [`CursorOps`] with the dictionary-wide gap semantics (`next` then
+/// `prev` revisits the same entry).
+pub struct SnapshotCursor {
+    /// Newest-first, like the epoch's run stack.
+    windows: Vec<RunWindow>,
+    _pin: PinnedEpoch,
+}
+
+impl std::fmt::Debug for SnapshotCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCursor")
+            .field("runs", &self.windows.len())
+            .finish()
+    }
+}
+
+impl SnapshotCursor {
+    fn new(pin: PinnedEpoch, lo: u64, hi: u64) -> SnapshotCursor {
+        let windows = pin
+            .runs()
+            .iter()
+            .map(|run| {
+                let entries = run.entries();
+                let start = entries.partition_point(|&(k, _)| k < lo);
+                let end = if lo > hi {
+                    start
+                } else {
+                    entries.partition_point(|&(k, _)| k <= hi)
+                };
+                RunWindow {
+                    run: run.clone(),
+                    lo: start,
+                    hi: end.max(start),
+                    pos: start,
+                }
+            })
+            .collect();
+        SnapshotCursor { windows, _pin: pin }
+    }
+}
+
+impl CursorOps for SnapshotCursor {
+    fn seek(&mut self, key: u64) {
+        for w in &mut self.windows {
+            let entries = w.run.entries();
+            let p = entries[w.lo..w.hi].partition_point(|&(k, _)| k < key);
+            w.pos = w.lo + p;
+        }
+    }
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        loop {
+            // Smallest key just after the gap; on ties the newest run
+            // (lowest index) wins.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, w) in self.windows.iter().enumerate() {
+                if w.pos < w.hi {
+                    let k = w.at(w.pos).0;
+                    if best.is_none_or(|(bk, _)| k < bk) {
+                        best = Some((k, i));
+                    }
+                }
+            }
+            let (key, winner) = best?;
+            let op = {
+                let w = &self.windows[winner];
+                w.at(w.pos).1
+            };
+            // Move the gap past `key` in every run.
+            for w in &mut self.windows {
+                if w.pos < w.hi && w.at(w.pos).0 == key {
+                    w.pos += 1;
+                }
+            }
+            if let Some(v) = op {
+                return Some((key, v));
+            }
+            // Tombstone: the key is dead at this epoch; keep walking.
+        }
+    }
+
+    fn prev(&mut self) -> Option<(u64, u64)> {
+        loop {
+            // Largest key just before the gap; ties → newest run wins.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, w) in self.windows.iter().enumerate() {
+                if w.pos > w.lo {
+                    let k = w.at(w.pos - 1).0;
+                    if best.is_none_or(|(bk, _)| k > bk) {
+                        best = Some((k, i));
+                    }
+                }
+            }
+            let (key, winner) = best?;
+            let op = {
+                let w = &self.windows[winner];
+                w.at(w.pos - 1).1
+            };
+            for w in &mut self.windows {
+                if w.pos > w.lo && w.at(w.pos - 1).0 == key {
+                    w.pos -= 1;
+                }
+            }
+            if let Some(v) = op {
+                return Some((key, v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DbBuilder;
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut db = DbBuilder::new().build().unwrap();
+        for k in 0..100u64 {
+            db.insert(k, k * 10);
+        }
+        let snap = db.snapshot();
+        for k in 0..100u64 {
+            db.insert(k, 1);
+        }
+        db.delete(5);
+        let snap2 = db.snapshot();
+        for k in 0..100u64 {
+            assert_eq!(snap.get(k), Some(k * 10));
+        }
+        assert_eq!(snap2.get(5), None);
+        assert_eq!(snap2.get(6), Some(1));
+        assert!(snap2.epoch() > snap.epoch());
+    }
+
+    #[test]
+    fn snapshot_cursor_merges_runs_with_gap_semantics() {
+        let mut db = DbBuilder::new().build().unwrap();
+        db.insert_batch(&[(10, 1), (20, 2), (30, 3), (40, 4)]);
+        let _e1 = db.snapshot(); // base epoch
+        db.insert(20, 22); // shadowed in a newer run
+        db.delete(30); // tombstone in a newer run
+        db.insert(35, 5);
+        let snap = db.snapshot();
+        assert_eq!(
+            snap.range(0, u64::MAX),
+            vec![(10, 1), (20, 22), (35, 5), (40, 4)]
+        );
+        let mut cur = snap.cursor(15, 40);
+        assert_eq!(cur.next(), Some((20, 22)));
+        assert_eq!(cur.prev(), Some((20, 22)), "next then prev revisits");
+        assert_eq!(cur.prev(), None);
+        cur.seek(30);
+        assert_eq!(cur.next(), Some((35, 5)), "tombstoned 30 is skipped");
+        assert_eq!(cur.next(), Some((40, 4)));
+        assert_eq!(cur.next(), None);
+        assert_eq!(cur.prev(), Some((40, 4)));
+    }
+
+    #[test]
+    fn compaction_bounds_run_count_and_preserves_contents() {
+        let mut db = DbBuilder::new().build().unwrap();
+        let mut last = None;
+        for round in 0..40u64 {
+            db.insert(round, round);
+            db.delete(round / 2 + 1000); // tombstones for absent keys too
+            last = Some(db.snapshot());
+        }
+        let snap = last.unwrap();
+        assert!(
+            snap.run_count() <= MAX_SNAPSHOT_RUNS + 1,
+            "compaction keeps the stack bounded (got {})",
+            snap.run_count()
+        );
+        let expect: Vec<(u64, u64)> = (0..40).map(|k| (k, k)).collect();
+        assert_eq!(snap.range(0, 999), expect);
+    }
+
+    #[test]
+    fn dict_mut_invalidates_and_reseeds() {
+        let mut db = DbBuilder::new().build().unwrap();
+        db.insert(1, 10);
+        let s1 = db.snapshot();
+        // Raw access the mirror cannot see.
+        db.dict_mut().insert(2, 20);
+        let s2 = db.snapshot();
+        assert_eq!(s1.get(2), None);
+        assert_eq!(s2.get(2), Some(20), "reseed picked up the raw write");
+        assert_eq!(s2.get(1), Some(10));
+    }
+
+    #[test]
+    fn empty_db_snapshot_works() {
+        let mut db = DbBuilder::new().build().unwrap();
+        let snap = db.snapshot();
+        assert_eq!(snap.get(7), None);
+        assert_eq!(snap.range(0, u64::MAX), Vec::new());
+        assert_eq!(snap.cursor(0, u64::MAX).next(), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! Compile-time assertions that the concurrency-facing types implement
+//! the auto traits the snapshot subsystem's contract promises. A
+//! regression here (say, a non-`Sync` field slipping into `Db`) fails
+//! this crate's *build*, not a runtime test.
+
+use cosbt::cola::{EpochManager, PinnedEpoch, WorkerPool};
+use cosbt::{Db, DbSnapshot, IoProbe, SnapshotCursor};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_clone<T: Clone>() {}
+fn assert_static<T: 'static>() {}
+
+#[test]
+fn db_is_send_and_sync() {
+    // `Send` lets a Db move to a writer thread; `Sync` lets `&Db`
+    // methods (io_stats, snapshot_stats, drop_cache) be called from
+    // anywhere. All mutation goes through `&mut self`, so `Sync` adds
+    // no data-race surface.
+    assert_send::<Db>();
+    assert_sync::<Db>();
+}
+
+#[test]
+fn snapshot_handles_are_shareable() {
+    // The whole point of a snapshot: clone it across reader threads.
+    assert_send_sync::<DbSnapshot>();
+    assert_clone::<DbSnapshot>();
+    assert_static::<DbSnapshot>();
+    // Cursors own a pin, so they may also cross threads (though each
+    // cursor is used by one thread at a time via &mut).
+    assert_send_sync::<SnapshotCursor>();
+    assert_static::<SnapshotCursor>();
+}
+
+#[test]
+fn probe_and_internals_are_shareable() {
+    // IoProbe must be usable from a monitoring thread while a writer
+    // thread owns the Db.
+    assert_send_sync::<IoProbe>();
+    assert_clone::<IoProbe>();
+    // Subsystem internals that cross thread boundaries by design.
+    assert_send_sync::<EpochManager>();
+    assert_send_sync::<PinnedEpoch>();
+    assert_send::<WorkerPool>();
+    assert_sync::<WorkerPool>();
+}

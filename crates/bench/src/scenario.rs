@@ -94,6 +94,16 @@ pub const SCENARIOS: &[Scenario] = &[
         about: "80% range scans (100 entries) over a trickle of writes",
     },
     Scenario {
+        name: "miss_heavy",
+        kind: ScenarioKind::Mixed(OpMix::MISS_HEAVY),
+        dist: KeyDist::Zipfian {
+            space: 0,
+            theta: 0.99,
+        },
+        prefill_frac: 1.0,
+        about: "90% zipfian negative lookups over a prefilled store — the filter showcase",
+    },
+    Scenario {
         name: "insert_then_drain",
         kind: ScenarioKind::InsertThenDrain,
         dist: KeyDist::TimeSeriesAppend { jitter: 64 },

@@ -144,6 +144,24 @@ impl KeyGen {
         }
     }
 
+    /// Draws a key guaranteed **absent** from anything `next_key` (or
+    /// [`prefill_run`]) ever produced, while following the same
+    /// popularity skew. The spread distributions only ever emit
+    /// multiples of the spread step, so the mid-gap point beside a
+    /// distribution-typical key is never written; the append
+    /// distributions stay far below `2^63` for any realistic run, so a
+    /// high-bit key is never written. This is what a negative-lookup
+    /// workload probes: keys that fall *inside* the populated key range
+    /// (fence checks can't reject them) but match no stored key.
+    pub fn next_miss_key(&mut self, rng: &mut Rng) -> u64 {
+        match self.dist {
+            KeyDist::Uniform { space } | KeyDist::Zipfian { space, .. } => {
+                self.next_key(rng) + u64::MAX / space.max(1) / 2
+            }
+            KeyDist::Ascending | KeyDist::TimeSeriesAppend { .. } => 1 << 63 | self.next_key(rng),
+        }
+    }
+
     /// Draws the next key (deterministic given the `rng` stream and the
     /// number of previous draws).
     pub fn next_key(&mut self, rng: &mut Rng) -> u64 {
@@ -201,6 +219,10 @@ impl Op {
 pub struct OpMix {
     /// Point-lookup weight.
     pub get: u32,
+    /// Negative point-lookup weight: gets against keys guaranteed absent
+    /// (see [`KeyGen::next_miss_key`]) — the workload class per-level
+    /// filters exist for.
+    pub neg_get: u32,
     /// Upsert weight.
     pub insert: u32,
     /// Delete weight.
@@ -216,6 +238,7 @@ impl OpMix {
     /// should shine.
     pub const READ_HEAVY: OpMix = OpMix {
         get: 95,
+        neg_get: 0,
         insert: 5,
         delete: 0,
         scan: 0,
@@ -224,6 +247,7 @@ impl OpMix {
     /// 50% reads / 50% writes.
     pub const BALANCED: OpMix = OpMix {
         get: 50,
+        neg_get: 0,
         insert: 45,
         delete: 5,
         scan: 0,
@@ -233,6 +257,7 @@ impl OpMix {
     /// is built for.
     pub const WRITE_HEAVY: OpMix = OpMix {
         get: 5,
+        neg_get: 0,
         insert: 90,
         delete: 5,
         scan: 0,
@@ -242,6 +267,7 @@ impl OpMix {
     /// slowly changing table).
     pub const SCAN_HEAVY: OpMix = OpMix {
         get: 10,
+        neg_get: 0,
         insert: 10,
         delete: 0,
         scan: 80,
@@ -251,14 +277,26 @@ impl OpMix {
     /// generated by the scenario runner, not by the mix.
     pub const INSERT_ONLY: OpMix = OpMix {
         get: 0,
+        neg_get: 0,
         insert: 100,
+        delete: 0,
+        scan: 0,
+        scan_len: 0,
+    };
+    /// 90% negative lookups over a trickle of hits and writes — the
+    /// existence-check mix (dedup, cache-fill, join probes) where a read
+    /// path that rejects misses without touching data wins outright.
+    pub const MISS_HEAVY: OpMix = OpMix {
+        get: 5,
+        neg_get: 90,
+        insert: 5,
         delete: 0,
         scan: 0,
         scan_len: 0,
     };
 
     fn total(&self) -> u32 {
-        self.get + self.insert + self.delete + self.scan
+        self.get + self.neg_get + self.insert + self.delete + self.scan
     }
 }
 
@@ -291,17 +329,21 @@ impl Iterator for OpStream {
 
     fn next(&mut self) -> Option<Op> {
         let roll = self.rng.below(self.mix.total() as u64) as u32;
-        let key = self.keys.next_key(&mut self.rng);
         self.produced += 1;
-        Some(if roll < self.mix.get {
-            Op::Get(key)
-        } else if roll < self.mix.get + self.mix.insert {
+        // One key draw per op, after the roll, so mixes without a
+        // `neg_get` band replay the exact streams they always produced.
+        let m = self.mix;
+        Some(if roll < m.get {
+            Op::Get(self.keys.next_key(&mut self.rng))
+        } else if roll < m.get + m.neg_get {
+            Op::Get(self.keys.next_miss_key(&mut self.rng))
+        } else if roll < m.get + m.neg_get + m.insert {
             // Values encode the op index, so replay divergence is visible.
-            Op::Insert(key, self.produced)
-        } else if roll < self.mix.get + self.mix.insert + self.mix.delete {
-            Op::Delete(key)
+            Op::Insert(self.keys.next_key(&mut self.rng), self.produced)
+        } else if roll < m.get + m.neg_get + m.insert + m.delete {
+            Op::Delete(self.keys.next_key(&mut self.rng))
         } else {
-            Op::Scan(key, self.mix.scan_len.max(1))
+            Op::Scan(self.keys.next_key(&mut self.rng), m.scan_len.max(1))
         })
     }
 }
@@ -443,6 +485,70 @@ mod tests {
         }
         let want: Vec<(u64, u64)> = model.into_iter().collect();
         assert_eq!(run, want);
+    }
+
+    #[test]
+    fn miss_keys_never_collide_with_generated_keys() {
+        for dist in [
+            KeyDist::Uniform { space: 1000 },
+            KeyDist::Zipfian {
+                space: 1000,
+                theta: 0.99,
+            },
+            KeyDist::Ascending,
+            KeyDist::TimeSeriesAppend { jitter: 16 },
+        ] {
+            // Everything next_key can emit: the spread dists produce
+            // multiples of the spread step only; the append dists stay
+            // tiny. Misses sit mid-gap / above the high bit — provably
+            // disjoint, not just improbably so.
+            let mut produced = std::collections::HashSet::new();
+            let mut rng = Rng::new(9);
+            let mut g = KeyGen::new(dist);
+            for _ in 0..20_000 {
+                produced.insert(g.next_key(&mut rng));
+            }
+            let mut rng = Rng::new(10);
+            let mut g = KeyGen::new(dist);
+            for _ in 0..5_000 {
+                let miss = g.next_miss_key(&mut rng);
+                assert!(!produced.contains(&miss), "{dist:?}: {miss} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn miss_heavy_mix_is_mostly_negative_gets() {
+        let dist = KeyDist::Zipfian {
+            space: 1000,
+            theta: 0.99,
+        };
+        let mut live = std::collections::HashSet::new();
+        let mut rng = Rng::new(3);
+        let mut g = KeyGen::new(dist);
+        for _ in 0..100_000 {
+            live.insert(g.next_key(&mut rng));
+        }
+        let ops: Vec<Op> = OpStream::new(OpMix::MISS_HEAVY, dist, 7)
+            .take(10_000)
+            .collect();
+        let (mut neg, mut gets) = (0, 0);
+        for op in &ops {
+            if let Op::Get(k) = op {
+                gets += 1;
+                if !live.contains(k) {
+                    neg += 1;
+                }
+            }
+        }
+        assert!(
+            (9_200..10_000).contains(&gets),
+            "95% gets expected, got {gets}"
+        );
+        assert!(
+            neg as f64 >= gets as f64 * 0.9,
+            "negative lookups should dominate: {neg}/{gets}"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use cosbt_dam::{Mem, PlainMem};
 
+use crate::cascade::{AuxBuilder, LevelAux};
 use crate::cursor::{Run, RunMergeCursor};
 use crate::dict::{Cursor, Dictionary, UpdateBatch};
 use crate::entry::Cell;
@@ -30,7 +31,8 @@ use crate::persist::{MetaError, MetaReader, MetaWriter, Persist, TAG_BASIC_COLA}
 use crate::stats::ColaStats;
 
 /// Per-structure metadata format version (see [`crate::persist`]).
-const META_VERSION: u8 = 1;
+/// Version 2 appends per-level cascade fence keys to version 1.
+const META_VERSION: u8 = 2;
 
 /// Offset of level `k`: slot 0 is the merge spare, then levels are packed
 /// contiguously (sizes 1, 2, 4, …).
@@ -48,6 +50,16 @@ pub struct BasicCola<M: Mem<Cell>> {
     /// Total insertions performed (the paper's N).
     n: u64,
     stats: ColaStats,
+    /// Per-level read accelerators (fences, filter, ghost sample); kept
+    /// in lockstep with `full` — `Some` exactly for full levels while
+    /// `cascade` is on. Rebuilt by the merge that rebuilds a level, so
+    /// it can never go stale: a carry to level `t` empties every level
+    /// below `t` and touches none above it.
+    aux: Vec<Option<LevelAux>>,
+    /// Whether searches use the cascade accelerators. The pre-cascade
+    /// binary-search path is kept behind this toggle for differential
+    /// testing ([`BasicCola::set_cascade`]).
+    cascade: bool,
 }
 
 impl BasicCola<PlainMem<Cell>> {
@@ -66,7 +78,33 @@ impl<M: Mem<Cell>> BasicCola<M> {
             full: vec![false],
             n: 0,
             stats: ColaStats::default(),
+            aux: vec![None],
+            cascade: true,
         }
+    }
+
+    /// Enables or disables the fractional-cascading read path (fences,
+    /// filters, ghost windows). On by default; turning it off restores
+    /// the pre-cascade full binary search per level — kept for
+    /// differential tests and benchmarks. Re-enabling rebuilds the
+    /// accelerators from the stored cells.
+    pub fn set_cascade(&mut self, enabled: bool) {
+        if enabled == self.cascade {
+            return;
+        }
+        self.cascade = enabled;
+        for k in 0..self.full.len() {
+            if enabled && self.full[k] {
+                self.rebuild_aux(k);
+            } else {
+                self.aux[k] = None;
+            }
+        }
+    }
+
+    /// Whether the cascade read path is active.
+    pub fn cascade_enabled(&self) -> bool {
+        self.cascade
     }
 
     /// Number of insert operations performed (the paper's N).
@@ -97,6 +135,7 @@ impl<M: Mem<Cell>> BasicCola<M> {
     fn ensure_levels(&mut self, levels: usize) {
         while self.full.len() < levels {
             self.full.push(false);
+            self.aux.push(None);
         }
         let need = level_off(self.full.len() - 1) + (1 << (self.full.len() - 1));
         if self.mem.len() < need {
@@ -119,6 +158,11 @@ impl<M: Mem<Cell>> BasicCola<M> {
         if t == 0 {
             self.mem.set(level_off(0), cell);
             self.full[0] = true;
+            self.aux[0] = self.cascade.then(|| {
+                let mut b = AuxBuilder::new(1);
+                b.push(&cell);
+                b.finish()
+            });
             self.stats.cells_written += 1;
             let w = self.stats.cells_written - before;
             self.stats.max_cells_per_insert = self.stats.max_cells_per_insert.max(w);
@@ -141,6 +185,10 @@ impl<M: Mem<Cell>> BasicCola<M> {
         self.mem.set(run_base, cell);
         self.stats.cells_written += 1;
 
+        // The final merge step writes the target level; its cells feed
+        // the cascade aux as they stream past, so the accelerator costs
+        // no extra pass over the data.
+        let mut aux_builder = self.cascade.then(|| AuxBuilder::new(1 << t));
         for j in 0..t {
             let out_base = if (t - 1 - j).is_multiple_of(2) {
                 target_base
@@ -148,6 +196,7 @@ impl<M: Mem<Cell>> BasicCola<M> {
                 0
             };
             debug_assert_ne!(out_base, run_base, "run and output must alternate");
+            let final_step = j + 1 == t;
             let lvl_base = level_off(j);
             let lvl_len = 1usize << j;
             // Merge run (newer; wins ties) with level j (older).
@@ -172,16 +221,23 @@ impl<M: Mem<Cell>> BasicCola<M> {
                     v
                 };
                 self.mem.set(out_base + w, v);
+                if final_step {
+                    if let Some(builder) = aux_builder.as_mut() {
+                        builder.push(&v);
+                    }
+                }
                 w += 1;
             }
             self.stats.cells_written += w as u64;
             run_base = out_base;
             run_len += lvl_len;
             self.full[j] = false;
+            self.aux[j] = None;
         }
         debug_assert_eq!(run_base, target_base);
         debug_assert_eq!(run_len, 1 << t);
         self.full[t] = true;
+        self.aux[t] = aux_builder.map(AuxBuilder::finish);
 
         let w = self.stats.cells_written - before;
         self.stats.max_cells_per_insert = self.stats.max_cells_per_insert.max(w);
@@ -263,8 +319,13 @@ impl<M: Mem<Cell>> BasicCola<M> {
                 for i in 0..(1usize << k) {
                     self.mem.set(base + i, merged[start + i]);
                 }
+                self.aux[k] = self
+                    .cascade
+                    .then(|| crate::cascade::build_aux(merged[start..start + (1 << k)].iter()));
                 self.stats.cells_written += 1u64 << k;
                 start += 1 << k;
+            } else {
+                self.aux[k] = None;
             }
         }
         debug_assert_eq!(start, total);
@@ -283,22 +344,31 @@ impl<M: Mem<Cell>> BasicCola<M> {
             .collect()
     }
 
-    /// Leftmost cell with key == `key` in level `k`, if any (the newest
-    /// version within the level).
-    fn search_level(&mut self, k: usize, key: u64) -> Option<Cell> {
+    /// Leftmost cell with key == `key` in the slot window `[lo, hi)` of
+    /// level `k`, if any (the newest version within the level). The
+    /// window must contain every cell with the given key, and its
+    /// preceding cells must all have smaller keys — the ghost-window
+    /// contract of [`LevelAux::window`]. Pass `(0, 1 << k)` for a full
+    /// binary search.
+    fn search_level_window(
+        &mut self,
+        k: usize,
+        key: u64,
+        mut lo: usize,
+        hi: usize,
+    ) -> Option<Cell> {
         let base = level_off(k);
-        let len = 1usize << k;
-        let (mut lo, mut hi) = (0usize, len);
-        while lo < hi {
-            let mid = (lo + hi) / 2;
+        let mut end = hi;
+        while lo < end {
+            let mid = (lo + end) / 2;
             self.stats.cells_scanned += 1;
             if self.mem.get(base + mid).key < key {
                 lo = mid + 1;
             } else {
-                hi = mid;
+                end = mid;
             }
         }
-        if lo < len {
+        if lo < hi {
             let c = self.mem.get(base + lo);
             self.stats.cells_scanned += 1;
             if c.key == key {
@@ -308,6 +378,20 @@ impl<M: Mem<Cell>> BasicCola<M> {
         None
     }
 
+    /// Rebuilds level `k`'s cascade aux by scanning its cells (used on
+    /// reopen and when re-enabling the cascade; merges build the aux
+    /// inline instead).
+    fn rebuild_aux(&mut self, k: usize) {
+        let base = level_off(k);
+        let len = 1usize << k;
+        let mut b = AuxBuilder::new(len);
+        for i in 0..len {
+            let c = self.mem.get(base + i);
+            b.push(&c);
+        }
+        self.aux[k] = Some(b.finish());
+    }
+
     /// Rebuilds the structure keeping only live entries (drops shadowed
     /// versions and tombstones). Extension: the paper's COLA never removes
     /// anything; compaction restores `physical_len == live keys`.
@@ -315,6 +399,9 @@ impl<M: Mem<Cell>> BasicCola<M> {
         let live = self.range(0, u64::MAX);
         for f in self.full.iter_mut() {
             *f = false;
+        }
+        for a in self.aux.iter_mut() {
+            *a = None;
         }
         self.n = 0;
         // Distribute the sorted live entries over levels matching the
@@ -337,10 +424,16 @@ impl<M: Mem<Cell>> BasicCola<M> {
         }
         for (k, start) in placements {
             let base = level_off(k);
+            let mut b = self.cascade.then(|| AuxBuilder::new(1 << k));
             for i in 0..(1usize << k) {
                 let (key, val) = live[start + i];
-                self.mem.set(base + i, Cell::item(key, val));
+                let cell = Cell::item(key, val);
+                self.mem.set(base + i, cell);
+                if let Some(b) = b.as_mut() {
+                    b.push(&cell);
+                }
             }
+            self.aux[k] = b.map(AuxBuilder::finish);
             self.full[k] = true;
             self.n += 1 << k;
         }
@@ -348,8 +441,12 @@ impl<M: Mem<Cell>> BasicCola<M> {
 
     /// Reconstructs a basic COLA over an already-populated `mem` from the
     /// control state a previous [`Persist::save_meta`] produced. The
-    /// store's cells are used as-is; only occupancy bookkeeping is
-    /// restored (and validated against the store's length).
+    /// store's cells are used as-is; occupancy bookkeeping is restored
+    /// (and validated against the store's length), the cascade
+    /// accelerators are rebuilt from the committed cells, and the
+    /// persisted per-level fence keys are cross-checked against them —
+    /// corrupt cascade metadata is a typed [`MetaError`], never a wrong
+    /// answer.
     pub fn from_parts(mem: M, meta: &[u8]) -> Result<Self, MetaError> {
         let mut r = MetaReader::new(meta, TAG_BASIC_COLA, META_VERSION)?;
         let n = r.u64()?;
@@ -363,6 +460,14 @@ impl<M: Mem<Cell>> BasicCola<M> {
         let mut full = Vec::with_capacity(levels);
         for _ in 0..levels {
             full.push(r.bool()?);
+        }
+        let mut fences = Vec::with_capacity(levels);
+        for &f in &full {
+            if f {
+                fences.push(Some((r.u64()?, r.u64()?)));
+            } else {
+                fences.push(None);
+            }
         }
         r.finish()?;
         for (k, &f) in full.iter().enumerate() {
@@ -384,12 +489,34 @@ impl<M: Mem<Cell>> BasicCola<M> {
                 mem.len()
             )));
         }
-        Ok(BasicCola {
+        let aux = vec![None; levels];
+        let mut cola = BasicCola {
             mem,
             full,
             n,
             stats: ColaStats::default(),
-        })
+            aux,
+            cascade: true,
+        };
+        for (k, fence) in fences.iter().enumerate() {
+            if !cola.full[k] {
+                continue;
+            }
+            cola.rebuild_aux(k);
+            let rebuilt = cola.aux[k].as_ref().expect("just rebuilt");
+            rebuilt
+                .check()
+                .map_err(|e| MetaError::Invalid(format!("level {k} cascade state: {e}")))?;
+            let (min, max) = fence.expect("fence recorded for every full level");
+            if (min, max) != (rebuilt.fence_min, rebuilt.fence_max) {
+                return Err(MetaError::Invalid(format!(
+                    "level {k} fence keys ({min}, {max}) disagree with stored cells \
+                     ({}, {})",
+                    rebuilt.fence_min, rebuilt.fence_max
+                )));
+            }
+        }
+        Ok(cola)
     }
 
     /// Checks Invariant 1 (level k full ⇔ bit k of N) and per-level
@@ -415,6 +542,35 @@ impl<M: Mem<Cell>> BasicCola<M> {
                 );
             }
         }
+        // Cascade state: aux present exactly for full levels while the
+        // toggle is on, internally consistent, and agreeing with the
+        // stored cells' fence keys.
+        assert_eq!(self.aux.len(), self.full.len(), "aux out of lockstep");
+        for (k, &f) in self.full.iter().enumerate() {
+            match &self.aux[k] {
+                Some(aux) => {
+                    assert!(f, "level {k} empty but has cascade aux");
+                    assert!(self.cascade, "cascade off but level {k} has aux");
+                    aux.check().unwrap_or_else(|e| panic!("level {k} aux: {e}"));
+                    assert_eq!(aux.len, 1usize << k, "level {k} aux length");
+                    let base = level_off(k);
+                    assert_eq!(
+                        (aux.fence_min, aux.fence_max),
+                        (
+                            self.mem.get(base).key,
+                            self.mem.get(base + (1 << k) - 1).key
+                        ),
+                        "level {k} fences disagree with stored cells"
+                    );
+                }
+                None => {
+                    assert!(
+                        !f || !self.cascade,
+                        "cascade on but full level {k} lacks aux"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -424,6 +580,18 @@ impl<M: Mem<Cell>> Persist for BasicCola<M> {
         w.u64(self.n).usize(self.full.len());
         for &f in &self.full {
             w.bool(f);
+        }
+        // v2: each full level's fence keys (its first and last cell —
+        // every basic-COLA cell is non-redundant), read straight from
+        // the store so the record is valid regardless of the runtime
+        // cascade toggle. `from_parts` cross-checks them against the
+        // reopened cells.
+        for k in 0..self.full.len() {
+            if self.full[k] {
+                let base = level_off(k);
+                w.u64(self.mem.get(base).key);
+                w.u64(self.mem.get(base + (1 << k) - 1).key);
+            }
         }
         w.finish()
     }
@@ -441,10 +609,24 @@ impl<M: Mem<Cell>> Dictionary for BasicCola<M> {
     fn get(&mut self, key: u64) -> Option<u64> {
         self.stats.searches += 1;
         for k in 0..self.full.len() {
-            if self.full[k] {
-                if let Some(c) = self.search_level(k, key) {
-                    return c.as_lookup();
+            if !self.full[k] {
+                continue;
+            }
+            // Cascade fast path: fences and the filter skip the level
+            // outright (0 transfers); otherwise the ghost sample brackets
+            // the probe to a one-stride window.
+            let window = match self.aux.get(k).and_then(Option::as_ref) {
+                Some(aux) if self.cascade => {
+                    if !aux.may_contain(key) {
+                        self.stats.filter_skips += 1;
+                        continue;
+                    }
+                    aux.window(key)
                 }
+                _ => (0, 1usize << k),
+            };
+            if let Some(c) = self.search_level_window(k, key, window.0, window.1) {
+                return c.as_lookup();
             }
         }
         None

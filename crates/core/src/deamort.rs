@@ -37,6 +37,7 @@
 
 use cosbt_dam::{Mem, PlainMem};
 
+use crate::cascade::{AuxBuilder, LevelAux};
 use crate::cursor::{Run, RunMergeCursor};
 use crate::dict::{Cursor, Dictionary};
 use crate::entry::Cell;
@@ -44,7 +45,8 @@ use crate::persist::{MetaError, MetaReader, MetaWriter, Persist, TAG_DEAMORT};
 use crate::stats::ColaStats;
 
 /// Per-structure metadata format version (see [`crate::persist`]).
-const META_VERSION: u8 = 1;
+/// Version 2 appends per-array cascade fence keys to version 1.
+const META_VERSION: u8 = 2;
 
 /// Pointer sampling stride: "every eighth element" (Lemma 20 / Thm 24).
 const STRIDE: usize = 8;
@@ -128,6 +130,19 @@ pub struct DeamortCola<M: Mem<Cell>> {
     seq: u64,
     stats: ColaStats,
     max_moves: u64,
+    /// Per-array read accelerators, `aux[k][a]` in lockstep with `arrs`.
+    /// Present for arrays with settled content while `cascade` is on;
+    /// cleared the moment an array becomes an incremental write target.
+    aux: Vec<[Option<LevelAux>; 3]>,
+    /// Incremental aux builder for each level's in-flight phase, fed one
+    /// cell per budgeted move and published when the phase's output
+    /// array settles — the accelerator respects the deamortized
+    /// per-insert move bound.
+    phase_aux: Vec<Option<AuxBuilder>>,
+    /// Whether searches use the cascade accelerators; the pre-cascade
+    /// full-binary-search path stays behind this toggle for differential
+    /// testing ([`DeamortCola::set_cascade`]).
+    cascade: bool,
 }
 
 /// Slot capacity of one array at level `k`: room for `2^k` items from each
@@ -167,7 +182,69 @@ impl<M: Mem<Cell>> DeamortCola<M> {
             seq: 0,
             stats: ColaStats::default(),
             max_moves: 0,
+            aux: vec![[None, None, None]],
+            phase_aux: vec![None],
+            cascade: true,
         }
+    }
+
+    /// Enables or disables the cascade read path (fences, filters, ghost
+    /// windows). On by default; turning it off restores the pre-cascade
+    /// full binary search per array — kept for differential tests and
+    /// benchmarks. Re-enabling rebuilds the accelerators for settled
+    /// arrays; an array mid-phase at that moment gets its aux rebuilt
+    /// when its phase completes.
+    pub fn set_cascade(&mut self, enabled: bool) {
+        if enabled == self.cascade {
+            return;
+        }
+        self.cascade = enabled;
+        for k in 0..self.arrs.len() {
+            self.phase_aux[k] = None;
+            for a in 0..3 {
+                if enabled && self.arrs[k][a].len > 0 && !self.mid_phase(k, a) {
+                    self.rebuild_aux(k, a);
+                } else {
+                    self.aux[k][a] = None;
+                }
+            }
+        }
+    }
+
+    /// Whether the cascade read path is active.
+    pub fn cascade_enabled(&self) -> bool {
+        self.cascade
+    }
+
+    /// Whether array `(k, a)` is the in-flight write target of some
+    /// phase, i.e. its bookkeeping and cells are mid-rewrite.
+    fn mid_phase(&self, k: usize, a: usize) -> bool {
+        let is_merge_dst = k >= 1
+            && self.phase[k - 1]
+                .as_ref()
+                .is_some_and(|p| matches!(p, Phase::Merge { dst, .. } if *dst == a));
+        let is_copy_target = self.phase[k]
+            .as_ref()
+            .is_some_and(|p| matches!(p, Phase::CopyPtrs { to, .. } if *to == a));
+        is_merge_dst || is_copy_target
+    }
+
+    /// Rebuilds the aux for array `(k, a)` by scanning its occupied run
+    /// (used on reopen and when an array settles without an incremental
+    /// builder; phases normally build the aux inline).
+    fn rebuild_aux(&mut self, k: usize, a: usize) {
+        let ar = self.arrs[k][a];
+        if ar.len == 0 {
+            self.aux[k][a] = None;
+            return;
+        }
+        let base = arr_off(k, a) + ar.start;
+        let mut b = AuxBuilder::new(ar.len);
+        for i in 0..ar.len {
+            let c = self.mem.get(base + i);
+            b.push(&c);
+        }
+        self.aux[k][a] = Some(b.finish());
     }
 
     /// Number of insert operations performed.
@@ -199,6 +276,8 @@ impl<M: Mem<Cell>> DeamortCola<M> {
         while self.arrs.len() <= k {
             self.arrs.push([Arr::empty(), Arr::empty(), Arr::empty()]);
             self.phase.push(None);
+            self.aux.push([None, None, None]);
+            self.phase_aux.push(None);
         }
         let need = arr_off(self.arrs.len(), 0);
         if self.mem.len() < need {
@@ -259,6 +338,10 @@ impl<M: Mem<Cell>> DeamortCola<M> {
         }
         let total = self.arrs[k][src[0]].items + self.arrs[k][src[1]].items + ptrs.len();
         debug_assert!(total <= arr_cap(k + 1), "destination overflow");
+        // The destination's cells are overwritten incrementally from here
+        // on; its aux (stale pointer-run state, if any) must go now.
+        self.aux[k + 1][dst] = None;
+        self.phase_aux[k] = self.cascade.then(|| AuxBuilder::new(total));
         self.phase[k] = Some(Phase::Merge {
             src,
             dst,
@@ -290,6 +373,7 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                         "visibility cascade would empty a live array at level {k}"
                     );
                     self.arrs[k][o].clear();
+                    self.aux[k][o] = None;
                 }
             }
             match self.arrs[k][a].linked_to {
@@ -371,6 +455,11 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                             _ => unreachable!(),
                         };
                         self.mem.set(out_base + *w, cell);
+                        // Feed the destination's incremental aux builder
+                        // (O(1) per move, within the deamortized budget).
+                        if let Some(builder) = self.phase_aux[k].as_mut() {
+                            builder.push(&cell);
+                        }
                         *w += 1;
                         spent += 1;
                         self.stats.cells_written += 1;
@@ -387,6 +476,18 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                     d.seq = s0.seq.max(s1.seq);
                     d.zombie = false;
                     let dst_arr = *dst;
+                    // Publish the destination's aux. A merge that started
+                    // while the cascade was off has no builder; rebuild by
+                    // scan so the toggle can't leave a settled array
+                    // unaccelerated.
+                    self.aux[k + 1][dst_arr] = match self.phase_aux[k].take() {
+                        Some(builder) => Some(builder.finish()),
+                        None if self.cascade => {
+                            self.rebuild_aux(k + 1, dst_arr);
+                            self.aux[k + 1][dst_arr].take()
+                        }
+                        None => None,
+                    };
                     if k == 0 {
                         // Level-0 merges complete the chain: the target
                         // becomes visible immediately; level 0's arrays
@@ -395,6 +496,7 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                             let keep_vis = self.arrs[0][s].vis;
                             self.arrs[0][s].clear();
                             self.arrs[0][s].vis = keep_vis;
+                            self.aux[0][s] = None;
                         }
                         self.make_visible(1, dst_arr);
                         self.phase[k] = None;
@@ -412,6 +514,9 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                                 && !self.arrs[k][a].zombie
                         })
                         .expect("no empty shadow to receive pointers");
+                    self.phase_aux[k] = self
+                        .cascade
+                        .then(|| AuxBuilder::new((*total).div_ceil(STRIDE)));
                     phase = Phase::CopyPtrs {
                         from: dst_arr,
                         to,
@@ -427,8 +532,11 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                     while spent < budget && *i < f.len {
                         if *i % STRIDE == 0 {
                             let c = self.mem.get(f_base + *i);
-                            self.mem
-                                .set(to_base + *w, Cell::lookahead(c.key, *i as u64));
+                            let ptr = Cell::lookahead(c.key, *i as u64);
+                            self.mem.set(to_base + *w, ptr);
+                            if let Some(builder) = self.phase_aux[k].as_mut() {
+                                builder.push(&ptr);
+                            }
                             *w += 1;
                             spent += 1;
                             self.stats.cells_written += 1;
@@ -443,6 +551,15 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                     t.len = count;
                     t.items = 0;
                     t.linked_to = Some(*from);
+                    let to_arr = *to;
+                    self.aux[k][to_arr] = match self.phase_aux[k].take() {
+                        Some(builder) => Some(builder.finish()),
+                        None if self.cascade => {
+                            self.rebuild_aux(k, to_arr);
+                            self.aux[k][to_arr].take()
+                        }
+                        None => None,
+                    };
                     self.phase[k] = None;
                     return spent;
                 }
@@ -467,6 +584,11 @@ impl<M: Mem<Cell>> DeamortCola<M> {
         a.len = 1;
         a.items = 1;
         a.seq = self.seq;
+        self.aux[0][side] = self.cascade.then(|| {
+            let mut b = AuxBuilder::new(1);
+            b.push(&cell);
+            b.finish()
+        });
         self.stats.cells_written += 1;
 
         // Mover: trigger due merges lazily (skipping levels whose
@@ -513,7 +635,20 @@ impl<M: Mem<Cell>> DeamortCola<M> {
     fn search_array(&mut self, k: usize, a: usize, key: u64) -> Option<Cell> {
         let ar = self.arrs[k][a];
         let base = arr_off(k, a) + ar.start;
-        let (mut lo, mut hi) = (0usize, ar.len);
+        // Cascade fast path: fences and the filter skip the array
+        // outright (0 cell reads); otherwise the ghost sample brackets
+        // the probe. An array without aux (settled while the cascade was
+        // off) falls back to the full binary search.
+        let (mut lo, mut hi) = match &self.aux[k][a] {
+            Some(aux) if self.cascade => {
+                if !aux.may_contain(key) {
+                    self.stats.filter_skips += 1;
+                    return None;
+                }
+                aux.window(key)
+            }
+            _ => (0, ar.len),
+        };
         while lo < hi {
             let mid = (lo + hi) / 2;
             self.stats.cells_scanned += 1;
@@ -595,6 +730,16 @@ impl<M: Mem<Cell>> DeamortCola<M> {
             }
             arrs.push(level);
         }
+        let mut fences = Vec::with_capacity(count);
+        for level in &arrs {
+            let mut triple = [None, None, None];
+            for (a, arr) in level.iter().enumerate() {
+                if arr.len > 0 {
+                    triple[a] = Some((r.u64()?, r.u64()?));
+                }
+            }
+            fences.push(triple);
+        }
         r.finish()?;
         if mem.len() < arr_off(count, 0) {
             return Err(MetaError::Invalid(format!(
@@ -616,7 +761,7 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                 }
             }
         }
-        Ok(DeamortCola {
+        let mut cola = DeamortCola {
             mem,
             phase: vec![None; count],
             arrs,
@@ -624,7 +769,39 @@ impl<M: Mem<Cell>> DeamortCola<M> {
             seq,
             stats: ColaStats::default(),
             max_moves: 0,
-        })
+            aux: vec![[None, None, None]; count],
+            phase_aux: (0..count).map(|_| None).collect(),
+            cascade: true,
+        };
+        // v2: cross-check the persisted run fence keys against the
+        // reopened cells, then rebuild each occupied array's cascade
+        // accelerators from them — corrupt cascade metadata is a typed
+        // `MetaError`, never a wrong answer.
+        for (k, triple) in fences.iter().enumerate() {
+            for (a, fence) in triple.iter().enumerate() {
+                let Some((first, last)) = *fence else {
+                    continue;
+                };
+                let ar = cola.arrs[k][a];
+                let base = arr_off(k, a) + ar.start;
+                let (got_first, got_last) =
+                    (cola.mem.get(base).key, cola.mem.get(base + ar.len - 1).key);
+                if (first, last) != (got_first, got_last) {
+                    return Err(MetaError::Invalid(format!(
+                        "level {k} array {a} fence keys ({first}, {last}) disagree \
+                         with stored cells ({got_first}, {got_last})"
+                    )));
+                }
+                cola.rebuild_aux(k, a);
+                let rebuilt = cola.aux[k][a]
+                    .as_ref()
+                    .expect("occupied array just rebuilt");
+                rebuilt.check().map_err(|e| {
+                    MetaError::Invalid(format!("level {k} array {a} cascade state: {e}"))
+                })?;
+            }
+        }
+        Ok(cola)
     }
 
     /// Structural invariants (tests): no adjacent unsafe levels, at least
@@ -684,6 +861,27 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                     }
                 }
                 assert_eq!(items, ar.items, "level {k} array {a} item count");
+                // Cascade state for settled arrays: aux present exactly
+                // when occupied and the toggle is on (modulo arrays that
+                // settled while it was off), internally consistent, and
+                // sized to the occupied run.
+                match &self.aux[k][a] {
+                    Some(aux) => {
+                        assert!(ar.len > 0, "level {k} array {a} empty but has aux");
+                        assert!(self.cascade, "cascade off but level {k} array {a} has aux");
+                        aux.check()
+                            .unwrap_or_else(|e| panic!("level {k} array {a} aux: {e}"));
+                        assert_eq!(aux.len, ar.len, "level {k} array {a} aux length");
+                    }
+                    None => {
+                        // A settled occupied array may legitimately lack
+                        // aux only if it settled while the cascade was
+                        // off; with the cascade on since construction
+                        // this would be a staleness bug, but the toggle
+                        // makes it unprovable here — searches fall back
+                        // to the full binary search either way.
+                    }
+                }
             }
         }
     }
@@ -704,6 +902,19 @@ impl<M: Mem<Cell>> Persist for DeamortCola<M> {
                     .u64(arr.seq)
                     .opt_usize(arr.linked_to)
                     .bool(arr.zombie);
+            }
+        }
+        // v2: each occupied array's run fence keys (its first and last
+        // occupied cell), read O(1) from the store so the record is
+        // valid regardless of the runtime cascade toggle. `from_parts`
+        // cross-checks them against the reopened cells.
+        for (k, level) in self.arrs.iter().enumerate() {
+            for (a, arr) in level.iter().enumerate() {
+                if arr.len > 0 {
+                    let base = arr_off(k, a) + arr.start;
+                    w.u64(self.mem.get(base).key);
+                    w.u64(self.mem.get(base + arr.len - 1).key);
+                }
             }
         }
         w.finish()

@@ -17,6 +17,7 @@
 
 use cosbt_dam::{Mem, PlainMem};
 
+use crate::cascade::{AuxBuilder, LevelAux};
 use crate::cursor::{Run, RunMergeCursor};
 use crate::dict::{Cursor, Dictionary};
 use crate::entry::Cell;
@@ -24,7 +25,8 @@ use crate::persist::{MetaError, MetaReader, MetaWriter, Persist, TAG_DEAMORT_BAS
 use crate::stats::ColaStats;
 
 /// Per-structure metadata format version (see [`crate::persist`]).
-const META_VERSION: u8 = 1;
+/// Version 2 appends per-array cascade fence keys to version 1.
+const META_VERSION: u8 = 2;
 
 /// Which of a level's two arrays.
 type Side = usize; // 0 or 1
@@ -64,6 +66,17 @@ pub struct DeamortBasicCola<M: Mem<Cell>> {
     stats: ColaStats,
     /// Largest number of cells moved by a single insert's mover pass.
     max_moves: u64,
+    /// Per-array read accelerators, `aux[k][side]` in lockstep with
+    /// `state` — `Some` exactly for `Full` arrays while `cascade` is on.
+    aux: Vec<[Option<LevelAux>; 2]>,
+    /// Incremental aux builders for in-flight merges, fed one cell per
+    /// budgeted move and published when the destination array commits —
+    /// the accelerator respects the deamortized per-insert move bound.
+    merge_aux: Vec<Option<AuxBuilder>>,
+    /// Whether searches use the cascade accelerators; the pre-cascade
+    /// full-binary-search path stays behind this toggle for differential
+    /// testing ([`DeamortBasicCola::set_cascade`]).
+    cascade: bool,
 }
 
 /// Offset of array `side` of level `k`: levels are packed contiguously,
@@ -92,7 +105,52 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             seq: 0,
             stats: ColaStats::default(),
             max_moves: 0,
+            aux: vec![[None, None]],
+            merge_aux: vec![None],
+            cascade: true,
         }
+    }
+
+    /// Enables or disables the cascade read path (fences, filters, ghost
+    /// windows). On by default; turning it off restores the pre-cascade
+    /// full binary search per array — kept for differential tests and
+    /// benchmarks. Re-enabling rebuilds the accelerators for committed
+    /// arrays; an array mid-merge at that moment gets its aux rebuilt
+    /// when it commits.
+    pub fn set_cascade(&mut self, enabled: bool) {
+        if enabled == self.cascade {
+            return;
+        }
+        self.cascade = enabled;
+        for k in 0..self.state.len() {
+            self.merge_aux[k] = None;
+            for side in 0..2 {
+                if enabled && matches!(self.state[k][side], ArrState::Full { .. }) {
+                    self.rebuild_aux(k, side);
+                } else {
+                    self.aux[k][side] = None;
+                }
+            }
+        }
+    }
+
+    /// Whether the cascade read path is active.
+    pub fn cascade_enabled(&self) -> bool {
+        self.cascade
+    }
+
+    /// Rebuilds the aux for array `(k, side)` by scanning its cells
+    /// (used on reopen and when an array commits without an incremental
+    /// builder; merges normally build the aux inline).
+    fn rebuild_aux(&mut self, k: usize, side: Side) {
+        let base = arr_off(k, side);
+        let len = 1usize << k;
+        let mut b = AuxBuilder::new(len);
+        for i in 0..len {
+            let c = self.mem.get(base + i);
+            b.push(&c);
+        }
+        self.aux[k][side] = Some(b.finish());
     }
 
     /// Number of insert operations performed.
@@ -125,6 +183,8 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
         while self.state.len() <= k {
             self.state.push([ArrState::Empty; 2]);
             self.merges.push(None);
+            self.aux.push([None, None]);
+            self.merge_aux.push(None);
         }
         let need = arr_off(self.state.len(), 0);
         if self.mem.len() < need {
@@ -145,6 +205,7 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             ib: 0,
             w: 0,
         });
+        self.merge_aux[k] = self.cascade.then(|| AuxBuilder::new(1 << (k + 1)));
         self.stats.merges += 1;
     }
 
@@ -185,6 +246,11 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
                 v
             };
             self.mem.set(dst_base + ms.w, v);
+            // Feed the destination's incremental aux builder (O(1) per
+            // move, so the deamortized budget is respected).
+            if let Some(builder) = self.merge_aux[k].as_mut() {
+                builder.push(&v);
+            }
             ms.w += 1;
             spent += 1;
             self.stats.cells_written += 1;
@@ -195,7 +261,20 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             self.state[k + 1][ms.dst_side] = ArrState::Full { seq };
             self.state[k][0] = ArrState::Empty;
             self.state[k][1] = ArrState::Empty;
+            self.aux[k][0] = None;
+            self.aux[k][1] = None;
             self.merges[k] = None;
+            // Publish the destination's aux. A merge that started while
+            // the cascade was off has no builder; rebuild by scan so the
+            // toggle can't leave a committed array unaccelerated.
+            self.aux[k + 1][ms.dst_side] = match self.merge_aux[k].take() {
+                Some(builder) => Some(builder.finish()),
+                None if self.cascade => {
+                    self.rebuild_aux(k + 1, ms.dst_side);
+                    self.aux[k + 1][ms.dst_side].take()
+                }
+                None => None,
+            };
             // The commit may have made level k+1 unsafe.
             self.maybe_mark_unsafe(k + 1);
         } else {
@@ -224,6 +303,11 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             .expect("level 0 has no free array: mover fell behind");
         self.mem.set(arr_off(0, side), cell);
         self.state[0][side] = ArrState::Full { seq: self.seq };
+        self.aux[0][side] = self.cascade.then(|| {
+            let mut b = AuxBuilder::new(1);
+            b.push(&cell);
+            b.finish()
+        });
         self.stats.cells_written += 1;
         self.maybe_mark_unsafe(0);
 
@@ -247,7 +331,20 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
     fn search_array(&mut self, k: usize, side: Side, key: u64) -> Option<Cell> {
         let base = arr_off(k, side);
         let len = 1usize << k;
-        let (mut lo, mut hi) = (0usize, len);
+        // Cascade fast path: fences and the filter skip the array
+        // outright (0 cell reads); otherwise the ghost sample brackets
+        // the probe. An array without aux (merge committed while the
+        // cascade was off) falls back to the full binary search.
+        let (mut lo, mut hi) = match &self.aux[k][side] {
+            Some(aux) if self.cascade => {
+                if !aux.may_contain(key) {
+                    self.stats.filter_skips += 1;
+                    return None;
+                }
+                aux.window(key)
+            }
+            _ => (0, len),
+        };
         while lo < hi {
             let mid = (lo + hi) / 2;
             self.stats.cells_scanned += 1;
@@ -322,6 +419,16 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             }
             state.push(sides);
         }
+        let mut fences = Vec::with_capacity(count);
+        for sides in &state {
+            let mut pair = [None, None];
+            for (side, st) in sides.iter().enumerate() {
+                if matches!(st, ArrState::Full { .. }) {
+                    pair[side] = Some((r.u64()?, r.u64()?));
+                }
+            }
+            fences.push(pair);
+        }
         r.finish()?;
         if mem.len() < arr_off(count, 0) {
             return Err(MetaError::Invalid(format!(
@@ -330,7 +437,7 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
                 arr_off(count, 0)
             )));
         }
-        Ok(DeamortBasicCola {
+        let mut cola = DeamortBasicCola {
             mem,
             merges: vec![None; count],
             state,
@@ -338,7 +445,34 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             seq,
             stats: ColaStats::default(),
             max_moves: 0,
-        })
+            aux: vec![[None, None]; count],
+            merge_aux: (0..count).map(|_| None).collect(),
+            cascade: true,
+        };
+        // v2: rebuild each full array's cascade accelerators from the
+        // reopened cells and cross-check the persisted fence keys —
+        // corrupt cascade metadata is a typed `MetaError`, never a
+        // wrong answer.
+        for (k, pair) in fences.iter().enumerate() {
+            for (side, fence) in pair.iter().enumerate() {
+                let Some((min, max)) = *fence else {
+                    continue;
+                };
+                cola.rebuild_aux(k, side);
+                let rebuilt = cola.aux[k][side].as_ref().expect("just rebuilt");
+                rebuilt.check().map_err(|e| {
+                    MetaError::Invalid(format!("level {k} side {side} cascade state: {e}"))
+                })?;
+                if (min, max) != (rebuilt.fence_min, rebuilt.fence_max) {
+                    return Err(MetaError::Invalid(format!(
+                        "level {k} side {side} fence keys ({min}, {max}) disagree \
+                         with stored cells ({}, {})",
+                        rebuilt.fence_min, rebuilt.fence_max
+                    )));
+                }
+            }
+        }
+        Ok(cola)
     }
 
     /// Verifies Lemma 21's guarantee and state consistency (for tests).
@@ -376,6 +510,38 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
                 }
             }
         }
+        // Cascade state: aux only on full arrays and only while the
+        // toggle is on, internally consistent, and agreeing with the
+        // stored cells' fence keys. (A full array may lack aux if its
+        // merge committed while the cascade was off — searches fall
+        // back to the full binary search there.)
+        assert_eq!(self.aux.len(), self.state.len(), "aux out of lockstep");
+        for k in 0..self.state.len() {
+            for side in 0..2 {
+                if let Some(aux) = &self.aux[k][side] {
+                    assert!(
+                        matches!(self.state[k][side], ArrState::Full { .. }),
+                        "level {k} side {side} not full but has cascade aux"
+                    );
+                    assert!(
+                        self.cascade,
+                        "cascade off but level {k} side {side} has aux"
+                    );
+                    aux.check()
+                        .unwrap_or_else(|e| panic!("level {k} side {side} aux: {e}"));
+                    assert_eq!(aux.len, 1usize << k, "level {k} side {side} aux length");
+                    let base = arr_off(k, side);
+                    assert_eq!(
+                        (aux.fence_min, aux.fence_max),
+                        (
+                            self.mem.get(base).key,
+                            self.mem.get(base + (1 << k) - 1).key
+                        ),
+                        "level {k} side {side} fences disagree with stored cells"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -394,6 +560,19 @@ impl<M: Mem<Cell>> Persist for DeamortBasicCola<M> {
                         w.u8(1).u64(*seq);
                     }
                     ArrState::Filling => unreachable!("quiesce left a filling array"),
+                }
+            }
+        }
+        // v2: each full array's fence keys (its first and last cell —
+        // every cell in a committed array is non-redundant), read O(1)
+        // from the store so the record is valid regardless of the
+        // runtime cascade toggle.
+        for k in 0..self.state.len() {
+            for side in 0..2 {
+                if matches!(self.state[k][side], ArrState::Full { .. }) {
+                    let base = arr_off(k, side);
+                    w.u64(self.mem.get(base).key);
+                    w.u64(self.mem.get(base + (1 << k) - 1).key);
                 }
             }
         }

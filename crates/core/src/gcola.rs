@@ -33,6 +33,7 @@ use std::collections::BinaryHeap;
 
 use cosbt_dam::{Mem, PlainMem};
 
+use crate::cascade::{AuxBuilder, LevelAux};
 use crate::cursor::{Run, RunMergeCursor};
 use crate::dict::{Cursor, Dictionary, UpdateBatch};
 use crate::entry::{Cell, NO_PTR};
@@ -40,7 +41,8 @@ use crate::persist::{MetaError, MetaReader, MetaWriter, Persist, TAG_GCOLA};
 use crate::stats::ColaStats;
 
 /// Per-structure metadata format version (see [`crate::persist`]).
-const META_VERSION: u8 = 1;
+/// Version 2 appends per-level run fence keys to version 1.
+const META_VERSION: u8 = 2;
 
 /// Per-level geometry and occupancy.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +82,17 @@ pub struct GCola<M: Mem<Cell>> {
     p: f64,
     n: u64,
     stats: ColaStats,
+    /// Per-level read accelerators (fences, filter, ghost sample) in
+    /// lockstep with `levels` — `Some` exactly for occupied levels while
+    /// `cascade` is on. Every level rewrite goes through
+    /// [`GCola::write_level`], which rebuilds the level's aux inline, so
+    /// it can never go stale.
+    aux: Vec<Option<LevelAux>>,
+    /// Whether searches use the out-of-band cascade accelerators on top
+    /// of the paper's in-array lookahead pointers. The pointer-only
+    /// search path is kept behind this toggle for differential testing
+    /// ([`GCola::set_cascade`]).
+    cascade: bool,
 }
 
 impl GCola<PlainMem<Cell>> {
@@ -104,9 +117,35 @@ impl<M: Mem<Cell>> GCola<M> {
             p,
             n: 0,
             stats: ColaStats::default(),
+            aux: Vec::new(),
+            cascade: true,
         };
         this.push_level();
         this
+    }
+
+    /// Enables or disables the cascade read path (fences, filters, ghost
+    /// windows layered over the in-array lookahead pointers). On by
+    /// default; turning it off restores the pointer-only search — kept
+    /// for differential tests and benchmarks. Re-enabling rebuilds the
+    /// accelerators from the stored cells.
+    pub fn set_cascade(&mut self, enabled: bool) {
+        if enabled == self.cascade {
+            return;
+        }
+        self.cascade = enabled;
+        for l in 0..self.levels.len() {
+            if enabled && self.levels[l].occ() > 0 {
+                self.rebuild_aux(l);
+            } else {
+                self.aux[l] = None;
+            }
+        }
+    }
+
+    /// Whether the cascade read path is active.
+    pub fn cascade_enabled(&self) -> bool {
+        self.cascade
     }
 
     /// The COLA of Lemma 20: growth factor 2 with lookahead pointers
@@ -183,6 +222,14 @@ impl<M: Mem<Cell>> GCola<M> {
                 reds: r.usize()?,
             });
         }
+        let mut fences = Vec::with_capacity(count);
+        for lv in &levels {
+            if lv.occ() > 0 {
+                fences.push(Some((r.u64()?, r.u64()?)));
+            } else {
+                fences.push(None);
+            }
+        }
         r.finish()?;
         if g < 2 {
             return Err(MetaError::Invalid(format!("growth factor {g}")));
@@ -212,14 +259,43 @@ impl<M: Mem<Cell>> GCola<M> {
                 return Err(MetaError::Invalid("levels are not contiguous".into()));
             }
         }
-        Ok(GCola {
+        let aux = vec![None; levels.len()];
+        let mut cola = GCola {
             mem,
             levels,
             g,
             p,
             n,
             stats: ColaStats::default(),
-        })
+            aux,
+            cascade: true,
+        };
+        // v2: cross-check the persisted run fence keys against the
+        // reopened cells, then rebuild the cascade accelerators from
+        // them — corrupt cascade metadata is a typed `MetaError`, never
+        // a wrong answer.
+        for (l, fence) in fences.iter().enumerate() {
+            let lv = cola.levels[l];
+            if let Some((first, last)) = *fence {
+                let base = lv.run_base();
+                let (got_first, got_last) = (
+                    cola.mem.get(base).key,
+                    cola.mem.get(base + lv.occ() - 1).key,
+                );
+                if (first, last) != (got_first, got_last) {
+                    return Err(MetaError::Invalid(format!(
+                        "level {l} fence keys ({first}, {last}) disagree with stored \
+                         cells ({got_first}, {got_last})"
+                    )));
+                }
+                cola.rebuild_aux(l);
+                let rebuilt = cola.aux[l].as_ref().expect("occupied level just rebuilt");
+                rebuilt
+                    .check()
+                    .map_err(|e| MetaError::Invalid(format!("level {l} cascade state: {e}")))?;
+            }
+        }
+        Ok(cola)
     }
 
     fn push_level(&mut self) {
@@ -241,7 +317,27 @@ impl<M: Mem<Cell>> GCola<M> {
             items: 0,
             reds: 0,
         });
+        self.aux.push(None);
         self.mem.resize(off + cap + red_cap, Cell::default());
+    }
+
+    /// Rebuilds level `l`'s cascade aux by scanning its occupied run
+    /// (used on reopen and when re-enabling the cascade; level rewrites
+    /// build the aux inline instead).
+    fn rebuild_aux(&mut self, l: usize) {
+        let lv = self.levels[l];
+        let occ = lv.occ();
+        if occ == 0 {
+            self.aux[l] = None;
+            return;
+        }
+        let base = lv.run_base();
+        let mut b = AuxBuilder::new(occ);
+        for i in 0..occ {
+            let c = self.mem.get(base + i);
+            b.push(&c);
+        }
+        self.aux[l] = Some(b.finish());
     }
 
     /// Reads level ℓ's occupied run, filtered to real cells.
@@ -290,6 +386,9 @@ impl<M: Mem<Cell>> GCola<M> {
         let base = lv.off + lv.slots - occ;
         let (mut a, mut b) = (0usize, 0usize);
         let mut last_ptr = NO_PTR;
+        // The woven cells feed the cascade aux as they stream past, so
+        // the accelerator costs no extra pass over the data.
+        let mut aux_builder = (self.cascade && occ > 0).then(|| AuxBuilder::new(occ));
         for w in 0..occ {
             // Weave by key; put lookaheads first among equals so a real
             // cell's left-copy includes pointers at its own key.
@@ -307,10 +406,14 @@ impl<M: Mem<Cell>> GCola<M> {
                 c
             };
             self.mem.set(base + w, cell);
+            if let Some(builder) = aux_builder.as_mut() {
+                builder.push(&cell);
+            }
         }
         self.stats.cells_written += occ as u64;
         self.levels[l].items = items.len();
         self.levels[l].reds = lookaheads.len();
+        self.aux[l] = aux_builder.map(AuxBuilder::finish);
     }
 
     fn insert_cell(&mut self, cell: Cell) {
@@ -417,6 +520,23 @@ impl<M: Mem<Cell>> GCola<M> {
             Some((a, b)) => (a.min(occ), b.min(occ)),
             None => (0, occ),
         };
+        // Cascade fast path: fences and the filter skip the level
+        // outright (0 cell reads); otherwise the ghost sample narrows
+        // the probe, intersected with the lookahead-pointer window.
+        // Skipping breaks the pointer chain into the next level, but
+        // every level carries its own ghost sample, so the next search
+        // is still bracketed.
+        if self.cascade {
+            if let Some(aux) = self.aux.get(l).and_then(Option::as_ref) {
+                if !aux.may_contain(key) {
+                    self.stats.filter_skips += 1;
+                    return (None, None);
+                }
+                let (alo, ahi) = aux.window(key);
+                lo = lo.max(alo);
+                hi = hi.min(ahi);
+            }
+        }
         // Leftmost position in [lo, hi) with key >= target.
         while lo < hi {
             let mid = (lo + hi) / 2;
@@ -505,6 +625,7 @@ impl<M: Mem<Cell>> GCola<M> {
         let p = self.p;
         self.mem.resize(0, Cell::default());
         self.levels.clear();
+        self.aux.clear();
         self.n = 0;
         self.push_level();
         // Re-insert bottom-up into the largest level that fits, then
@@ -576,6 +697,40 @@ impl<M: Mem<Cell>> GCola<M> {
             assert_eq!(reds_seen, lv.reds, "level {l} red count");
         }
         let _ = total_items;
+        // Cascade state: aux present exactly for occupied levels while
+        // the toggle is on, internally consistent, and agreeing with
+        // the stored run's fence keys.
+        assert_eq!(self.aux.len(), self.levels.len(), "aux out of lockstep");
+        for (l, lv) in self.levels.iter().enumerate() {
+            let occ = lv.occ();
+            match &self.aux[l] {
+                Some(aux) => {
+                    assert!(occ > 0, "level {l} empty but has cascade aux");
+                    assert!(self.cascade, "cascade off but level {l} has aux");
+                    aux.check().unwrap_or_else(|e| panic!("level {l} aux: {e}"));
+                    assert_eq!(aux.len, occ, "level {l} aux length");
+                    if lv.items > 0 {
+                        let base = lv.run_base();
+                        let keys: Vec<u64> = (0..occ)
+                            .map(|i| self.mem.get(base + i))
+                            .filter(|c| c.is_real())
+                            .map(|c| c.key)
+                            .collect();
+                        assert_eq!(
+                            (aux.fence_min, aux.fence_max),
+                            (keys[0], *keys.last().unwrap()),
+                            "level {l} fences disagree with stored real cells"
+                        );
+                    }
+                }
+                None => {
+                    assert!(
+                        occ == 0 || !self.cascade,
+                        "cascade on but occupied level {l} lacks aux"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -593,6 +748,19 @@ impl<M: Mem<Cell>> Persist for GCola<M> {
                 .usize(lv.red_cap)
                 .usize(lv.items)
                 .usize(lv.reds);
+        }
+        // v2: each occupied level's run fence keys (its first and last
+        // occupied cell), read O(1) from the store so the record is
+        // valid regardless of the runtime cascade toggle. `from_parts`
+        // cross-checks them against the reopened cells before
+        // rebuilding the cascade accelerators.
+        for lv in &self.levels {
+            let occ = lv.occ();
+            if occ > 0 {
+                let base = lv.run_base();
+                w.u64(self.mem.get(base).key);
+                w.u64(self.mem.get(base + occ - 1).key);
+            }
         }
         w.finish()
     }
@@ -806,6 +974,10 @@ mod tests {
         let n = (1u64 << 15) - 1;
         let mut with = plain(2, 0.125);
         let mut without = plain(2, 0.0);
+        // Isolate the paper's in-array pointers: the out-of-band ghost
+        // windows would otherwise bracket both structures equally.
+        with.set_cascade(false);
+        without.set_cascade(false);
         for i in 0..n {
             let k = i.wrapping_mul(0x9E3779B97F4A7C15) | 1;
             with.insert(k, i);

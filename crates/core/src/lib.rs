@@ -20,6 +20,7 @@
 #![deny(missing_docs)]
 
 pub mod basic;
+pub mod cascade;
 pub mod cursor;
 pub mod deamort;
 pub mod deamort_basic;
@@ -32,6 +33,7 @@ pub mod stats;
 pub mod worker;
 
 pub use basic::BasicCola;
+pub use cascade::{AuxBuilder, LevelAux, LevelFilter};
 pub use cursor::{MergeCursor, Run, RunMergeCursor};
 pub use deamort::DeamortCola;
 pub use deamort_basic::DeamortBasicCola;

@@ -17,6 +17,9 @@ pub struct ColaStats {
     pub cells_scanned: u64,
     /// Largest number of cells written by any single insert (worst case).
     pub max_cells_per_insert: u64,
+    /// Levels (or deamortized arrays) skipped by a fence or filter
+    /// during searches without touching any of their cells.
+    pub filter_skips: u64,
 }
 
 impl ColaStats {

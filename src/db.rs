@@ -424,6 +424,7 @@ pub struct DbBuilder {
     splitters: Option<Vec<u64>>,
     parallel_ingest: bool,
     background_merge: usize,
+    cascade: bool,
 }
 
 impl Default for DbBuilder {
@@ -439,6 +440,7 @@ impl Default for DbBuilder {
             splitters: None,
             parallel_ingest: false,
             background_merge: 0,
+            cascade: true,
         }
     }
 }
@@ -545,6 +547,17 @@ impl DbBuilder {
     /// single shard; point operations are always routed directly.
     pub fn parallel_ingest(mut self, on: bool) -> DbBuilder {
         self.parallel_ingest = on;
+        self
+    }
+
+    /// Enables or disables the fractional-cascading read accelerators
+    /// of the COLA family — per-level fence keys, Bloom-style filters,
+    /// and ghost-pointer search windows (default on). A runtime knob: it
+    /// changes the search path, never on-disk state, and tree structures
+    /// ignore it. Kept primarily so differential tests can compare the
+    /// cascaded search against the plain per-level binary search.
+    pub fn cascade(mut self, on: bool) -> DbBuilder {
+        self.cascade = on;
         self
     }
 
@@ -967,13 +980,18 @@ impl DbBuilder {
                 let mem = ArcFileMem::new(store);
                 let dict: Shard = match (self.structure, self.deamortized) {
                     (Structure::BasicCola, false) => {
-                        Box::new(BasicCola::from_parts(mem.clone(), &meta).map_err(meta_err)?)
+                        let mut c = BasicCola::from_parts(mem.clone(), &meta).map_err(meta_err)?;
+                        c.set_cascade(self.cascade);
+                        Box::new(c)
                     }
-                    (Structure::BasicCola, true) => Box::new(
-                        DeamortBasicCola::from_parts(mem.clone(), &meta).map_err(meta_err)?,
-                    ),
+                    (Structure::BasicCola, true) => {
+                        let mut c =
+                            DeamortBasicCola::from_parts(mem.clone(), &meta).map_err(meta_err)?;
+                        c.set_cascade(self.cascade);
+                        Box::new(c)
+                    }
                     (Structure::GCola { g }, false) => {
-                        let cola = GCola::from_parts(mem.clone(), &meta).map_err(meta_err)?;
+                        let mut cola = GCola::from_parts(mem.clone(), &meta).map_err(meta_err)?;
                         if cola.growth() != g {
                             return Err(OpenError::StructureMismatch {
                                 path,
@@ -981,10 +999,14 @@ impl DbBuilder {
                                 expected: format!("{g}-COLA"),
                             });
                         }
+                        cola.set_cascade(self.cascade);
                         Box::new(cola)
                     }
                     (Structure::GCola { .. }, true) => {
-                        Box::new(DeamortCola::from_parts(mem.clone(), &meta).map_err(meta_err)?)
+                        let mut c =
+                            DeamortCola::from_parts(mem.clone(), &meta).map_err(meta_err)?;
+                        c.set_cascade(self.cascade);
+                        Box::new(c)
                     }
                     _ => unreachable!(),
                 };
@@ -1051,20 +1073,25 @@ impl DbBuilder {
         let cache_pages = (self.cache_bytes / self.shards / DEFAULT_PAGE_SIZE).max(2);
         match (&self.backend, self.structure) {
             (Backend::Mem, Structure::BasicCola) if self.deamortized => {
-                Ok((Box::new(DeamortBasicCola::new_plain()), None))
+                let mut c = DeamortBasicCola::new_plain();
+                c.set_cascade(self.cascade);
+                Ok((Box::new(c), None))
             }
-            (Backend::Mem, Structure::BasicCola) => Ok((Box::new(BasicCola::new_plain()), None)),
+            (Backend::Mem, Structure::BasicCola) => {
+                let mut c = BasicCola::new_plain();
+                c.set_cascade(self.cascade);
+                Ok((Box::new(c), None))
+            }
             (Backend::Mem, Structure::GCola { .. }) if self.deamortized => {
-                Ok((Box::new(DeamortCola::new_plain()), None))
+                let mut c = DeamortCola::new_plain();
+                c.set_cascade(self.cascade);
+                Ok((Box::new(c), None))
             }
-            (Backend::Mem, Structure::GCola { g }) => Ok((
-                Box::new(GCola::new(
-                    cosbt_dam::PlainMem::new(),
-                    g,
-                    self.pointer_density,
-                )),
-                None,
-            )),
+            (Backend::Mem, Structure::GCola { g }) => {
+                let mut c = GCola::new(cosbt_dam::PlainMem::new(), g, self.pointer_density);
+                c.set_cascade(self.cascade);
+                Ok((Box::new(c), None))
+            }
             (Backend::Mem, Structure::BTree) => Ok((Box::new(BTree::new_plain()), None)),
             (Backend::Mem, Structure::Brt) => Ok((Box::new(Brt::new_plain()), None)),
             (Backend::Mem, Structure::Shuttle { c }) => Ok((Box::new(ShuttleTree::new(c)), None)),
@@ -1098,15 +1125,25 @@ impl DbBuilder {
                             self.meta_slot_bytes,
                         )?);
                         let dict: Shard = match (structure, self.deamortized) {
-                            (Structure::BasicCola, false) => Box::new(BasicCola::new(mem.clone())),
+                            (Structure::BasicCola, false) => {
+                                let mut c = BasicCola::new(mem.clone());
+                                c.set_cascade(self.cascade);
+                                Box::new(c)
+                            }
                             (Structure::BasicCola, true) => {
-                                Box::new(DeamortBasicCola::new(mem.clone()))
+                                let mut c = DeamortBasicCola::new(mem.clone());
+                                c.set_cascade(self.cascade);
+                                Box::new(c)
                             }
                             (Structure::GCola { g }, false) => {
-                                Box::new(GCola::new(mem.clone(), g, self.pointer_density))
+                                let mut c = GCola::new(mem.clone(), g, self.pointer_density);
+                                c.set_cascade(self.cascade);
+                                Box::new(c)
                             }
                             (Structure::GCola { .. }, true) => {
-                                Box::new(DeamortCola::new(mem.clone()))
+                                let mut c = DeamortCola::new(mem.clone());
+                                c.set_cascade(self.cascade);
+                                Box::new(c)
                             }
                             _ => unreachable!(),
                         };

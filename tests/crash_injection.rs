@@ -237,6 +237,152 @@ fn deamortized_cola_survives_crashes() {
     );
 }
 
+/// Deamortized variants carry half-built cascade state in RAM only: aux
+/// builders fed cell-by-cell by in-flight incremental merges. A crash at
+/// any point while merges are mid-flight must recover exactly the last
+/// committed epoch, with the cascade accelerators rebuilt whole — never
+/// a torn mixture of old windows and half-written lookahead pointers.
+fn mid_merge_crash_case<D, New, Open, Check>(name: &str, new: New, open: Open, check: Check)
+where
+    D: cosbt::cola::Dictionary + cosbt::cola::Persist,
+    New: Fn(MemStore) -> D,
+    Open: Fn(MemStore, &[u8]) -> Result<D, MetaError>,
+    Check: Fn(&D),
+{
+    let dev = CrashDev::new();
+    let store = ArcFileMem::new(FileMem::create_on(dev.clone(), PAGE, CACHE, 32).unwrap());
+    let mut dict = new(store.clone());
+    let mut rng = Rng::new(0x31D ^ name.len() as u64);
+    let mut model = BTreeMap::new();
+    for _ in 0..400 {
+        let k = rng.below(900) * 3;
+        if rng.chance(1, 6) {
+            dict.delete(k);
+            model.remove(&k);
+        } else {
+            let v = rng.next_u64() & 0xFFFF;
+            dict.insert(k, v);
+            model.insert(k, v);
+        }
+    }
+    store.commit_meta(&dict.save_meta()).unwrap();
+    let committed = model_vec(&model);
+    let post = dev.journal_len();
+
+    // Keep inserting WITHOUT committing: incremental merge steps run
+    // across these ops, so their half-built aux builders are live at
+    // every cut position below.
+    for i in 0..300u64 {
+        dict.insert(rng.below(900) * 3, i);
+    }
+    let end = dev.journal_len();
+    assert!(end > post, "{name}: the uncommitted phase must write");
+
+    for cut in (post..=end).step_by(5) {
+        let image = dev.image_at(cut, None);
+        let (fm, meta) = FileMem::<Cell, CrashDev>::open_on(CrashDev::from_image(image), CACHE, 32)
+            .unwrap_or_else(|e| panic!("{name}: cut {cut}: {e}"));
+        let st = ArcFileMem::new(fm);
+        assert_eq!(st.epoch(), 1, "{name}: cut {cut} must recover epoch 1");
+        let mut re = open(st, &meta).unwrap_or_else(|e| panic!("{name}: cut {cut}: {e}"));
+        assert_eq!(
+            re.range(0, u64::MAX),
+            committed,
+            "{name}: cut {cut} recovered contents"
+        );
+        check(&re);
+        // The rebuilt read path answers through the cascade: hits, gap
+        // misses (keys ≡ 1 mod 3 were never inserted), fence misses.
+        for &(k, v) in committed.iter().step_by(13) {
+            assert_eq!(re.get(k), Some(v), "{name}: cut {cut} hit {k}");
+        }
+        assert_eq!(re.get(1), None, "{name}: cut {cut} gap miss");
+        assert_eq!(re.get(u64::MAX), None, "{name}: cut {cut} fence miss");
+    }
+}
+
+#[test]
+fn deamortized_basic_mid_merge_crash_recovers_committed_cascade() {
+    mid_merge_crash_case(
+        "deamortized-basic-COLA",
+        DeamortBasicCola::new,
+        DeamortBasicCola::from_parts,
+        DeamortBasicCola::check_invariants,
+    );
+}
+
+#[test]
+fn deamortized_cola_mid_merge_crash_recovers_committed_cascade() {
+    mid_merge_crash_case(
+        "deamortized-COLA",
+        DeamortCola::new,
+        DeamortCola::from_parts,
+        DeamortCola::check_invariants,
+    );
+}
+
+/// Corrupting the persisted fence keys (the cascade's durable metadata)
+/// must be a typed [`MetaError::Invalid`] from `from_parts` — never a
+/// structure that silently serves wrong answers — while the intact
+/// metadata on the very same store still reconstructs perfectly.
+fn corrupt_fence_case<D, New, Open>(name: &str, new: New, open: Open)
+where
+    D: cosbt::cola::Dictionary + cosbt::cola::Persist,
+    New: Fn(MemStore) -> D,
+    Open: Fn(MemStore, &[u8]) -> Result<D, MetaError>,
+{
+    let dev = CrashDev::new();
+    let store = ArcFileMem::new(FileMem::create_on(dev.clone(), PAGE, CACHE, 32).unwrap());
+    let mut dict = new(store.clone());
+    for i in 0..800u64 {
+        dict.insert(i * 3 + 1, i);
+    }
+    let good = dict.save_meta();
+    // The fence keys are the trailing fields of every COLA's v2 payload;
+    // flipping the last 8 bytes corrupts the deepest level's max fence.
+    let mut bad = good.clone();
+    let n = bad.len();
+    for b in &mut bad[n - 8..] {
+        *b ^= 0xFF;
+    }
+
+    store.commit_meta(&bad).unwrap();
+    let image = dev.image_at(dev.journal_len(), None);
+    let (fm, meta) =
+        FileMem::<Cell, CrashDev>::open_on(CrashDev::from_image(image), CACHE, 32).unwrap();
+    assert_eq!(meta, bad, "{name}: the corrupt payload committed");
+    match open(ArcFileMem::new(fm), &meta) {
+        Err(MetaError::Invalid(_)) => {}
+        Err(e) => panic!("{name}: wrong error class for bad fences: {e}"),
+        Ok(_) => panic!("{name}: corrupt fence keys were accepted"),
+    }
+
+    // Same cells, intact metadata: reconstruction succeeds and serves
+    // the exact contents.
+    store.commit_meta(&good).unwrap();
+    let image = dev.image_at(dev.journal_len(), None);
+    let (fm, meta) =
+        FileMem::<Cell, CrashDev>::open_on(CrashDev::from_image(image), CACHE, 32).unwrap();
+    let mut re = open(ArcFileMem::new(fm), &meta)
+        .unwrap_or_else(|e| panic!("{name}: intact meta rejected: {e}"));
+    let want: Vec<(u64, u64)> = (0..800u64).map(|i| (i * 3 + 1, i)).collect();
+    assert_eq!(re.range(0, u64::MAX), want, "{name}: intact reopen");
+}
+
+#[test]
+fn corrupt_cascade_fences_are_rejected_by_every_variant() {
+    corrupt_fence_case("basic-COLA", BasicCola::new, |s, m| {
+        BasicCola::from_parts(s, m)
+    });
+    corrupt_fence_case("4-COLA", |s| GCola::new(s, 4, 0.1), GCola::from_parts);
+    corrupt_fence_case("deamortized-basic-COLA", DeamortBasicCola::new, |s, m| {
+        DeamortBasicCola::from_parts(s, m)
+    });
+    corrupt_fence_case("deamortized-COLA", DeamortCola::new, |s, m| {
+        DeamortCola::from_parts(s, m)
+    });
+}
+
 #[test]
 fn btree_survives_crashes() {
     page_crash_test("B-tree", &|s| Box::new(BTree::new(s)), &|s, m| {

@@ -90,6 +90,12 @@ fn search_cost_ordering_matches_theory() {
     let sim_b = new_shared_sim(CacheConfig::new(block, 8));
     let memb: SimMem<Cell> = SimMem::with_elem_bytes(sim_b.clone(), 32);
     let mut basic = BasicCola::new(memb);
+    // This test measures the paper's search costs (pointer windows vs
+    // per-level binary search). The out-of-band filters would skip every
+    // level on these all-miss probes and collapse both counts to ~0 —
+    // that win has its own tests (cascade_equivalence, transfer goldens).
+    cola.set_cascade(false);
+    basic.set_cascade(false);
 
     for (i, &k) in keys().iter().enumerate() {
         bt.insert(k, i as u64);

@@ -609,3 +609,112 @@ fn missing_commit_record_is_typed() {
     assert!(sharded.clone().open_or_create().is_err());
     cleanup(&sharded);
 }
+
+/// A store whose *storage-layer* commit is pristine but whose committed
+/// structure metadata carries corrupted cascade fence keys: `open()`
+/// must produce the typed [`OpenError::Meta`] — never a database that
+/// silently serves wrong answers — and must leave the file untouched.
+#[test]
+fn corrupt_cascade_fences_are_a_typed_open_error() {
+    use cosbt::cola::entry::Cell;
+    use cosbt::cola::{Dictionary, GCola, Persist};
+    use cosbt::dam::{ArcFileMem, FileMem, DEFAULT_PAGE_SIZE};
+
+    let path = tmp("fences");
+    std::fs::remove_file(&path).ok();
+    {
+        let fm: FileMem<Cell> = FileMem::create(&path, DEFAULT_PAGE_SIZE, 4, 32).unwrap();
+        let store = ArcFileMem::new(fm);
+        let mut cola = GCola::new(store.clone(), 4, 0.1);
+        for k in 0..800u64 {
+            cola.insert(k * 3 + 1, k);
+        }
+        // The fence keys are the trailing fields of the v2 payload:
+        // flipping the last 8 bytes corrupts the deepest level's max
+        // fence while the storage-layer commit stays perfectly valid.
+        let mut meta = cola.save_meta();
+        let n = meta.len();
+        for b in &mut meta[n - 8..] {
+            *b ^= 0xFF;
+        }
+        store.commit_meta(&meta).unwrap();
+    }
+    let before = std::fs::read(&path).unwrap();
+    let err = DbBuilder::new()
+        .structure(Structure::GCola { g: 4 })
+        .backend(Backend::File(path.clone()))
+        .open()
+        .unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            OpenError::Meta {
+                source: cosbt::cola::MetaError::Invalid(_),
+                ..
+            }
+        ),
+        "{err}"
+    );
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        before,
+        "failed open must not modify the file"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+/// Reopening a file-backed COLA rebuilds the cascade accelerators from
+/// the persisted fences: cold beyond-fence misses then read **zero**
+/// pages, while the same probes with the cascade disabled do real I/O —
+/// so it is the rebuilt accelerator state, not the page cache, serving
+/// them.
+#[test]
+fn reopen_rebuilds_cascade_accelerators() {
+    let cells = [
+        (Structure::BasicCola, false),
+        (Structure::BasicCola, true),
+        (Structure::GCola { g: 2 }, false),
+        (Structure::GCola { g: 2 }, true),
+    ];
+    for (i, (s, deamortized)) in cells.into_iter().enumerate() {
+        let path = tmp(&format!("cascade{i}"));
+        let mut builder = DbBuilder::new()
+            .structure(s)
+            .backend(Backend::File(path))
+            .cache_bytes(256 * 1024);
+        if deamortized {
+            builder = builder.deamortized();
+        }
+        cleanup(&builder);
+        let label = builder.label();
+        let mut db = builder.clone().build().unwrap();
+        for k in 0..3_000u64 {
+            db.insert(k * 3 + 1, k);
+        }
+        db.sync().unwrap();
+        drop(db);
+
+        for cascade in [true, false] {
+            let mut db = builder.clone().cascade(cascade).open().unwrap();
+            db.drop_cache().unwrap();
+            db.reset_io_stats();
+            for p in 0..64u64 {
+                assert_eq!(db.get(u64::MAX - p), None, "{label}: far miss");
+            }
+            let fetches = db.io_stats().fetches;
+            if cascade {
+                assert_eq!(
+                    fetches, 0,
+                    "{label}: rebuilt fences must reject far misses without reads"
+                );
+            } else {
+                assert!(
+                    fetches > 0,
+                    "{label}: the plain search does real I/O for the same probes"
+                );
+            }
+            assert_eq!(db.get(4), Some(1), "{label}: hit after reopen");
+        }
+        cleanup(&builder);
+    }
+}

@@ -36,7 +36,7 @@ fn main() {
         let mut ooc = OutOfCore::create(kind, &dir, cache);
         let probe = ooc.probe();
         let series = insert_throughput(&kind.label(), &mut ooc.dict, &keys, &cps, cap, &|| {
-            probe.stats()
+            probe.snapshot()
         });
         series.print();
         series.write_csv(&csv).expect("write results csv");

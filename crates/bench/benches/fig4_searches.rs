@@ -36,7 +36,7 @@ fn main() {
         ooc.drop_cache();
         ooc.reset_stats();
         let probe = ooc.probe();
-        let series = search_throughput(&kind.label(), &mut ooc.dict, &probes, &|| probe.stats());
+        let series = search_throughput(&kind.label(), &mut ooc.dict, &probes, &|| probe.snapshot());
         series.print();
         series.write_csv(&csv).expect("write results csv");
         finals.push((kind.label(), series.final_disk_rate()));

@@ -31,7 +31,7 @@ fn main() {
     for (name, keys) in workloads {
         let mut ooc = OutOfCore::create(DictKind::GCola(4), &dir, cache);
         let probe = ooc.probe();
-        let series = insert_throughput(name, &mut ooc.dict, &keys, &cps, cap, &|| probe.stats());
+        let series = insert_throughput(name, &mut ooc.dict, &keys, &cps, cap, &|| probe.snapshot());
         series.print();
         series.write_csv(&csv).expect("write results csv");
         finals.push((name.to_string(), series.final_disk_rate()));

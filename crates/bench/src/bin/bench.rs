@@ -26,8 +26,8 @@ use cosbt_bench::json::{self, Json};
 use cosbt_bench::measure::{results_dir, write_atomic};
 use cosbt_bench::scaled;
 use cosbt_bench::scenario::{
-    compare_documents, csv_from_document, merge_document, run, run_concurrent, run_reopen, RunMeta,
-    Scenario, SCENARIOS,
+    compare_documents, csv_from_document, merge_document, mix_of, run_concurrent, run_contended,
+    run_reopen, run_resumable, RunMeta, Scenario, SCENARIOS,
 };
 use cosbt_bench::workloads::KeyDist;
 
@@ -98,10 +98,20 @@ fn usage() -> ExitCode {
          \x20 --shards N                   shard count (default 1)\n\
          \x20 --parallel-ingest            apply batches on worker threads\n\
          \x20 --backend mem|file           storage backend (default mem)\n\
+         \x20 --direct                     open the file backend with O_DIRECT (bypasses the\n\
+         \x20                              kernel page cache; falls back to buffered with a\n\
+         \x20                              warning where unsupported)\n\
          \x20 --cache-bytes N              file-backend page-cache budget (default 16 MiB)\n\
-         \x20 --dist NAME                  uniform | zipfian | ascending | timeseries\n\
+         \x20 --dist NAME                  uniform | zipfian | ascending | timeseries |\n\
+         \x20                              shifting_hotspot\n\
          \x20 --n N                        measured ops (default {} / COSBT_SCALE=full {})\n\
+         \x20 --scale quick|full|huge      n preset; huge = {} ops, out-of-core (cache << data)\n\
          \x20 --prefill N                  prefill ops (default: scenario fraction of n)\n\
+         \x20 --prefill-only               stage 1 of a split run: prefill, sync, record a\n\
+         \x20                              resume marker, keep the store (file backend)\n\
+         \x20 --resume                     stage 2: reopen the --prefill-only store of the\n\
+         \x20                              identical cell and skip straight to the measured\n\
+         \x20                              phase (lets CI split huge out-of-core runs)\n\
          \x20 --seed N                     workload seed (default 42)\n\
          \x20 --reopen                     cold-start phase: sync, drop all process state,\n\
          \x20                              reopen from the files, measure first-read latency\n\
@@ -111,6 +121,11 @@ fn usage() -> ExitCode {
          \x20                              snapshots vs the writer; records read p99 under\n\
          \x20                              contention and writer throughput\n\
          \x20 --client-writes N            writer ops in the --clients phase (default n/4)\n\
+         \x20 --contended N                heavy-traffic phase: N client threads each run\n\
+         \x20                              the scenario's full op mix against their own\n\
+         \x20                              auto-refreshing reader, writes funnelled to the\n\
+         \x20                              single writer; reports per-client p99/p999\n\
+         \x20 --contended-ops N            ops per client in --contended (default n/clients)\n\
          \x20 --out DIR                    artifact directory (default results/)\n\
          \n\
          compare options:\n\
@@ -126,12 +141,17 @@ fn usage() -> ExitCode {
             .join(" | "),
         DEFAULT_N_QUICK,
         DEFAULT_N_FULL,
+        DEFAULT_N_HUGE,
     );
     ExitCode::from(2)
 }
 
 const DEFAULT_N_QUICK: u64 = 100_000;
 const DEFAULT_N_FULL: u64 = 2_000_000;
+/// `--scale huge`: the out-of-core tier. At ~32 bytes per resident
+/// entry this puts the dataset an order of magnitude past the default
+/// 16 MiB page-cache budget, so the DAM cache actually evicts.
+const DEFAULT_N_HUGE: u64 = 10_000_000;
 
 /// `--key value` and bare-flag argument scanner.
 struct Args {
@@ -200,7 +220,7 @@ fn list() {
     for s in SCENARIOS {
         println!("  {:<18} {}", s.name, s.about);
     }
-    println!("\nstructures: gcola (--g), basic, btree, brt, shuttle (--c); modifiers: --deamortized, --shards N, --parallel-ingest, --backend mem|file");
+    println!("\nstructures: gcola (--g), basic, btree, brt, shuttle (--c); modifiers: --deamortized, --shards N, --parallel-ingest, --backend mem|file [--direct]");
     println!("\nfigure experiments:");
     for (name, _, desc) in EXPERIMENTS {
         println!("  {name:<18} {desc}");
@@ -215,32 +235,66 @@ struct CellSpec {
     shards: usize,
     parallel: bool,
     backend: String,
+    direct: bool,
     cache_bytes: usize,
 }
 
 impl CellSpec {
     fn from_args(args: &mut Args) -> CellSpec {
+        let mut backend = args.opt("--backend").unwrap_or_else(|| "mem".into());
+        let mut direct = args.flag("--direct");
+        // `--backend file-direct` is the one-flag spelling of
+        // `--backend file --direct` (matches the cell label in JSON).
+        if backend == "file-direct" {
+            backend = "file".into();
+            direct = true;
+        }
         CellSpec {
             structure: args.opt("--structure").unwrap_or_else(|| "gcola".into()),
             param: args.num("--g").or_else(|| args.num("--c")).unwrap_or(4) as usize,
             deamortized: args.flag("--deamortized"),
             shards: args.num("--shards").unwrap_or(1) as usize,
             parallel: args.flag("--parallel-ingest"),
-            backend: args.opt("--backend").unwrap_or_else(|| "mem".into()),
+            backend,
+            direct,
             cache_bytes: args.num("--cache-bytes").unwrap_or(16 * 1024 * 1024) as usize,
         }
     }
 }
 
-/// A `Db` plus its builder (for the `--reopen` phase) and the file paths
-/// to unlink when the run is done.
+/// FNV-1a, for deriving a stable scratch-file name from a resume key.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A `Db` plus its builder (for the `--reopen` phase), the file paths to
+/// unlink when the run is done, and the resume marker (if staged runs
+/// are in play).
 struct BuiltCell {
     db: Db,
     builder: DbBuilder,
     cleanup: Vec<PathBuf>,
+    /// `<data>.prefilled` marker path, when a stable key was supplied.
+    marker: Option<PathBuf>,
+    /// True when the store was reopened from a matching prefill marker,
+    /// so the run can skip its prefill phase.
+    resumed: bool,
 }
 
-fn build_cell(spec: &CellSpec) -> Result<BuiltCell, String> {
+/// Builds (or, under `--resume`, reopens) the cell. `stable_key` is the
+/// staged-run identity: when present, the scratch file is named by its
+/// hash instead of the pid so a later invocation finds the same store,
+/// and `<data>.prefilled` holds the key for verification.
+fn build_cell(
+    spec: &CellSpec,
+    stable_key: Option<&str>,
+    resume: bool,
+) -> Result<BuiltCell, String> {
     let s = match spec.structure.as_str() {
         "gcola" => Structure::GCola { g: spec.param },
         "basic" => Structure::BasicCola,
@@ -257,6 +311,7 @@ fn build_cell(spec: &CellSpec) -> Result<BuiltCell, String> {
     if spec.deamortized {
         b = b.deamortized();
     }
+    let mut marker = None;
     match spec.backend.as_str() {
         "file" => {
             // Scratch data lives under the system temp dir, never under
@@ -264,19 +319,67 @@ fn build_cell(spec: &CellSpec) -> Result<BuiltCell, String> {
             // results/baseline/) must only ever receive BENCH_* files.
             let dir = std::env::temp_dir().join("cosbt-bench-data");
             std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-            b = b.backend(Backend::File(
-                dir.join(format!("cell-{}.dat", std::process::id())),
-            ));
+            let path = match stable_key {
+                Some(key) => {
+                    let p = dir.join(format!("cell-{:016x}.dat", fnv64(key)));
+                    marker = Some(dir.join(format!("cell-{:016x}.prefilled", fnv64(key))));
+                    p
+                }
+                None => dir.join(format!("cell-{}.dat", std::process::id())),
+            };
+            b = b.backend(if spec.direct {
+                Backend::file_direct(path)
+            } else {
+                Backend::file(path)
+            });
         }
-        "mem" => {}
-        other => return Err(format!("unknown backend '{other}' (mem | file)")),
+        "mem" => {
+            if spec.direct {
+                return Err(
+                    "--direct needs --backend file (O_DIRECT is a file-device mode)".into(),
+                );
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown backend '{other}' (mem | file | file-direct)"
+            ))
+        }
     }
     let cleanup = b.data_paths();
-    let db = b.clone().build().map_err(|e| e.to_string())?;
+    let mut resumed = false;
+    let db = if resume {
+        let (marker_path, key) = match (&marker, stable_key) {
+            (Some(m), Some(k)) => (m, k),
+            _ => return Err("--resume needs --backend file".into()),
+        };
+        match std::fs::read_to_string(marker_path) {
+            Ok(found) if found.trim() == key => {
+                resumed = true;
+                b.clone().open().map_err(|e| e.to_string())?
+            }
+            Ok(_) => {
+                return Err(format!(
+                    "prefill marker {} belongs to a different cell — rerun --prefill-only",
+                    marker_path.display()
+                ))
+            }
+            Err(_) => {
+                return Err(format!(
+                    "no prefill marker at {} — run the same cell with --prefill-only first",
+                    marker_path.display()
+                ))
+            }
+        }
+    } else {
+        b.clone().build().map_err(|e| e.to_string())?
+    };
     Ok(BuiltCell {
         db,
         builder: b,
         cleanup,
+        marker,
+        resumed,
     })
 }
 
@@ -297,9 +400,21 @@ fn cmd_run(args: &mut Args) -> ExitCode {
         return ExitCode::from(2);
     };
     let spec = CellSpec::from_args(args);
-    let n = args
-        .num("--n")
-        .unwrap_or_else(|| scaled(DEFAULT_N_QUICK, DEFAULT_N_FULL));
+    let n = match args.opt("--scale") {
+        Some(scale) => match scale.as_str() {
+            "quick" => DEFAULT_N_QUICK,
+            "full" => DEFAULT_N_FULL,
+            // The out-of-core tier: with the default 16 MiB cache the
+            // working set is an order of magnitude past memory.
+            "huge" => DEFAULT_N_HUGE,
+            other => {
+                eprintln!("unknown --scale '{other}' (quick | full | huge)");
+                return ExitCode::from(2);
+            }
+        },
+        None => scaled(DEFAULT_N_QUICK, DEFAULT_N_FULL),
+    };
+    let n = args.num("--n").unwrap_or(n);
     let prefill = args
         .num("--prefill")
         .unwrap_or((n as f64 * scenario.prefill_frac) as u64);
@@ -308,6 +423,12 @@ fn cmd_run(args: &mut Args) -> ExitCode {
     let reopen_samples = args.num("--reopen-samples").unwrap_or(2000);
     let clients = args.num("--clients").unwrap_or(0) as usize;
     let client_writes = args.num("--client-writes").unwrap_or(n / 4);
+    let contended = args.num("--contended").unwrap_or(0) as usize;
+    let contended_ops = args
+        .num("--contended-ops")
+        .unwrap_or_else(|| (n / contended.max(1) as u64).max(1));
+    let prefill_only = args.flag("--prefill-only");
+    let resume = args.flag("--resume");
     let out = args
         .opt("--out")
         .map(PathBuf::from)
@@ -316,7 +437,10 @@ fn cmd_run(args: &mut Args) -> ExitCode {
         Some(name) => match KeyDist::by_name(&name, (n / 4).max(16)) {
             Some(d) => d,
             None => {
-                eprintln!("unknown dist '{name}' (uniform | zipfian | ascending | timeseries)");
+                eprintln!(
+                    "unknown dist '{name}' (uniform | zipfian | ascending | timeseries | \
+                     shifting_hotspot)"
+                );
                 return ExitCode::from(2);
             }
         },
@@ -327,8 +451,35 @@ fn cmd_run(args: &mut Args) -> ExitCode {
         eprintln!("--reopen needs --backend file (a memory cell has nothing to reopen)");
         return ExitCode::from(2);
     }
+    if (prefill_only || resume) && spec.backend != "file" {
+        eprintln!("--prefill-only/--resume need --backend file (staged runs live in the store)");
+        return ExitCode::from(2);
+    }
+    if prefill_only && resume {
+        eprintln!("--prefill-only and --resume are the two halves of a staged run; pick one");
+        return ExitCode::from(2);
+    }
 
-    let built = match build_cell(&spec) {
+    // Staged runs key the scratch store on everything that shapes the
+    // prefill image, so --resume can only ever match a byte-identical
+    // prefill phase.
+    let stable_key = (prefill_only || resume).then(|| {
+        format!(
+            "{}|{}|g={}|deamortized={}|shards={}|parallel={}|direct={}|cache={}|dist={}|prefill={}|seed={}",
+            scenario.name,
+            spec.structure,
+            spec.param,
+            spec.deamortized,
+            spec.shards,
+            spec.parallel,
+            spec.direct,
+            spec.cache_bytes,
+            dist.name(),
+            prefill,
+            seed,
+        )
+    });
+    let built = match build_cell(&spec, stable_key.as_deref(), resume) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("cannot build cell: {e}");
@@ -336,30 +487,75 @@ fn cmd_run(args: &mut Args) -> ExitCode {
         }
     };
     let mut db = built.db;
-    let meta = RunMeta {
-        structure: spec.structure.clone(),
-        label: db.label().to_string(),
-        backend: spec.backend.clone(),
-        shards: spec.shards,
-        // The cache budget only shapes file-cell behaviour; recording 0
-        // for mem keeps a cell's identity stable if the default changes.
-        cache_bytes: if spec.backend == "file" {
-            spec.cache_bytes as u64
-        } else {
-            0
-        },
-        parallel_ingest: spec.parallel,
-        dist: dist.name().to_string(),
-        ops: n,
-        prefill,
-        seed,
-    };
+    let meta = RunMeta::for_cell(&spec.structure, db.config(), dist, n, prefill, seed);
+
+    if prefill_only {
+        cosbt_bench::scenario::prefill_into(&mut db, dist, prefill, seed);
+        if let Err(e) = db.sync() {
+            eprintln!("sync after prefill: {e}");
+            return ExitCode::FAILURE;
+        }
+        drop(db);
+        let marker = built.marker.expect("file backend has a marker path");
+        if let Err(e) = std::fs::write(&marker, stable_key.unwrap()) {
+            eprintln!("cannot write {}: {e}", marker.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "prefilled {} ({} backend) with {prefill} entries; resume with the same cell \
+             flags plus --resume",
+            meta.label, meta.backend
+        );
+        return ExitCode::SUCCESS;
+    }
+
     println!(
-        "running scenario '{}' on {} ({} backend, n = {n}, prefill = {prefill}, seed = {seed})",
-        scenario.name, meta.label, meta.backend
+        "running scenario '{}' on {} ({} backend, n = {n}, prefill = {prefill}{}, seed = {seed})",
+        scenario.name,
+        meta.label,
+        meta.backend,
+        if built.resumed { " [resumed]" } else { "" },
     );
-    let mut report = run(scenario, dist, meta, &mut db);
+    let mut report = run_resumable(scenario, dist, meta, &mut db, built.resumed);
     report.print();
+    if contended > 0 {
+        let c = run_contended(
+            &mut db,
+            mix_of(scenario.kind),
+            dist,
+            seed,
+            contended,
+            contended_ops,
+        );
+        println!(
+            "contended {} clients × {contended_ops} ops: read p50 {} ns p99 {} ns p999 {} ns; \
+             writer {:.0} ops/s ({} ops, {} batches); {} epochs, {} runs reclaimed",
+            c.clients,
+            c.read_latency.p50(),
+            c.read_latency.p99(),
+            c.read_latency.p999(),
+            c.writer_throughput,
+            c.writer_ops,
+            c.writer_batches,
+            c.epochs_published,
+            c.runs_reclaimed,
+        );
+        for (i, cl) in c.per_client.iter().enumerate() {
+            println!(
+                "  client {i}: {} ops ({} reads, {} hits, {} scanned, {} writes) \
+                 p50 {} ns p99 {} ns p999 {} ns",
+                cl.ops,
+                cl.reads,
+                cl.read_hits,
+                cl.scanned,
+                cl.writes,
+                cl.latency.p50(),
+                cl.latency.p99(),
+                cl.latency.p999(),
+            );
+        }
+        report.contended = Some(c);
+    }
     if clients > 0 {
         let conc = run_concurrent(&mut db, dist, seed, clients, client_writes);
         println!(
@@ -403,9 +599,13 @@ fn cmd_run(args: &mut Args) -> ExitCode {
         Ok(())
     };
     // Scratch files go away on success *and* failure — a failed reopen
-    // phase must not leak the cell's store files into the temp dir.
+    // phase must not leak the cell's store files into the temp dir. The
+    // measured phase mutated a resumed store, so its marker dies too.
     for path in built.cleanup {
         std::fs::remove_file(path).ok();
+    }
+    if let Some(marker) = built.marker {
+        std::fs::remove_file(marker).ok();
     }
     if let Err(e) = reopen_result {
         eprintln!("reopen phase failed: {e}");

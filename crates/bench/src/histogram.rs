@@ -162,6 +162,12 @@ impl Histogram {
         self.value_at_quantile(0.99)
     }
 
+    /// 99.9th percentile — the contended-tier headline: one reader in a
+    /// thousand stalling behind a writer's merge shows up here first.
+    pub fn p999(&self) -> u64 {
+        self.value_at_quantile(0.999)
+    }
+
     /// Adds every count of `other` into `self` (shard/thread merge).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {

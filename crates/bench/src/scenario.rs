@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cosbt::testkit::Rng;
-use cosbt::{Db, DbSnapshot};
+use cosbt::{CursorOps, Db, DbSnapshot};
 use cosbt_dam::IoStats;
 
 use crate::histogram::Histogram;
@@ -110,6 +110,24 @@ pub const SCENARIOS: &[Scenario] = &[
         prefill_frac: 0.0,
         about: "append-ingest everything, then stream the whole keyspace",
     },
+    Scenario {
+        name: "shifting_hotspot",
+        kind: ScenarioKind::Mixed(OpMix::READ_HEAVY),
+        dist: KeyDist::ShiftingHotspot {
+            space: 0,
+            theta: 0.99,
+            period: 0,
+        },
+        prefill_frac: 1.0,
+        about: "95% zipfian gets whose hot set migrates every n/8 ops — cache re-warm under drift",
+    },
+    Scenario {
+        name: "timeseries_retention",
+        kind: ScenarioKind::Mixed(OpMix::TIMESERIES_RETENTION),
+        dist: KeyDist::TimeSeriesAppend { jitter: 64 },
+        prefill_frac: 0.0,
+        about: "90% appends with periodic range-delete of expired prefixes — bounded live set",
+    },
 ];
 
 impl Scenario {
@@ -119,12 +137,22 @@ impl Scenario {
     }
 
     /// The scenario's distribution with its key space sized to the run
-    /// (`0` placeholders become `max(n/4, 16)`).
+    /// (`0` placeholders become `max(n/4, 16)`; a `0` hotspot period
+    /// becomes `max(n/8, 16)`, several migrations per run).
     pub fn dist_for(&self, n: u64) -> KeyDist {
         let space = (n / 4).max(16);
         match self.dist {
             KeyDist::Uniform { space: 0 } => KeyDist::Uniform { space },
             KeyDist::Zipfian { space: 0, theta } => KeyDist::Zipfian { space, theta },
+            KeyDist::ShiftingHotspot {
+                space: 0,
+                theta,
+                period,
+            } => KeyDist::ShiftingHotspot {
+                space,
+                theta,
+                period: if period == 0 { (n / 8).max(16) } else { period },
+            },
             d => d,
         }
     }
@@ -148,6 +176,10 @@ pub struct RunMeta {
     pub cache_bytes: u64,
     /// Whether batches were applied on worker threads.
     pub parallel_ingest: bool,
+    /// Whether fractional cascading was enabled.
+    pub cascade: bool,
+    /// Lookahead-pointer density of the COLA levels.
+    pub pointer_density: f64,
     /// Key distribution CLI name.
     pub dist: String,
     /// Measured operations.
@@ -156,6 +188,38 @@ pub struct RunMeta {
     pub prefill: u64,
     /// Workload seed.
     pub seed: u64,
+}
+
+impl RunMeta {
+    /// Meta for one cell, derived from the database's own recorded
+    /// [`cosbt::DbConfig`] — the cell identity is whatever the database
+    /// says it was configured as, not a hand-assembled string.
+    pub fn for_cell(
+        structure: &str,
+        cfg: &cosbt::DbConfig,
+        dist: KeyDist,
+        ops: u64,
+        prefill: u64,
+        seed: u64,
+    ) -> RunMeta {
+        RunMeta {
+            structure: structure.to_string(),
+            label: cfg.label(),
+            backend: cfg.backend_kind().to_string(),
+            shards: cfg.shards,
+            cache_bytes: match cfg.backend {
+                cosbt::Backend::Mem => 0,
+                cosbt::Backend::File { .. } => cfg.cache_bytes as u64,
+            },
+            parallel_ingest: cfg.parallel_ingest,
+            cascade: cfg.cascade,
+            pointer_density: cfg.pointer_density,
+            dist: dist.name().to_string(),
+            ops,
+            prefill,
+            seed,
+        }
+    }
 }
 
 /// Latency histograms of one run, by op class.
@@ -171,6 +235,8 @@ pub struct Latencies {
     pub delete: Histogram,
     /// Range scans (one sample per scan op, not per entry).
     pub scan: Histogram,
+    /// Retention trims (one sample per whole expiry pass).
+    pub trim: Histogram,
 }
 
 impl Latencies {
@@ -179,6 +245,7 @@ impl Latencies {
             "get" => &mut self.get,
             "insert" => &mut self.insert,
             "delete" => &mut self.delete,
+            "trim" => &mut self.trim,
             _ => &mut self.scan,
         }
     }
@@ -200,6 +267,55 @@ pub struct ReopenReport {
     /// I/O during the cold reads (every fetch is a real file read — the
     /// reopened cache starts empty).
     pub io: IoStats,
+}
+
+/// What one client thread of the contended driver did: its reads (with
+/// tail latency), scans, and the writes it shipped to the ingest queue.
+#[derive(Debug, Clone)]
+pub struct ClientStats {
+    /// Operations the client executed (reads served + writes enqueued).
+    pub ops: u64,
+    /// Point lookups served off the client's [`cosbt::DbReader`].
+    pub reads: u64,
+    /// Reads that found a live key.
+    pub read_hits: u64,
+    /// Entries streamed by the client's range scans.
+    pub scanned: u64,
+    /// Write operations (inserts/deletes/trims) enqueued to the writer.
+    pub writes: u64,
+    /// Read-path latency (gets and scans; enqueueing a write is not a
+    /// completed operation, so it is counted but not timed).
+    pub latency: Histogram,
+}
+
+/// The `--contended N` phase: N client threads each running the
+/// scenario's *full* op mix — reads and scans served locally off an
+/// auto-refreshing [`cosbt::DbReader`], writes shipped to the single
+/// writer through an ingest queue — while the writer applies batches and
+/// publishes an epoch per batch. Per-client p99/p999 read tails, writer
+/// throughput, and epoch/reclaim counters land in `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct ContendedReport {
+    /// Client thread count.
+    pub clients: usize,
+    /// Wall-clock seconds of the contended phase.
+    pub elapsed_s: f64,
+    /// Per-client breakdown (tail latency is per client, so one stalled
+    /// client cannot hide inside a merged histogram).
+    pub per_client: Vec<ClientStats>,
+    /// Read latency merged across clients.
+    pub read_latency: Histogram,
+    /// Write ops the writer applied (everything the clients enqueued).
+    pub writer_ops: u64,
+    /// Ingest batches (epoch publications) the writer processed.
+    pub writer_batches: u64,
+    /// Writer ops per second while every client hammers its reader.
+    pub writer_throughput: f64,
+    /// Epochs published during the phase.
+    pub epochs_published: u64,
+    /// Retired runs reclaimed during the phase (readers unpinning let
+    /// the grace horizon advance under load).
+    pub runs_reclaimed: u64,
 }
 
 /// The `--clients N` phase: N reader threads serving point lookups off
@@ -257,6 +373,9 @@ pub struct ScenarioReport {
     /// Measurements of the `--clients N` contended phase, when
     /// requested. Optional for the same run-identity reason as `reopen`.
     pub concurrent: Option<ConcurrentReport>,
+    /// Measurements of the `--contended N` full-mix multi-client phase,
+    /// when requested. Optional for the same run-identity reason.
+    pub contended: Option<ContendedReport>,
 }
 
 /// Batch size for prefill `insert_batch` runs and drain chunks.
@@ -278,19 +397,63 @@ pub fn mix_of(kind: ScenarioKind) -> OpMix {
     }
 }
 
+/// Loads the deterministic prefill stream for (`dist`, `prefill`,
+/// `seed`) into `db` in ingest-sized chunks. Factored out of [`run`] so
+/// the CLI's staged `--prefill-only` mode executes the *identical*
+/// phase before syncing the store and recording a resume marker.
+pub fn prefill_into(db: &mut Db, dist: KeyDist, prefill: u64, seed: u64) {
+    let run = prefill_run(dist, prefill, prefill_seed(seed));
+    for chunk in run.chunks(CHUNK) {
+        db.insert_batch(chunk);
+    }
+}
+
+/// Executes one retention trim: deletes every live key strictly below
+/// `cutoff` as a single batch (the structures turn it into tombstones,
+/// so the pass is one merge, not `k` point deletes). Public so a model
+/// replay mirrors the exact semantics (`model.split_off(&cutoff)`).
+pub fn trim_below(db: &mut Db, cutoff: u64) {
+    if cutoff == 0 {
+        return;
+    }
+    let expired = db.range(0, cutoff - 1);
+    if expired.is_empty() {
+        return;
+    }
+    let mut batch = cosbt::UpdateBatch::new();
+    for (k, _) in expired {
+        batch.delete(k);
+    }
+    db.apply(&mut batch);
+}
+
 /// Executes `scenario` against `db`: prefills (unmeasured, but its I/O
 /// is reported), then runs `meta.ops` operations timing each one.
 /// `meta.dist` must name the distribution actually passed in `dist` —
 /// the CLI guarantees this; tests construct both from the same value.
 pub fn run(scenario: &Scenario, dist: KeyDist, meta: RunMeta, db: &mut Db) -> ScenarioReport {
+    run_resumable(scenario, dist, meta, db, false)
+}
+
+/// [`run`] with a resume switch: when `skip_prefill` is true the prefill
+/// phase is skipped even though `meta.prefill` stays in the cell's
+/// identity — the caller attests that `db` already holds the exact state
+/// a fresh prefill with `meta.seed` would produce (the CLI's `--resume`
+/// verifies this via a marker file keyed on the cell identity). Prefill
+/// is deterministic, so the measured phase is identical either way; only
+/// the unmeasured `io_prefill` counters differ.
+pub fn run_resumable(
+    scenario: &Scenario,
+    dist: KeyDist,
+    meta: RunMeta,
+    db: &mut Db,
+    skip_prefill: bool,
+) -> ScenarioReport {
     // Phase 1: prefill (not latency-measured; I/O reported separately).
-    if meta.prefill > 0 {
-        let run = prefill_run(dist, meta.prefill, prefill_seed(meta.seed));
-        for chunk in run.chunks(CHUNK) {
-            db.insert_batch(chunk);
-        }
+    if meta.prefill > 0 && !skip_prefill {
+        prefill_into(db, dist, meta.prefill, meta.seed);
     }
-    let io_prefill = db.take_io_stats();
+    let io_prefill = db.io().take();
 
     // Phase 2: the measured op stream.
     let mix = mix_of(scenario.kind);
@@ -317,6 +480,7 @@ pub fn run(scenario: &Scenario, dist: KeyDist, meta: RunMeta, db: &mut Db) -> Sc
                     }
                 }
             }
+            Op::Trim(cutoff) => trim_below(db, cutoff),
         }
         let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         latency.for_class(op.class()).record(ns);
@@ -352,7 +516,7 @@ pub fn run(scenario: &Scenario, dist: KeyDist, meta: RunMeta, db: &mut Db) -> Sc
     }
 
     let elapsed_s = started.elapsed().as_secs_f64();
-    let io_run = db.take_io_stats();
+    let io_run = db.io().take();
     // elapsed_s covers the drain too, so the drained entries must count
     // toward the rate — otherwise a drain-dominated run would understate
     // insert throughput and a slower drain would masquerade as one.
@@ -371,6 +535,164 @@ pub fn run(scenario: &Scenario, dist: KeyDist, meta: RunMeta, db: &mut Db) -> Sc
         io_run,
         reopen: None,
         concurrent: None,
+        contended: None,
+    }
+}
+
+/// The ingest-queue protocol between contended clients and the writer.
+enum IngestMsg {
+    /// Apply a batch of buffered upserts/deletes.
+    Batch(cosbt::UpdateBatch),
+    /// Expire everything strictly below the cutoff (a client rolled a
+    /// retention trim; only the writer may mutate).
+    Trim(u64),
+}
+
+/// Write ops a client buffers before shipping one batch to the writer.
+const CLIENT_WRITE_CHUNK: usize = 256;
+
+/// The `--contended N` phase: every client runs the full `mix` over
+/// `dist` (salted per client so streams differ but stay deterministic),
+/// serving gets/scans from its own auto-refreshing [`cosbt::DbReader`]
+/// and shipping writes to the single writer via an mpsc ingest queue.
+/// The writer drains the queue, applies each batch, and publishes an
+/// epoch per batch so readers observe fresh data mid-run. Returns when
+/// every client finished its `ops_per_client` stream and the queue is
+/// drained.
+pub fn run_contended(
+    db: &mut Db,
+    mix: OpMix,
+    dist: KeyDist,
+    seed: u64,
+    clients: usize,
+    ops_per_client: u64,
+) -> ContendedReport {
+    let epochs_before = db.snapshot_stats();
+    let (tx, rx) = std::sync::mpsc::channel::<IngestMsg>();
+    // One auto-refreshing reader per client, created up front (each
+    // `reader()` call publishes the current state once; after that the
+    // readers chase the writer's publications on their own).
+    let mut readers: Vec<cosbt::DbReader> = (0..clients).map(|_| db.reader()).collect();
+
+    let started = Instant::now();
+    let (per_client, writer_ops, writer_batches) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let tx = tx.clone();
+                let mut reader = readers.pop().expect("one reader per client");
+                s.spawn(move || {
+                    let mut stats = ClientStats {
+                        ops: 0,
+                        reads: 0,
+                        read_hits: 0,
+                        scanned: 0,
+                        writes: 0,
+                        latency: Histogram::new(),
+                    };
+                    let mut batch = cosbt::UpdateBatch::new();
+                    let client_seed = seed ^ 0xC047_E4D0 ^ ((c as u64) << 32);
+                    for op in OpStream::new(mix, dist, client_seed).take(ops_per_client as usize) {
+                        stats.ops += 1;
+                        match op {
+                            Op::Get(k) => {
+                                let t = Instant::now();
+                                if std::hint::black_box(reader.get(k)).is_some() {
+                                    stats.read_hits += 1;
+                                }
+                                let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                                stats.latency.record(ns);
+                                stats.reads += 1;
+                            }
+                            Op::Scan(k, len) => {
+                                let t = Instant::now();
+                                let mut cur = reader.cursor(k, u64::MAX);
+                                for _ in 0..len {
+                                    match cur.next() {
+                                        Some(kv) => {
+                                            std::hint::black_box(kv);
+                                            stats.scanned += 1;
+                                        }
+                                        None => break,
+                                    }
+                                }
+                                let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                                stats.latency.record(ns);
+                            }
+                            Op::Insert(k, v) => {
+                                batch.put(k, v);
+                                stats.writes += 1;
+                            }
+                            Op::Delete(k) => {
+                                batch.delete(k);
+                                stats.writes += 1;
+                            }
+                            Op::Trim(cutoff) => {
+                                // Order matters: buffered writes must land
+                                // before the trim that may expire them.
+                                if !batch.is_empty() {
+                                    let full = std::mem::take(&mut batch);
+                                    tx.send(IngestMsg::Batch(full)).expect("writer alive");
+                                }
+                                tx.send(IngestMsg::Trim(cutoff)).expect("writer alive");
+                                stats.writes += 1;
+                            }
+                        }
+                        if batch.len() >= CLIENT_WRITE_CHUNK {
+                            let full = std::mem::take(&mut batch);
+                            tx.send(IngestMsg::Batch(full)).expect("writer alive");
+                        }
+                    }
+                    if !batch.is_empty() {
+                        tx.send(IngestMsg::Batch(batch)).expect("writer alive");
+                    }
+                    stats
+                })
+            })
+            .collect();
+        drop(tx); // the writer's recv loop ends when the last client hangs up
+
+        // The writer runs on this thread: drain the ingest queue, apply,
+        // publish an epoch per message so readers refresh mid-run.
+        let mut writer_ops = 0u64;
+        let mut writer_batches = 0u64;
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                IngestMsg::Batch(mut b) => {
+                    writer_ops += b.len() as u64;
+                    db.apply(&mut b);
+                }
+                IngestMsg::Trim(cutoff) => {
+                    writer_ops += 1;
+                    trim_below(db, cutoff);
+                }
+            }
+            writer_batches += 1;
+            drop(db.snapshot());
+        }
+
+        let per_client: Vec<ClientStats> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect();
+        (per_client, writer_ops, writer_batches)
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut read_latency = Histogram::new();
+    for c in &per_client {
+        read_latency.merge(&c.latency);
+    }
+    let epochs_after = db.snapshot_stats();
+    ContendedReport {
+        clients,
+        elapsed_s,
+        per_client,
+        read_latency,
+        writer_ops,
+        writer_batches,
+        writer_throughput: writer_ops as f64 / elapsed_s.max(1e-9),
+        epochs_published: epochs_after.published - epochs_before.published,
+        runs_reclaimed: epochs_after.reclaimed_runs - epochs_before.reclaimed_runs,
     }
 }
 
@@ -480,7 +802,7 @@ pub fn run_reopen(
     let mut db = builder.open().map_err(|e| format!("reopen: {e}"))?;
     let open_s = started.elapsed().as_secs_f64();
 
-    db.reset_io_stats();
+    db.io().reset();
     let mut first_reads = Histogram::default();
     let mut hits = 0u64;
     let keys = prefill_run(dist, samples, prefill_seed(seed));
@@ -492,7 +814,7 @@ pub fn run_reopen(
         let ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         first_reads.record(ns);
     }
-    let io = db.take_io_stats();
+    let io = db.io().take();
     Ok((
         ReopenReport {
             open_s,
@@ -512,6 +834,7 @@ fn histogram_json(h: &Histogram) -> Json {
         .with("p50_ns", h.p50().into())
         .with("p95_ns", h.p95().into())
         .with("p99_ns", h.p99().into())
+        .with("p999_ns", h.p999().into())
         .with("max_ns", h.max().into())
 }
 
@@ -547,6 +870,31 @@ impl ScenarioReport {
                 .with("writer_throughput_ops_per_sec", c.writer_throughput.into())
                 .with("epochs_published", c.epochs_published.into())
         });
+        let contended_json = self.contended.as_ref().map(|c| {
+            let per_client: Vec<Json> = c
+                .per_client
+                .iter()
+                .map(|cl| {
+                    Json::obj()
+                        .with("ops", cl.ops.into())
+                        .with("reads", cl.reads.into())
+                        .with("read_hits", cl.read_hits.into())
+                        .with("scanned", cl.scanned.into())
+                        .with("writes", cl.writes.into())
+                        .with("read_latency_ns", histogram_json(&cl.latency))
+                })
+                .collect();
+            Json::obj()
+                .with("clients", (c.clients as u64).into())
+                .with("elapsed_s", c.elapsed_s.into())
+                .with("per_client", Json::Arr(per_client))
+                .with("read_latency_ns", histogram_json(&c.read_latency))
+                .with("writer_ops", c.writer_ops.into())
+                .with("writer_batches", c.writer_batches.into())
+                .with("writer_throughput_ops_per_sec", c.writer_throughput.into())
+                .with("epochs_published", c.epochs_published.into())
+                .with("runs_reclaimed", c.runs_reclaimed.into())
+        });
         let base = Json::obj()
             .with(
                 "meta",
@@ -557,6 +905,8 @@ impl ScenarioReport {
                     .with("shards", m.shards.into())
                     .with("cache_bytes", m.cache_bytes.into())
                     .with("parallel_ingest", Json::Bool(m.parallel_ingest))
+                    .with("cascade", Json::Bool(m.cascade))
+                    .with("pointer_density", m.pointer_density.into())
                     .with("dist", m.dist.as_str().into())
                     .with("ops", m.ops.into())
                     .with("prefill", m.prefill.into())
@@ -571,7 +921,8 @@ impl ScenarioReport {
                     .with("get", histogram_json(&self.latency.get))
                     .with("insert", histogram_json(&self.latency.insert))
                     .with("delete", histogram_json(&self.latency.delete))
-                    .with("scan", histogram_json(&self.latency.scan)),
+                    .with("scan", histogram_json(&self.latency.scan))
+                    .with("trim", histogram_json(&self.latency.trim)),
             )
             .with("scanned_entries", self.scanned_entries.into())
             .with(
@@ -584,8 +935,12 @@ impl ScenarioReport {
             Some(r) => base.with("reopen", r),
             None => base,
         };
-        match concurrent_json {
+        let base = match concurrent_json {
             Some(c) => base.with("concurrent", c),
+            None => base,
+        };
+        match contended_json {
+            Some(c) => base.with("contended", c),
             None => base,
         }
     }
@@ -641,11 +996,15 @@ pub fn merge_document(scenario: &str, existing: Option<&Json>, new_runs: &[Json]
 }
 
 /// The compare/merge key of a serialized run: every meta field that
-/// pins the op stream and the cell's behaviour. The label is included
-/// because it encodes the structure parameters (growth factor, fanout,
-/// deamortization) the bare structure name does not — a 2-COLA and an
-/// 8-COLA must not replace each other's trajectory rows; cache_bytes
-/// because it directly changes transfer counts on file cells.
+/// pins the op stream and the cell's behaviour — the serialized form of
+/// the cell's `DbConfig` plus the stream parameters. The label is
+/// included because it encodes the structure parameters (growth factor,
+/// fanout, deamortization) the bare structure name does not — a 2-COLA
+/// and an 8-COLA must not replace each other's trajectory rows;
+/// cache_bytes because it directly changes transfer counts on file
+/// cells. `cascade`/`pointer_density` default to the builder defaults
+/// when absent, so baselines recorded before those fields existed keep
+/// matching runs that use the defaults.
 pub fn run_identity(run: &Json) -> String {
     let meta = run.get("meta");
     let s = |k: &str| {
@@ -663,14 +1022,24 @@ pub fn run_identity(run: &Json) -> String {
         .and_then(|m| m.get("parallel_ingest"))
         .and_then(Json::as_bool)
         .unwrap_or(false);
+    let cascade = meta
+        .and_then(|m| m.get("cascade"))
+        .and_then(Json::as_bool)
+        .unwrap_or(true);
+    let density = meta
+        .and_then(|m| m.get("pointer_density"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.1);
     format!(
-        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
         s("structure"),
         s("label"),
         s("backend"),
         n("shards"),
         n("cache_bytes"),
         parallel,
+        cascade,
+        density,
         s("dist"),
         n("ops"),
         n("prefill"),
@@ -857,6 +1226,8 @@ mod tests {
             shards: 1,
             cache_bytes: 0,
             parallel_ingest: false,
+            cascade: true,
+            pointer_density: 0.1,
             dist: dist.name().into(),
             ops: n,
             prefill: (n as f64 * scenario.prefill_frac) as u64,
@@ -1018,6 +1389,8 @@ mod tests {
             shards: 2,
             cache_bytes: 64 * 1024,
             parallel_ingest: false,
+            cascade: true,
+            pointer_density: 0.1,
             dist: dist.name().into(),
             ops: n,
             prefill: n / 2,
@@ -1025,7 +1398,7 @@ mod tests {
         };
         let builder = DbBuilder::new()
             .structure(Structure::GCola { g: 4 })
-            .backend(cosbt::Backend::File(path))
+            .backend(cosbt::Backend::file(path))
             .cache_bytes(64 * 1024)
             .shards(2);
         let mut db = builder.clone().build().unwrap();

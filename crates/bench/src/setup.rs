@@ -9,7 +9,7 @@
 
 use std::path::{Path, PathBuf};
 
-use cosbt::{Backend, Db, DbBuilder, IoProbe, Structure};
+use cosbt::{Backend, Db, DbBuilder, IoHandle, Structure};
 use cosbt_dam::IoStats;
 
 /// Which dictionary to construct.
@@ -81,7 +81,7 @@ impl OutOfCore {
         ));
         let dict = kind
             .builder()
-            .backend(Backend::File(path.clone()))
+            .backend(Backend::file(path.clone()))
             .cache_bytes(cache_bytes)
             .build()
             .expect("out-of-core configuration must build");
@@ -89,20 +89,18 @@ impl OutOfCore {
     }
 
     /// A cloneable counter reader decoupled from the dictionary borrow.
-    pub fn probe(&self) -> IoProbe {
-        self.dict
-            .io_probe()
-            .expect("file backend always has a probe")
+    pub fn probe(&self) -> IoHandle {
+        self.dict.io()
     }
 
     /// Real-I/O counters of the backing store.
     pub fn io_stats(&self) -> IoStats {
-        self.dict.io_stats()
+        self.dict.io().snapshot()
     }
 
     /// Resets the I/O counters.
     pub fn reset_stats(&self) {
-        self.dict.reset_io_stats()
+        self.dict.io().reset()
     }
 
     /// Empties the user-space page cache — the paper's "remounted the

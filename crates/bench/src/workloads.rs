@@ -80,17 +80,36 @@ pub enum KeyDist {
         /// Maximum backward displacement of a key.
         jitter: u64,
     },
+    /// Zipfian popularity whose hot set *migrates*: every `period` draws
+    /// the rank→key mapping is re-scattered, so yesterday's hot keys go
+    /// cold and a fresh set heats up — the cache-invalidation pattern of
+    /// trending content, rotating dashboards, and diurnal traffic. A
+    /// stationary zipfian rewards whoever happens to cache the hot set
+    /// once; a shifting one measures how fast a structure re-warms.
+    ShiftingHotspot {
+        /// Number of distinct logical keys.
+        space: u64,
+        /// Skew in `(0, 1)`; YCSB's default is 0.99.
+        theta: f64,
+        /// Draws between hot-set migrations.
+        period: u64,
+    },
 }
 
 impl KeyDist {
     /// Parses the CLI spelling: `uniform`, `zipfian`, `ascending`,
-    /// `timeseries`.
+    /// `timeseries`, `shifting_hotspot`.
     pub fn by_name(name: &str, space: u64) -> Option<KeyDist> {
         Some(match name {
             "uniform" => KeyDist::Uniform { space },
             "zipfian" => KeyDist::Zipfian { space, theta: 0.99 },
             "ascending" => KeyDist::Ascending,
             "timeseries" => KeyDist::TimeSeriesAppend { jitter: 64 },
+            "shifting_hotspot" => KeyDist::ShiftingHotspot {
+                space,
+                theta: 0.99,
+                period: (space / 2).max(16),
+            },
             _ => return None,
         })
     }
@@ -102,6 +121,7 @@ impl KeyDist {
             KeyDist::Zipfian { .. } => "zipfian",
             KeyDist::Ascending => "ascending",
             KeyDist::TimeSeriesAppend { .. } => "timeseries",
+            KeyDist::ShiftingHotspot { .. } => "shifting_hotspot",
         }
     }
 }
@@ -134,7 +154,9 @@ impl KeyGen {
     /// A generator at the start of the distribution's sequence.
     pub fn new(dist: KeyDist) -> KeyGen {
         let zipf = match dist {
-            KeyDist::Zipfian { space, theta } => Some(Zipf::new(space.max(1), theta)),
+            KeyDist::Zipfian { space, theta } | KeyDist::ShiftingHotspot { space, theta, .. } => {
+                Some(Zipf::new(space.max(1), theta))
+            }
             _ => None,
         };
         KeyGen {
@@ -155,10 +177,23 @@ impl KeyGen {
     /// (fence checks can't reject them) but match no stored key.
     pub fn next_miss_key(&mut self, rng: &mut Rng) -> u64 {
         match self.dist {
-            KeyDist::Uniform { space } | KeyDist::Zipfian { space, .. } => {
+            KeyDist::Uniform { space }
+            | KeyDist::Zipfian { space, .. }
+            | KeyDist::ShiftingHotspot { space, .. } => {
                 self.next_key(rng) + u64::MAX / space.max(1) / 2
             }
             KeyDist::Ascending | KeyDist::TimeSeriesAppend { .. } => 1 << 63 | self.next_key(rng),
+        }
+    }
+
+    /// The high-water mark of an append distribution: one past the
+    /// newest key the generator has emitted (always 0 for the random
+    /// distributions, which have no notion of "newest"). A retention
+    /// trim expires everything more than a window behind this mark.
+    pub fn watermark(&self) -> u64 {
+        match self.dist {
+            KeyDist::Ascending | KeyDist::TimeSeriesAppend { .. } => self.next_seq,
+            _ => 0,
         }
     }
 
@@ -185,6 +220,17 @@ impl KeyGen {
                     rng.below(jitter + 1)
                 })
             }
+            KeyDist::ShiftingHotspot { space, period, .. } => {
+                // `next_seq` counts draws; every `period` draws the
+                // epoch increments and the rank→key scatter changes, so
+                // the whole hot set jumps to fresh (still scattered)
+                // identities while the popularity *shape* stays zipfian.
+                let epoch = self.next_seq / period.max(1);
+                self.next_seq += 1;
+                let rank = self.zipf.as_ref().expect("zipf built").sample(rng);
+                let id = scramble(rank.wrapping_add(epoch.wrapping_mul(0x9E3779B9)));
+                spread(id % space.max(1), space)
+            }
         }
     }
 }
@@ -200,6 +246,10 @@ pub enum Op {
     Delete(u64),
     /// Range scan: stream up to the given number of entries from the key.
     Scan(u64, usize),
+    /// Retention trim: delete every live key strictly below the cutoff —
+    /// the expiry pass of a time-series store dropping data older than
+    /// its retention window.
+    Trim(u64),
 }
 
 impl Op {
@@ -210,6 +260,7 @@ impl Op {
             Op::Insert(..) => "insert",
             Op::Delete(_) => "delete",
             Op::Scan(..) => "scan",
+            Op::Trim(_) => "trim",
         }
     }
 }
@@ -231,6 +282,12 @@ pub struct OpMix {
     pub scan: u32,
     /// Entries streamed per scan.
     pub scan_len: usize,
+    /// Retention-trim weight: each trim op deletes everything more than
+    /// `retention` keys behind the append watermark (a no-op for
+    /// non-append distributions, whose watermark stays 0).
+    pub trim: u32,
+    /// Retention window in keys for trim ops.
+    pub retention: u64,
 }
 
 impl OpMix {
@@ -243,6 +300,8 @@ impl OpMix {
         delete: 0,
         scan: 0,
         scan_len: 0,
+        trim: 0,
+        retention: 0,
     };
     /// 50% reads / 50% writes.
     pub const BALANCED: OpMix = OpMix {
@@ -252,6 +311,8 @@ impl OpMix {
         delete: 5,
         scan: 0,
         scan_len: 0,
+        trim: 0,
+        retention: 0,
     };
     /// 5% reads / 95% writes — the streaming-ingest mix the COLA family
     /// is built for.
@@ -262,6 +323,8 @@ impl OpMix {
         delete: 5,
         scan: 0,
         scan_len: 0,
+        trim: 0,
+        retention: 0,
     };
     /// Mostly range scans over a trickle of writes (analytics over a
     /// slowly changing table).
@@ -272,6 +335,8 @@ impl OpMix {
         delete: 0,
         scan: 80,
         scan_len: 100,
+        trim: 0,
+        retention: 0,
     };
     /// Pure insertion — the drain phase of insert-then-range-drain is
     /// generated by the scenario runner, not by the mix.
@@ -282,6 +347,8 @@ impl OpMix {
         delete: 0,
         scan: 0,
         scan_len: 0,
+        trim: 0,
+        retention: 0,
     };
     /// 90% negative lookups over a trickle of hits and writes — the
     /// existence-check mix (dedup, cache-fill, join probes) where a read
@@ -293,10 +360,27 @@ impl OpMix {
         delete: 0,
         scan: 0,
         scan_len: 0,
+        trim: 0,
+        retention: 0,
+    };
+    /// Metrics-pipeline retention: heavy append, a few recent-window
+    /// reads and scans, and periodic trims that expire everything more
+    /// than `retention` keys behind the newest timestamp — the
+    /// steady-state shape of a time-series store whose live set is
+    /// bounded while its write volume is not.
+    pub const TIMESERIES_RETENTION: OpMix = OpMix {
+        get: 4,
+        neg_get: 0,
+        insert: 90,
+        delete: 0,
+        scan: 4,
+        scan_len: 100,
+        trim: 2,
+        retention: 4096,
     };
 
     fn total(&self) -> u32 {
-        self.get + self.neg_get + self.insert + self.delete + self.scan
+        self.get + self.neg_get + self.insert + self.delete + self.scan + self.trim
     }
 }
 
@@ -342,8 +426,13 @@ impl Iterator for OpStream {
             Op::Insert(self.keys.next_key(&mut self.rng), self.produced)
         } else if roll < m.get + m.neg_get + m.insert + m.delete {
             Op::Delete(self.keys.next_key(&mut self.rng))
-        } else {
+        } else if roll < m.get + m.neg_get + m.insert + m.delete + m.scan {
             Op::Scan(self.keys.next_key(&mut self.rng), m.scan_len.max(1))
+        } else {
+            // A trim consumes no rng draw: its cutoff is a function of
+            // the generator's watermark, so the key stream around it is
+            // unchanged whether or not the trim band exists.
+            Op::Trim(self.keys.watermark().saturating_sub(m.retention))
         })
     }
 }
@@ -553,9 +642,144 @@ mod tests {
 
     #[test]
     fn dist_names_roundtrip() {
-        for name in ["uniform", "zipfian", "ascending", "timeseries"] {
+        for name in [
+            "uniform",
+            "zipfian",
+            "ascending",
+            "timeseries",
+            "shifting_hotspot",
+        ] {
             assert_eq!(KeyDist::by_name(name, 10).unwrap().name(), name);
         }
         assert!(KeyDist::by_name("nope", 10).is_none());
+    }
+
+    #[test]
+    fn new_workload_streams_replay_exactly() {
+        // The determinism contract extends to the heavy-traffic tier:
+        // same (mix, dist, seed) → byte-identical op stream.
+        let cases = [
+            (
+                OpMix::READ_HEAVY,
+                KeyDist::ShiftingHotspot {
+                    space: 1000,
+                    theta: 0.99,
+                    period: 500,
+                },
+            ),
+            (
+                OpMix::TIMESERIES_RETENTION,
+                KeyDist::TimeSeriesAppend { jitter: 16 },
+            ),
+        ];
+        for (mix, dist) in cases {
+            let a: Vec<Op> = OpStream::new(mix, dist, 42).take(5000).collect();
+            let b: Vec<Op> = OpStream::new(mix, dist, 42).take(5000).collect();
+            assert_eq!(a, b, "{dist:?} must replay");
+            let c: Vec<Op> = OpStream::new(mix, dist, 43).take(5000).collect();
+            assert_ne!(a, c, "{dist:?} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn zero_trim_weight_keeps_legacy_streams_identical() {
+        // A mix that never rolls a trim must replay the exact stream the
+        // pre-trim OpMix produced — `retention` must be inert at weight 0
+        // and the roll/draw sequence unchanged.
+        let dist = KeyDist::TimeSeriesAppend { jitter: 16 };
+        let with_window = OpMix {
+            retention: 12345,
+            ..OpMix::BALANCED
+        };
+        let a: Vec<Op> = OpStream::new(OpMix::BALANCED, dist, 42)
+            .take(5000)
+            .collect();
+        let b: Vec<Op> = OpStream::new(with_window, dist, 42).take(5000).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|op| !matches!(op, Op::Trim(_))));
+    }
+
+    #[test]
+    fn shifting_hotspot_migrates_its_hot_set() {
+        let dist = KeyDist::ShiftingHotspot {
+            space: 10_000,
+            theta: 0.99,
+            period: 20_000,
+        };
+        let mut rng = Rng::new(5);
+        let mut g = KeyGen::new(dist);
+        let hot = |g: &mut KeyGen, rng: &mut Rng| -> Vec<u64> {
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..20_000 {
+                *counts.entry(g.next_key(rng)).or_insert(0u64) += 1;
+            }
+            let mut by_freq: Vec<(u64, u64)> = counts.into_iter().collect();
+            by_freq.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
+            by_freq.truncate(10);
+            by_freq.into_iter().map(|(k, _)| k).collect()
+        };
+        // One full period per sample: the first epoch's top-10 and the
+        // second epoch's top-10 must be (almost entirely) different keys,
+        // while each epoch alone is as skewed as a stationary zipfian.
+        let first = hot(&mut g, &mut rng);
+        let second = hot(&mut g, &mut rng);
+        let overlap = first.iter().filter(|k| second.contains(k)).count();
+        assert!(
+            overlap <= 2,
+            "hot sets should migrate between periods, {overlap}/10 overlapped"
+        );
+    }
+
+    #[test]
+    fn timeseries_retention_trims_behind_the_watermark() {
+        let dist = KeyDist::TimeSeriesAppend { jitter: 16 };
+        let ops: Vec<Op> = OpStream::new(OpMix::TIMESERIES_RETENTION, dist, 7)
+            .take(50_000)
+            .collect();
+        let trims: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Trim(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            (500..2000).contains(&trims.len()),
+            "2% trim weight produced {} trims",
+            trims.len()
+        );
+        // Cutoffs are monotone (the watermark only advances) and, once
+        // the stream outgrows the window, sit exactly `retention` behind
+        // the number of keys drawn so far.
+        assert!(trims.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*trims.last().unwrap() > 0, "late trims expire data");
+        let mut drawn = 0u64;
+        for op in &ops {
+            match op {
+                Op::Trim(c) => {
+                    assert_eq!(*c, drawn.saturating_sub(4096));
+                }
+                _ => drawn += 1,
+            }
+        }
+        // Replaying the ops against a model keeps the live set bounded
+        // by window + in-flight jitter, despite unbounded appends.
+        let mut model = std::collections::BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    model.insert(*k, *v);
+                }
+                Op::Trim(c) => {
+                    model = model.split_off(c);
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            model.len() as u64 <= 4096 + 17,
+            "live set must stay near the retention window, got {}",
+            model.len()
+        );
     }
 }

@@ -26,6 +26,11 @@ fn model_replay(scenario: &Scenario, n: u64, prefill: u64, seed: u64) -> BTreeMa
             Op::Delete(k) => {
                 model.remove(&k);
             }
+            Op::Trim(cutoff) => {
+                // Mirrors `scenario::trim_below`: everything strictly
+                // below the cutoff expires.
+                model = model.split_off(&cutoff);
+            }
             Op::Get(_) | Op::Scan(..) => {}
         }
     }
@@ -43,6 +48,8 @@ fn check_cell(scenario: &Scenario, builder: DbBuilder, n: u64, seed: u64) {
         shards: 1,
         cache_bytes: 0,
         parallel_ingest: false,
+        cascade: true,
+        pointer_density: 0.1,
         dist: dist.name().into(),
         ops: n,
         prefill,
@@ -91,7 +98,7 @@ fn scenarios_match_model_on_file_backed_cells() {
         let path = dir.join(format!("cell{i}.dat"));
         let builder = DbBuilder::new()
             .structure(structure)
-            .backend(Backend::File(path))
+            .backend(Backend::file(path))
             .cache_bytes(64 * 1024);
         check_cell(Scenario::by_name("balanced").unwrap(), builder, n, 0xF00D);
     }
@@ -129,6 +136,8 @@ fn drain_scenario_streams_exactly_the_live_set() {
         shards: 1,
         cache_bytes: 0,
         parallel_ingest: false,
+        cascade: true,
+        pointer_density: 0.1,
         dist: dist.name().into(),
         ops: n,
         prefill: 0,

@@ -36,7 +36,7 @@ pub mod reclaim;
 pub mod sim;
 pub mod stats;
 
-pub use dev::{CrashDev, DevOp, RawDev};
+pub use dev::{CrashDev, DevOp, DirectFile, RawDev, DIRECT_ALIGN};
 pub use file::{ArcFileMem, ArcFilePages, FileMem, FilePages, SharedFileMem};
 pub use format::OpenError;
 pub use lru::LruCache;

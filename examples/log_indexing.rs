@@ -52,7 +52,7 @@ fn main() {
     let cola_path = dir.join("events-cola.idx");
     let mut cola = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(cola_path.clone()))
+        .backend(Backend::file(cola_path.clone()))
         .cache_bytes(cache_bytes)
         .build()
         .unwrap();
@@ -60,7 +60,7 @@ fn main() {
     let bt_path = dir.join("events-btree.idx");
     let mut btree = DbBuilder::new()
         .structure(Structure::BTree)
-        .backend(Backend::File(bt_path.clone()))
+        .backend(Backend::file(bt_path.clone()))
         .cache_bytes(cache_bytes)
         .build()
         .unwrap();
@@ -69,9 +69,9 @@ fn main() {
         "ingesting {n} events into each index (1 MiB cache, data on disk, 512-event batches)…"
     );
     let cola_ingest = ingest(&mut cola, n, 512);
-    let cola_io = cola.io_stats();
+    let cola_io = cola.io().snapshot();
     let bt_ingest = ingest(&mut btree, n, 512);
-    let bt_io = btree.io_stats();
+    let bt_io = btree.io().snapshot();
 
     println!(
         "  {:<7}: {cola_ingest:>12.0} events/s   ({} page reads, {} writebacks)",

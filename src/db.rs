@@ -38,12 +38,14 @@ use cosbt_core::{
     BasicCola, Cursor, DeamortBasicCola, DeamortCola, Dictionary, EpochStats, GCola, MetaError,
     UpdateBatch, WorkerPool,
 };
-use cosbt_dam::format::{fnv1a, sibling_path, DEFAULT_SLOT_BYTES};
-use cosbt_dam::{ArcFileMem, ArcFilePages, FileMem, FilePages, IoStats, DEFAULT_PAGE_SIZE};
+use cosbt_dam::format::{fnv1a, sibling_path, DEFAULT_SLOT_BYTES, KIND_PAGES};
+use cosbt_dam::{
+    ArcFileMem, ArcFilePages, DirectFile, FileMem, FilePages, IoStats, DEFAULT_PAGE_SIZE,
+};
 use cosbt_shuttle::ShuttleTree;
 
 use crate::shard::{even_splitters, Shard, ShardRouter};
-use crate::snapshot::{DbSnapshot, MvccState};
+use crate::snapshot::{DbReader, DbSnapshot, MvccState};
 
 /// Which data structure a [`DbBuilder`] instantiates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,7 +79,124 @@ pub enum Backend {
     /// paper's experiments. The file is created (truncated) at build.
     /// With [`DbBuilder::shards`] > 1, shard `i` stores its partition in
     /// `<path>.shard<i>` and the cache budget is divided evenly.
-    File(PathBuf),
+    ///
+    /// Construct with [`Backend::file`] / [`Backend::file_direct`].
+    File {
+        /// Path of the backing file (the shard base path when sharded).
+        path: PathBuf,
+        /// Route aligned page traffic through `O_DIRECT`, bypassing the
+        /// kernel page cache so counted transfers are real device
+        /// transfers. Falls back to buffered I/O (with a one-time
+        /// warning) on filesystems or platforms that refuse it; see
+        /// [`cosbt_dam::DirectFile`].
+        direct: bool,
+    },
+}
+
+impl Backend {
+    /// A buffered file backend at `path` — the default file mode, and
+    /// exactly the pre-`direct` behavior.
+    pub fn file(path: impl Into<PathBuf>) -> Backend {
+        Backend::File {
+            path: path.into(),
+            direct: false,
+        }
+    }
+
+    /// A file backend at `path` that requests `O_DIRECT` for aligned
+    /// page I/O (buffered fallback where unsupported).
+    pub fn file_direct(path: impl Into<PathBuf>) -> Backend {
+        Backend::File {
+            path: path.into(),
+            direct: true,
+        }
+    }
+
+    /// The backing path and direct-I/O flag of a file backend.
+    fn file_params(&self) -> Option<(&Path, bool)> {
+        match self {
+            Backend::Mem => None,
+            Backend::File { path, direct } => Some((path, *direct)),
+        }
+    }
+}
+
+/// A serializable summary of a database configuration: everything a
+/// [`DbBuilder`] knows, as plain data. [`Db::config`] reports the
+/// configuration a live database was built or opened with, and
+/// [`DbBuilder::from_config`] reconstructs an equivalent builder — the
+/// round trip `DbBuilder::from_config(&b.config())` preserves every
+/// knob. The benchmark harness uses [`DbConfig::identity`] as the
+/// stable cell identity in its JSON artifacts (instead of ad-hoc label
+/// strings), so two runs compare as the same cell exactly when their
+/// configurations agree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbConfig {
+    /// The data structure.
+    pub structure: Structure,
+    /// Worst-case-bounded (deamortized) variant requested.
+    pub deamortized: bool,
+    /// Lookahead-pointer density (g-COLA only; retained for others).
+    pub pointer_density: f64,
+    /// Fractional-cascading read accelerators enabled.
+    pub cascade: bool,
+    /// Shard count (1 = unsharded).
+    pub shards: usize,
+    /// Explicit shard boundaries, if any were configured or recovered.
+    pub splitters: Option<Vec<u64>>,
+    /// Batches applied on worker threads.
+    pub parallel_ingest: bool,
+    /// Background snapshot-compaction workers (0 = inline).
+    pub background_merge: usize,
+    /// Page-cache budget in bytes (file backends).
+    pub cache_bytes: usize,
+    /// Metadata commit-slot capacity in bytes (file backends).
+    pub meta_slot_bytes: usize,
+    /// Storage backend, including the direct-I/O flag.
+    pub backend: Backend,
+}
+
+impl DbConfig {
+    /// Display label of the structure configuration ("4-COLA ×4
+    /// shards", …), matching [`Db::label`].
+    pub fn label(&self) -> String {
+        DbBuilder::from_config(self).label()
+    }
+
+    /// Short backend tag: `mem`, `file`, or `file-direct`.
+    pub fn backend_kind(&self) -> &'static str {
+        match &self.backend {
+            Backend::Mem => "mem",
+            Backend::File { direct: false, .. } => "file",
+            Backend::File { direct: true, .. } => "file-direct",
+        }
+    }
+
+    /// Whether the backend requests direct I/O.
+    pub fn direct(&self) -> bool {
+        matches!(self.backend, Backend::File { direct: true, .. })
+    }
+
+    /// A canonical, path-independent identity string for this
+    /// configuration. Two cells with equal identities are performance-
+    /// comparable: the string covers structure, modifiers, backend kind
+    /// (including direct I/O), sharding, and the cache budget — but not
+    /// the data file's location, which is scratch-dependent.
+    pub fn identity(&self) -> String {
+        format!(
+            "{}|{}|shards={}|cache={}|parallel={}|cascade={}|density={}",
+            self.label(),
+            self.backend_kind(),
+            self.shards,
+            match self.backend {
+                Backend::Mem => 0,
+                Backend::File { .. } => self.cache_bytes,
+            },
+            self.parallel_ingest,
+            self.cascade,
+            self.pointer_density,
+        )
+    }
 }
 
 /// The supported structure × modifier × backend matrix, enumerated in
@@ -622,7 +741,7 @@ impl DbBuilder {
             }
         }
         if self.shards > 1
-            && matches!(self.backend, Backend::File(_))
+            && matches!(self.backend, Backend::File { .. })
             && self.cache_bytes / self.shards < 2 * DEFAULT_PAGE_SIZE
         {
             // Each shard's cache is floored at 2 pages; flooring past the
@@ -645,7 +764,7 @@ impl DbBuilder {
         let label = self.label();
         let unsupported = |what: &str| BuildError::Unsupported(format!("{what} ({label})"));
         let mut dicts: Vec<Shard> = Vec::with_capacity(self.shards);
-        let mut ios: Vec<IoHandle> = Vec::new();
+        let mut ios: Vec<StoreHandle> = Vec::new();
         for i in 0..self.shards {
             match self.build_shard(i, &unsupported) {
                 Ok((dict, io)) => {
@@ -661,7 +780,7 @@ impl DbBuilder {
                     // (an I/O error). An Unsupported error fails before
                     // touching the filesystem, and unlinking then would
                     // delete a pre-existing user file at the path.
-                    if let Backend::File(base) = &self.backend {
+                    if let Backend::File { path: base, .. } = &self.backend {
                         drop(dicts);
                         drop(ios);
                         let created = if matches!(e, BuildError::Io(_)) {
@@ -687,7 +806,7 @@ impl DbBuilder {
             DbDict::Sharded(ShardRouter::new(dicts, splitters, self.parallel_ingest))
         };
         let commit_path = match (&self.backend, self.shards) {
-            (Backend::File(base), n) if n > 1 => Some(self.commit_record_path(base)),
+            (Backend::File { path: base, .. }, n) if n > 1 => Some(self.commit_record_path(base)),
             _ => None,
         };
         let mut db = Db {
@@ -697,9 +816,10 @@ impl DbBuilder {
             dirty: false,
             commit_path,
             mvcc: self.mvcc_state(),
+            config: self.config(),
         };
         db.install_reclaim_gates();
-        if let Backend::File(base) = &self.backend {
+        if let Backend::File { path: base, .. } = &self.backend {
             // Make the fresh (empty) database immediately reopenable:
             // write the shard manifest (sharded configs) and commit the
             // initial metadata epoch. A failure here unwinds like a
@@ -735,7 +855,7 @@ impl DbBuilder {
     ///
     /// let builder = DbBuilder::new()
     ///     .structure(Structure::GCola { g: 4 })
-    ///     .backend(Backend::File("index.db".into()));
+    ///     .backend(Backend::file("index.db"));
     /// let mut db = builder.clone().build().unwrap();
     /// db.insert(7, 70);
     /// db.sync().unwrap();
@@ -746,7 +866,7 @@ impl DbBuilder {
     pub fn open(self) -> Result<Db, OpenError> {
         self.validate().map_err(OpenError::from)?;
         let label = self.label();
-        let Backend::File(base) = &self.backend else {
+        let Backend::File { path: base, .. } = &self.backend else {
             return Err(OpenError::Unsupported(BuildError::Unsupported(format!(
                 "nothing to open for the memory backend ({label})"
             ))));
@@ -828,13 +948,14 @@ impl DbBuilder {
             None
         };
         let mut dicts: Vec<Shard> = Vec::with_capacity(self.shards);
-        let mut ios: Vec<IoHandle> = Vec::with_capacity(self.shards);
+        let mut ios: Vec<StoreHandle> = Vec::with_capacity(self.shards);
         for i in 0..self.shards {
             let max_epoch = epochs.as_ref().map(|e| e[i]);
             let (dict, io) = self.open_shard(i, base, max_epoch)?;
             dicts.push(dict);
             ios.push(io);
         }
+        let manifest_splitters = splitters.clone();
         let dict = if self.shards == 1 {
             DbDict::Single(dicts.pop().expect("one shard was opened"))
         } else {
@@ -855,6 +976,14 @@ impl DbBuilder {
                 None
             },
             mvcc: self.mvcc_state(),
+            config: {
+                // The persisted routing is authoritative: record it so
+                // `Db::config()` round-trips even when the builder
+                // omitted explicit splitters.
+                let mut cfg = self.config();
+                cfg.splitters = manifest_splitters.or(cfg.splitters);
+                cfg
+            },
         };
         db.install_reclaim_gates();
         Ok(db)
@@ -935,8 +1064,9 @@ impl DbBuilder {
         idx: usize,
         base: &Path,
         max_epoch: Option<u64>,
-    ) -> Result<(Shard, IoHandle), OpenError> {
+    ) -> Result<(Shard, StoreHandle), OpenError> {
         let path = self.shard_file_path(base, idx);
+        let direct = self.backend.file_params().map(|(_, d)| d).unwrap_or(false);
         let cache_pages = (self.cache_bytes / self.shards / DEFAULT_PAGE_SIZE).max(2);
         let (expected_tag, _) = self.structure_identity();
         let meta_err = |source: MetaError| OpenError::Meta {
@@ -959,8 +1089,11 @@ impl DbBuilder {
                 format!("the shuttle tree is in-memory only ({})", self.label()),
             ))),
             Structure::BTree | Structure::Brt => {
-                let (store, meta) = FilePages::open_at(&path, cache_pages, max_epoch)
-                    .map_err(|e| store_error(&path, e))?;
+                let dev = DirectFile::open(&path, direct)
+                    .map_err(|e| store_error(&path, cosbt_dam::OpenError::Io(e)))?;
+                let (store, meta) =
+                    FilePages::open_bounded(dev, cache_pages, (KIND_PAGES, 0), max_epoch)
+                        .map_err(|e| store_error(&path, e))?;
                 self.check_page_size(&path, cosbt_dam::PageStore::page_size(&store))?;
                 check(&meta)?;
                 let store = ArcFilePages::new(store);
@@ -970,11 +1103,14 @@ impl DbBuilder {
                     }
                     _ => Box::new(Brt::from_parts(store.clone(), &meta).map_err(meta_err)?),
                 };
-                Ok((dict, IoHandle::Pages(store)))
+                Ok((dict, StoreHandle::Pages(store)))
             }
             Structure::BasicCola | Structure::GCola { .. } => {
-                let (store, meta) = FileMem::<Cell>::open_at(&path, cache_pages, 32, max_epoch)
-                    .map_err(|e| store_error(&path, e))?;
+                let dev = DirectFile::open(&path, direct)
+                    .map_err(|e| store_error(&path, cosbt_dam::OpenError::Io(e)))?;
+                let (store, meta) =
+                    FileMem::<Cell, DirectFile>::open_bounded(dev, cache_pages, 32, max_epoch)
+                        .map_err(|e| store_error(&path, e))?;
                 self.check_page_size(&path, store.page_size())?;
                 check(&meta)?;
                 let mem = ArcFileMem::new(store);
@@ -1010,7 +1146,7 @@ impl DbBuilder {
                     }
                     _ => unreachable!(),
                 };
-                Ok((dict, IoHandle::Mem(mem)))
+                Ok((dict, StoreHandle::Mem(mem)))
             }
         }
     }
@@ -1036,7 +1172,7 @@ impl DbBuilder {
     pub fn data_paths(&self) -> Vec<PathBuf> {
         match &self.backend {
             Backend::Mem => Vec::new(),
-            Backend::File(base) => {
+            Backend::File { path: base, .. } => {
                 let mut paths: Vec<PathBuf> = (0..self.shards)
                     .map(|i| self.shard_file_path(base, i))
                     .collect();
@@ -1068,7 +1204,7 @@ impl DbBuilder {
         &self,
         idx: usize,
         unsupported: &dyn Fn(&str) -> BuildError,
-    ) -> Result<(Shard, Option<IoHandle>), BuildError> {
+    ) -> Result<(Shard, Option<StoreHandle>), BuildError> {
         // Each shard gets an even share of the cache budget.
         let cache_pages = (self.cache_bytes / self.shards / DEFAULT_PAGE_SIZE).max(2);
         match (&self.backend, self.structure) {
@@ -1095,7 +1231,7 @@ impl DbBuilder {
             (Backend::Mem, Structure::BTree) => Ok((Box::new(BTree::new_plain()), None)),
             (Backend::Mem, Structure::Brt) => Ok((Box::new(Brt::new_plain()), None)),
             (Backend::Mem, Structure::Shuttle { c }) => Ok((Box::new(ShuttleTree::new(c)), None)),
-            (Backend::File(base), structure) => {
+            (Backend::File { path: base, direct }, structure) => {
                 let path = self.shard_file_path(base, idx);
                 match structure {
                     Structure::Shuttle { .. } => Err(unsupported(
@@ -1103,8 +1239,9 @@ impl DbBuilder {
                          through LayoutImage, not served from disk)",
                     )),
                     Structure::BTree | Structure::Brt => {
-                        let store = ArcFilePages::new(FilePages::create_sized(
-                            &path,
+                        let dev = DirectFile::create(&path, *direct)?;
+                        let store = ArcFilePages::new(FilePages::create_on_sized(
+                            dev,
                             DEFAULT_PAGE_SIZE,
                             cache_pages,
                             self.meta_slot_bytes,
@@ -1113,12 +1250,13 @@ impl DbBuilder {
                             Structure::BTree => Box::new(BTree::new(store.clone())),
                             _ => Box::new(Brt::new(store.clone())),
                         };
-                        Ok((dict, Some(IoHandle::Pages(store))))
+                        Ok((dict, Some(StoreHandle::Pages(store))))
                     }
                     Structure::BasicCola | Structure::GCola { .. } => {
                         // 32-byte modeled elements, as in the paper.
-                        let mem = ArcFileMem::new(FileMem::<Cell>::create_sized(
-                            &path,
+                        let dev = DirectFile::create(&path, *direct)?;
+                        let mem = ArcFileMem::new(FileMem::<Cell, DirectFile>::create_on_sized(
+                            dev,
                             DEFAULT_PAGE_SIZE,
                             cache_pages,
                             32,
@@ -1147,7 +1285,7 @@ impl DbBuilder {
                             }
                             _ => unreachable!(),
                         };
-                        Ok((dict, Some(IoHandle::Mem(mem))))
+                        Ok((dict, Some(StoreHandle::Mem(mem))))
                     }
                 }
             }
@@ -1200,6 +1338,55 @@ impl DbBuilder {
         out
     }
 
+    /// The builder's configuration as plain serializable data; the
+    /// round-trip companion of [`DbBuilder::from_config`].
+    pub fn config(&self) -> DbConfig {
+        DbConfig {
+            structure: self.structure,
+            deamortized: self.deamortized,
+            pointer_density: self.pointer_density,
+            cascade: self.cascade,
+            shards: self.shards,
+            splitters: self.splitters.clone(),
+            parallel_ingest: self.parallel_ingest,
+            background_merge: self.background_merge,
+            cache_bytes: self.cache_bytes,
+            meta_slot_bytes: self.meta_slot_bytes,
+            backend: self.backend.clone(),
+        }
+    }
+
+    /// A builder reproducing `cfg` exactly:
+    /// `DbBuilder::from_config(&b.config())` configures an equivalent
+    /// database (same structure, backend, modifiers, and budgets).
+    ///
+    /// ```
+    /// use cosbt::{DbBuilder, Structure};
+    ///
+    /// let b = DbBuilder::new().structure(Structure::GCola { g: 8 }).shards(2);
+    /// let cfg = b.config();
+    /// assert_eq!(DbBuilder::from_config(&cfg).config(), cfg);
+    /// ```
+    pub fn from_config(cfg: &DbConfig) -> DbBuilder {
+        let mut b = DbBuilder::new()
+            .structure(cfg.structure)
+            .backend(cfg.backend.clone())
+            .cache_bytes(cfg.cache_bytes)
+            .meta_slot_bytes(cfg.meta_slot_bytes)
+            .pointer_density(cfg.pointer_density)
+            .shards(cfg.shards)
+            .parallel_ingest(cfg.parallel_ingest)
+            .background_merge(cfg.background_merge)
+            .cascade(cfg.cascade);
+        if let Some(s) = &cfg.splitters {
+            b = b.shard_splitters(s.clone());
+        }
+        if cfg.deamortized {
+            b = b.deamortized();
+        }
+        b
+    }
+
     /// Display label of the configured structure ("4-COLA", "B-tree",
     /// "4-COLA ×4 shards", …).
     pub fn label(&self) -> String {
@@ -1225,97 +1412,146 @@ impl DbBuilder {
 
 /// Shared I/O-counter handle of one file-backed shard.
 #[derive(Clone)]
-enum IoHandle {
-    Mem(ArcFileMem<Cell>),
-    Pages(ArcFilePages),
+enum StoreHandle {
+    Mem(ArcFileMem<Cell, DirectFile>),
+    Pages(ArcFilePages<DirectFile>),
 }
 
-impl IoHandle {
+impl StoreHandle {
     fn stats(&self) -> IoStats {
         match self {
-            IoHandle::Mem(m) => m.stats(),
-            IoHandle::Pages(p) => p.stats(),
+            StoreHandle::Mem(m) => m.stats(),
+            StoreHandle::Pages(p) => p.stats(),
         }
     }
 
     fn reset_stats(&self) {
         match self {
-            IoHandle::Mem(m) => m.reset_stats(),
-            IoHandle::Pages(p) => p.reset_stats(),
+            StoreHandle::Mem(m) => m.reset_stats(),
+            StoreHandle::Pages(p) => p.reset_stats(),
         }
     }
 
     fn take_stats(&self) -> IoStats {
         match self {
-            IoHandle::Mem(m) => m.take_stats(),
-            IoHandle::Pages(p) => p.take_stats(),
+            StoreHandle::Mem(m) => m.take_stats(),
+            StoreHandle::Pages(p) => p.take_stats(),
         }
     }
 
     fn drop_cache(&self) -> io::Result<()> {
         match self {
-            IoHandle::Mem(m) => m.drop_cache(),
-            IoHandle::Pages(p) => p.drop_cache(),
+            StoreHandle::Mem(m) => m.drop_cache(),
+            StoreHandle::Pages(p) => p.drop_cache(),
         }
     }
 
     fn commit_meta(&self, structure_meta: &[u8]) -> io::Result<()> {
         match self {
-            IoHandle::Mem(m) => m.commit_meta(structure_meta),
-            IoHandle::Pages(p) => p.commit_meta(structure_meta),
+            StoreHandle::Mem(m) => m.commit_meta(structure_meta),
+            StoreHandle::Pages(p) => p.commit_meta(structure_meta),
         }
     }
 
     fn epoch(&self) -> u64 {
         match self {
-            IoHandle::Mem(m) => m.epoch(),
-            IoHandle::Pages(p) => p.epoch(),
+            StoreHandle::Mem(m) => m.epoch(),
+            StoreHandle::Pages(p) => p.epoch(),
         }
     }
 
     fn set_reclaim_gate(&self, gate: std::sync::Arc<dyn cosbt_dam::ReclaimGate>) {
         match self {
-            IoHandle::Mem(m) => m.set_reclaim_gate(gate),
-            IoHandle::Pages(p) => p.set_reclaim_gate(gate),
+            StoreHandle::Mem(m) => m.set_reclaim_gate(gate),
+            StoreHandle::Pages(p) => p.set_reclaim_gate(gate),
         }
     }
 }
 
-/// A cheap cloneable reader of a file-backed [`Db`]'s I/O counters,
-/// usable while the dictionary itself is mutably borrowed. For a sharded
-/// database the counters aggregate (sum fieldwise) over every shard's
-/// backing store.
+/// The one I/O-statistics surface of a [`Db`]: a cheap, cloneable
+/// handle over every shard's counters, obtained from [`Db::io`].
+///
+/// Counters aggregate (sum fieldwise) across shards. The handle reads
+/// lock-free atomics, so it is usable from any thread while the
+/// database itself is mutably borrowed — a probe racing a concurrent
+/// writer can neither drop nor double-count a transfer, and cannot be
+/// starved by a writer mid-merge. For memory backends the handle is
+/// empty: every counter reads zero and
+/// [`is_instrumented`](IoHandle::is_instrumented) returns false.
 #[derive(Clone)]
-pub struct IoProbe {
-    handles: Vec<IoHandle>,
+pub struct IoHandle {
+    handles: Vec<StoreHandle>,
 }
 
-impl IoProbe {
+impl IoHandle {
     /// Current counters, summed across shards.
-    pub fn stats(&self) -> IoStats {
+    pub fn snapshot(&self) -> IoStats {
         self.handles.iter().map(|h| h.stats()).sum()
     }
 
-    /// Cumulative block transfers (fetches + writebacks).
-    pub fn transfers(&self) -> u64 {
-        self.stats().transfers()
-    }
-
     /// Returns the counters accumulated so far (summed across shards)
-    /// and resets them, mirroring [`Db::take_io_stats`] — usable while
-    /// another thread holds the database mutably. Each counter is
-    /// atomically swapped to zero, so a probe racing a concurrent
-    /// writer can neither drop nor double-count a transfer, and (being
-    /// lock-free) cannot be starved by a writer mid-merge.
-    pub fn take_stats(&self) -> IoStats {
+    /// and resets them — one call closes a measurement phase and opens
+    /// the next. Each shard's swap is atomic, so no access is lost at
+    /// the boundary even while worker threads are mid-batch.
+    pub fn take(&self) -> IoStats {
         self.handles.iter().map(|h| h.take_stats()).sum()
     }
 
     /// Resets the counters of every shard (lock-free).
-    pub fn reset_stats(&self) {
+    pub fn reset(&self) {
         for h in &self.handles {
             h.reset_stats();
         }
+    }
+
+    /// Cumulative block transfers (fetches + writebacks).
+    pub fn transfers(&self) -> u64 {
+        self.snapshot().transfers()
+    }
+
+    /// Whether any instrumented (file-backed) store is attached; false
+    /// for memory backends, whose counters always read zero.
+    pub fn is_instrumented(&self) -> bool {
+        !self.handles.is_empty()
+    }
+}
+
+impl std::fmt::Debug for IoHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoHandle")
+            .field("shards", &self.handles.len())
+            .field("stats", &self.snapshot())
+            .finish()
+    }
+}
+
+/// A cheap cloneable reader of a file-backed [`Db`]'s I/O counters.
+#[deprecated(note = "use `Db::io()` -> `IoHandle` (snapshot/take/reset) instead")]
+#[derive(Clone)]
+pub struct IoProbe {
+    inner: IoHandle,
+}
+
+#[allow(deprecated)]
+impl IoProbe {
+    /// Current counters, summed across shards.
+    pub fn stats(&self) -> IoStats {
+        self.inner.snapshot()
+    }
+
+    /// Cumulative block transfers (fetches + writebacks).
+    pub fn transfers(&self) -> u64 {
+        self.inner.transfers()
+    }
+
+    /// Returns the counters accumulated so far and resets them.
+    pub fn take_stats(&self) -> IoStats {
+        self.inner.take()
+    }
+
+    /// Resets the counters of every shard (lock-free).
+    pub fn reset_stats(&self) {
+        self.inner.reset()
     }
 }
 
@@ -1406,7 +1642,7 @@ pub struct Db {
     dict: DbDict,
     /// One handle per file-backed shard, in shard order; empty for
     /// memory backends.
-    ios: Vec<IoHandle>,
+    ios: Vec<StoreHandle>,
     label: String,
     /// Whether the dictionary may have changed since the last commit;
     /// gates the best-effort sync-on-drop so a read-only session never
@@ -1419,6 +1655,9 @@ pub struct Db {
     /// the first [`Db::snapshot`] call it mirrors nothing and costs one
     /// branch per write.
     mvcc: MvccState,
+    /// The configuration this database was built/opened with (see
+    /// [`Db::config`]).
+    config: DbConfig,
 }
 
 impl std::fmt::Debug for Db {
@@ -1549,7 +1788,7 @@ impl Db {
                 // Cross-shard commit point: rename the epoch vector into
                 // place only after every shard's own commit is durable.
                 if let Some(cp) = &self.commit_path {
-                    let epochs: Vec<u64> = self.ios.iter().map(IoHandle::epoch).collect();
+                    let epochs: Vec<u64> = self.ios.iter().map(StoreHandle::epoch).collect();
                     write_file_atomic(cp, &encode_commit_record(&epochs))?;
                 }
             }
@@ -1558,39 +1797,49 @@ impl Db {
         Ok(())
     }
 
-    /// I/O-counter probe; `None` for memory backends. Counters aggregate
-    /// across shards for sharded file-backed databases.
+    /// The single entry point to the backing stores' I/O counters: a
+    /// cheap, cloneable [`IoHandle`] with
+    /// [`snapshot`](IoHandle::snapshot) / [`take`](IoHandle::take) /
+    /// [`reset`](IoHandle::reset). Counters aggregate (sum fieldwise)
+    /// across shards; for memory backends the handle is empty and every
+    /// counter reads zero ([`IoHandle::is_instrumented`] distinguishes
+    /// the two). The handle stays valid while the database is mutably
+    /// borrowed or driven from another thread.
+    pub fn io(&self) -> IoHandle {
+        IoHandle {
+            handles: self.ios.clone(),
+        }
+    }
+
+    /// I/O-counter probe; `None` for memory backends.
+    #[deprecated(note = "use `Db::io()`; `IoHandle` exists for memory backends too")]
+    #[allow(deprecated)]
     pub fn io_probe(&self) -> Option<IoProbe> {
         if self.ios.is_empty() {
             None
         } else {
-            Some(IoProbe {
-                handles: self.ios.clone(),
-            })
+            Some(IoProbe { inner: self.io() })
         }
     }
 
     /// Real-I/O counters, summed across shards; zeros for memory
     /// backends.
+    #[deprecated(note = "use `Db::io().snapshot()`")]
     pub fn io_stats(&self) -> IoStats {
-        self.ios.iter().map(|h| h.stats()).sum()
+        self.io().snapshot()
     }
 
     /// Resets the I/O counters of every shard (no-op for memory
     /// backends).
+    #[deprecated(note = "use `Db::io().reset()`")]
     pub fn reset_io_stats(&self) {
-        for h in &self.ios {
-            h.reset_stats();
-        }
+        self.io().reset()
     }
 
-    /// Returns the counters accumulated so far (summed across shards) and
-    /// resets them — one call closes a measurement phase and opens the
-    /// next. Each shard's snapshot-and-reset is atomic under its store
-    /// lock, so no access is lost at the boundary even while worker
-    /// threads are mid-batch on other shards. Zeros for memory backends.
+    /// Returns the counters accumulated so far and resets them.
+    #[deprecated(note = "use `Db::io().take()`")]
     pub fn take_io_stats(&self) -> IoStats {
-        self.ios.iter().map(|h| h.take_stats()).sum()
+        self.io().take()
     }
 
     /// Declares the in-memory state disposable: suppresses the
@@ -1629,7 +1878,7 @@ impl Db {
     /// single-threaded transfer counts are byte-identical to builds
     /// without this subsystem.
     pub fn snapshot(&mut self) -> DbSnapshot {
-        let store_epochs: std::sync::Arc<[u64]> = self.ios.iter().map(IoHandle::epoch).collect();
+        let store_epochs: std::sync::Arc<[u64]> = self.ios.iter().map(StoreHandle::epoch).collect();
         if self.mvcc.needs_seed() {
             let base = self.dict.range(0, u64::MAX);
             self.mvcc.seed(base, store_epochs);
@@ -1640,10 +1889,33 @@ impl Db {
         DbSnapshot::new(self.mvcc.mgr.pin())
     }
 
+    /// A concurrent read handle: a [`DbReader`] that serves
+    /// `get`/`range`/`cursor` lock-free against the newest *published*
+    /// epoch, auto-refreshing within a configurable staleness bound
+    /// (see [`DbReader::with_staleness`]). This is the documented read
+    /// path for "many readers, one writer" deployments: hand one
+    /// reader to each thread, keep writing through the `Db`, and call
+    /// [`Db::snapshot`] (or `reader()` again) to publish batches of
+    /// writes to the readers.
+    ///
+    /// Like [`Db::snapshot`], the call publishes all pending writes
+    /// first (the first ever call seeds the overlay with a full scan).
+    pub fn reader(&mut self) -> DbReader {
+        let snap = self.snapshot();
+        DbReader::new(self.mvcc.mgr.clone(), snap)
+    }
+
     /// Counters of the epoch/snapshot subsystem (epochs published, runs
     /// retired/reclaimed, currently pinned snapshots).
     pub fn snapshot_stats(&self) -> EpochStats {
         self.mvcc.mgr.stats()
+    }
+
+    /// The configuration this database was built or opened with, as a
+    /// serializable [`DbConfig`] — the round-trip companion of
+    /// [`DbBuilder::from_config`].
+    pub fn config(&self) -> &DbConfig {
+        &self.config
     }
 
     /// Points every store's page reclamation at the epoch manager so
@@ -1811,7 +2083,7 @@ mod tests {
             let path = tmp(&format!("{s:?}").replace([' ', '{', '}', ':'], ""));
             let mut db = DbBuilder::new()
                 .structure(s)
-                .backend(Backend::File(path.clone()))
+                .backend(Backend::file(path.clone()))
                 .cache_bytes(64 * 1024)
                 .build()
                 .unwrap();
@@ -1820,7 +2092,7 @@ mod tests {
             }
             db.drop_cache().unwrap();
             assert_eq!(db.get(1500), Some(1507), "{}", db.label());
-            assert!(db.io_stats().accesses > 0, "{}", db.label());
+            assert!(db.io().snapshot().accesses > 0, "{}", db.label());
             drop(db);
             std::fs::remove_file(path).ok();
         }
@@ -1831,7 +2103,7 @@ mod tests {
         let base = tmp("sharded");
         let mut db = DbBuilder::new()
             .structure(Structure::GCola { g: 4 })
-            .backend(Backend::File(base.clone()))
+            .backend(Backend::file(base.clone()))
             .cache_bytes(256 * 1024)
             .shards(4)
             .shard_splitters(vec![500, 1000, 1500])
@@ -1841,17 +2113,17 @@ mod tests {
         let run: Vec<(u64, u64)> = (0..2000u64).map(|k| (k, k + 7)).collect();
         db.insert_batch(&run);
         db.drop_cache().unwrap();
-        let probe = db.io_probe().expect("file backend has a probe");
-        let before = probe.stats();
+        let probe = db.io();
+        let before = probe.snapshot();
         // One get per shard's partition → every shard's store is touched.
         for k in [100u64, 700, 1200, 1800] {
             assert_eq!(db.get(k), Some(k + 7));
         }
-        let after = probe.stats();
+        let after = probe.snapshot();
         assert!(after.accesses > before.accesses);
         assert!(after.fetches > 0, "cold reads fetch from every shard");
-        db.reset_io_stats();
-        assert_eq!(db.io_stats().accesses, 0);
+        probe.reset();
+        assert_eq!(db.io().snapshot().accesses, 0);
         drop(db);
         for i in 0..4 {
             let mut os = base.clone().into_os_string();
@@ -1873,7 +2145,7 @@ mod tests {
         std::fs::create_dir_all(&blocker).unwrap();
         let err = DbBuilder::new()
             .structure(Structure::GCola { g: 4 })
-            .backend(Backend::File(base.clone()))
+            .backend(Backend::file(base.clone()))
             .shards(2)
             .build();
         assert!(matches!(err, Err(BuildError::Io(_))));
@@ -1895,7 +2167,7 @@ mod tests {
         std::fs::write(&path, b"precious bytes").unwrap();
         let err = DbBuilder::new()
             .structure(Structure::Shuttle { c: 4 })
-            .backend(Backend::File(path.clone()))
+            .backend(Backend::file(path.clone()))
             .build();
         assert!(matches!(err, Err(BuildError::Unsupported(_))));
         assert_eq!(
@@ -1910,7 +2182,7 @@ mod tests {
     fn data_paths_name_every_backing_file() {
         assert!(DbBuilder::new().data_paths().is_empty(), "mem: no files");
         let base = tmp("datapaths");
-        let b = DbBuilder::new().backend(Backend::File(base.clone()));
+        let b = DbBuilder::new().backend(Backend::file(base.clone()));
         assert_eq!(b.data_paths(), vec![base.clone()], "unsharded: the path");
         let b = b.shards(3);
         let paths = b.data_paths();
@@ -1977,22 +2249,22 @@ mod tests {
         let path = tmp("takeio");
         let mut db = DbBuilder::new()
             .structure(Structure::GCola { g: 4 })
-            .backend(Backend::File(path.clone()))
+            .backend(Backend::file(path.clone()))
             .cache_bytes(64 * 1024)
             .build()
             .unwrap();
         for k in 0..2000u64 {
             db.insert(k, k);
         }
-        let prefill = db.take_io_stats();
+        let prefill = db.io().take();
         assert!(prefill.accesses > 0);
-        assert_eq!(db.io_stats(), IoStats::default());
+        assert_eq!(db.io().snapshot(), IoStats::default());
         db.drop_cache().unwrap();
-        let _ = db.take_io_stats();
+        let _ = db.io().take();
         for k in (0..2000u64).step_by(101) {
             assert_eq!(db.get(k), Some(k));
         }
-        let run = db.take_io_stats();
+        let run = db.io().take();
         assert!(run.fetches > 0, "cold search phase fetched");
         drop(db);
         std::fs::remove_file(path).ok();
@@ -2021,7 +2293,7 @@ mod tests {
             .is_err());
         assert!(DbBuilder::new()
             .structure(Structure::Shuttle { c: 4 })
-            .backend(Backend::File(tmp("shuttle")))
+            .backend(Backend::file(tmp("shuttle")))
             .build()
             .is_err());
         assert!(DbBuilder::new().shards(0).build().is_err());
@@ -2038,7 +2310,7 @@ mod tests {
         // A sharded file backend whose budget cannot cover every shard's
         // 2-page cache floor must fail instead of silently exceeding it.
         assert!(DbBuilder::new()
-            .backend(Backend::File(tmp("tinycache")))
+            .backend(Backend::file(tmp("tinycache")))
             .shards(8)
             .cache_bytes(4 * 4096)
             .build()
@@ -2093,9 +2365,110 @@ mod tests {
     }
 
     #[test]
+    fn config_round_trips_through_builder() {
+        let b = DbBuilder::new()
+            .structure(Structure::GCola { g: 8 })
+            .deamortized()
+            .pointer_density(0.25)
+            .cascade(false)
+            .shards(3)
+            .shard_splitters(vec![100, 200])
+            .parallel_ingest(true)
+            .cache_bytes(1 << 20)
+            .backend(Backend::file_direct("scratch.db"));
+        let cfg = b.config();
+        assert_eq!(DbBuilder::from_config(&cfg).config(), cfg);
+        assert_eq!(DbBuilder::from_config(&cfg).label(), b.label());
+        assert_eq!(cfg.backend_kind(), "file-direct");
+        assert!(cfg.direct());
+        assert_eq!(
+            cfg.identity(),
+            DbBuilder::from_config(&cfg).config().identity()
+        );
+
+        let mem = DbBuilder::new().config();
+        assert_eq!(mem.backend_kind(), "mem");
+        assert!(!mem.direct());
+        assert_ne!(mem.identity(), cfg.identity());
+    }
+
+    #[test]
+    fn db_config_reflects_build_and_reopen() {
+        let path = tmp("config-reflect");
+        let builder = DbBuilder::new()
+            .structure(Structure::GCola { g: 4 })
+            .backend(Backend::file(path.clone()))
+            .cache_bytes(128 * 1024)
+            .shards(2)
+            .shard_splitters(vec![1000]);
+        let mut db = builder.clone().build().unwrap();
+        db.insert(1, 10);
+        db.insert(2000, 20);
+        let built_cfg = db.config().clone();
+        assert_eq!(built_cfg, builder.config());
+        db.sync().unwrap();
+        drop(db);
+
+        // Reopening without splitters recovers them from the manifest,
+        // so the recorded config reproduces the layout exactly.
+        let db = DbBuilder::new()
+            .structure(Structure::GCola { g: 4 })
+            .backend(Backend::file(path.clone()))
+            .cache_bytes(128 * 1024)
+            .shards(2)
+            .open()
+            .unwrap();
+        assert_eq!(db.config().splitters, Some(vec![1000]));
+        assert_eq!(db.config().identity(), built_cfg.identity());
+        drop(db);
+        for p in data_paths_for(&path) {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    fn data_paths_for(base: &Path) -> Vec<PathBuf> {
+        let mut out = vec![base.to_path_buf()];
+        for i in 0..8 {
+            let mut os = base.to_path_buf().into_os_string();
+            os.push(format!(".shard{i}"));
+            out.push(PathBuf::from(os));
+        }
+        out
+    }
+
+    #[test]
     fn db_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Db>();
+        assert_send::<IoHandle>();
+        #[allow(deprecated)]
         assert_send::<IoProbe>();
+    }
+
+    /// The pre-`Db::io()` surface must keep compiling (with deprecation
+    /// warnings) and keep returning the same counters it always did.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_io_surface_still_works() {
+        let path = tmp("deprecated-io");
+        let mut db = DbBuilder::new()
+            .structure(Structure::GCola { g: 4 })
+            .backend(Backend::file(path.clone()))
+            .cache_bytes(64 * 1024)
+            .build()
+            .unwrap();
+        for k in 0..500u64 {
+            db.insert(k, k);
+        }
+        let probe = db.io_probe().expect("file backend has a probe");
+        assert_eq!(probe.stats(), db.io_stats());
+        assert_eq!(db.io_stats(), db.io().snapshot());
+        let taken = db.take_io_stats();
+        assert!(taken.accesses > 0);
+        assert_eq!(db.io_stats(), IoStats::default());
+        db.reset_io_stats();
+        assert_eq!(probe.transfers(), db.io().transfers());
+        drop(db);
+        std::fs::remove_file(path).ok();
     }
 }

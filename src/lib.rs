@@ -18,7 +18,7 @@
 //!
 //! // The paper's experimental structure: a 4-COLA (growth factor 4),
 //! // in memory. Swap one line for `.structure(Structure::BTree)` or
-//! // `.backend(Backend::File(path)).cache_bytes(1 << 20)` to change
+//! // `.backend(Backend::file(path)).cache_bytes(1 << 20)` to change
 //! // structure or storage.
 //! let mut db = DbBuilder::new()
 //!     .structure(Structure::GCola { g: 4 })
@@ -76,11 +76,14 @@ mod db;
 pub mod shard;
 pub mod snapshot;
 
+#[allow(deprecated)]
+pub use db::IoProbe;
 pub use db::{
-    Backend, BuildError, Db, DbBuilder, IoProbe, OpenError, Structure, VALID_COMBINATIONS,
+    Backend, BuildError, Db, DbBuilder, DbConfig, IoHandle, OpenError, Structure,
+    VALID_COMBINATIONS,
 };
 pub use shard::ShardRouter;
-pub use snapshot::{DbSnapshot, SnapshotCursor};
+pub use snapshot::{DbReader, DbSnapshot, SnapshotCursor};
 
 /// The shared dictionary API: trait, batches, cursors.
 pub use cosbt_core::{BatchOp, Cursor, CursorOps, Dictionary, UpdateBatch, VecCursor};

@@ -281,6 +281,123 @@ impl DbSnapshot {
     }
 }
 
+/// A concurrent read handle over a [`Db`](crate::Db): a
+/// [`DbSnapshot`] that automatically re-pins the newest *published*
+/// epoch when its own view falls more than a configurable number of
+/// epochs behind.
+///
+/// Obtained from [`Db::reader`](crate::Db::reader); this is the
+/// documented read path for "many readers, one writer" deployments.
+/// Reads are lock-free and never block the writer; the handle is
+/// [`Send`], so each reader thread owns one. The read methods take
+/// `&mut self` only to perform the cheap staleness check — they never
+/// mutate the database.
+///
+/// Freshness is bounded by publication: a reader observes writes only
+/// once the writer publishes them with
+/// [`Db::snapshot`](crate::Db::snapshot) (or another
+/// [`Db::reader`](crate::Db::reader) call). With the default staleness
+/// bound of 0 a refreshed reader always sees the newest published
+/// epoch; [`DbReader::with_staleness`] trades freshness for fewer
+/// re-pins.
+///
+/// ```
+/// use cosbt::DbBuilder;
+///
+/// let mut db = DbBuilder::new().build().unwrap();
+/// db.insert(1, 10);
+/// let mut reader = db.reader();
+/// assert_eq!(reader.get(1), Some(10));
+/// db.insert(1, 20);
+/// db.snapshot(); // publish
+/// assert_eq!(reader.get(1), Some(20), "auto-refreshed");
+/// ```
+pub struct DbReader {
+    mgr: Arc<EpochManager>,
+    local: DbSnapshot,
+    /// Allowed lag, in epochs, behind the newest published epoch
+    /// before a read re-pins.
+    staleness: u64,
+}
+
+impl std::fmt::Debug for DbReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbReader")
+            .field("epoch", &self.local.epoch())
+            .field("staleness", &self.staleness)
+            .finish()
+    }
+}
+
+impl DbReader {
+    pub(crate) fn new(mgr: Arc<EpochManager>, local: DbSnapshot) -> DbReader {
+        DbReader {
+            mgr,
+            local,
+            staleness: 0,
+        }
+    }
+
+    /// Sets the staleness bound: reads tolerate a view up to `epochs`
+    /// published epochs old before re-pinning (0 = always refresh to
+    /// the newest published epoch).
+    pub fn with_staleness(mut self, epochs: u64) -> DbReader {
+        self.staleness = epochs;
+        self
+    }
+
+    /// The configured staleness bound, in epochs.
+    pub fn staleness(&self) -> u64 {
+        self.staleness
+    }
+
+    /// The epoch of the currently pinned view.
+    pub fn epoch(&self) -> u64 {
+        self.local.epoch()
+    }
+
+    /// Unconditionally re-pins the newest published epoch.
+    pub fn refresh(&mut self) {
+        self.local = DbSnapshot::new(self.mgr.pin());
+    }
+
+    /// Re-pins if the local view lags more than the staleness bound.
+    #[inline]
+    fn maybe_refresh(&mut self) {
+        let newest = self.mgr.current().seq();
+        if newest > self.local.epoch().saturating_add(self.staleness) {
+            self.refresh();
+        }
+    }
+
+    /// Looks up `key` in the (refreshed-if-stale) pinned view.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        self.maybe_refresh();
+        self.local.get(key)
+    }
+
+    /// All live entries with `lo <= key <= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.maybe_refresh();
+        self.local.range(lo, hi)
+    }
+
+    /// A bidirectional cursor over `[lo, hi]` of the current view. The
+    /// cursor pins its epoch independently, so it stays consistent even
+    /// if the reader refreshes afterwards.
+    pub fn cursor(&mut self, lo: u64, hi: u64) -> SnapshotCursor {
+        self.maybe_refresh();
+        self.local.cursor(lo, hi)
+    }
+
+    /// A pinned [`DbSnapshot`] of the current view, for code that wants
+    /// explicit (non-refreshing) snapshot semantics.
+    pub fn pin(&mut self) -> DbSnapshot {
+        self.maybe_refresh();
+        self.local.clone()
+    }
+}
+
 /// One run restricted to the cursor's key window.
 struct RunWindow {
     run: Run,
@@ -491,6 +608,53 @@ mod tests {
         assert_eq!(s1.get(2), None);
         assert_eq!(s2.get(2), Some(20), "reseed picked up the raw write");
         assert_eq!(s2.get(1), Some(10));
+    }
+
+    #[test]
+    fn reader_auto_refreshes_on_publish() {
+        let mut db = DbBuilder::new().build().unwrap();
+        db.insert(1, 10);
+        let mut r = db.reader();
+        assert_eq!(r.get(1), Some(10));
+        let e0 = r.epoch();
+        // Unpublished writes stay invisible.
+        db.insert(1, 20);
+        assert_eq!(r.get(1), Some(10), "publication bounds freshness");
+        db.snapshot();
+        assert_eq!(r.get(1), Some(20), "refreshes past published epochs");
+        assert!(r.epoch() > e0);
+    }
+
+    #[test]
+    fn reader_staleness_bound_tolerates_lag() {
+        let mut db = DbBuilder::new().build().unwrap();
+        db.insert(1, 10);
+        let mut lazy = db.reader().with_staleness(u64::MAX);
+        let mut eager = db.reader();
+        assert_eq!(lazy.staleness(), u64::MAX);
+        db.insert(1, 30);
+        db.snapshot();
+        assert_eq!(lazy.get(1), Some(10), "within staleness budget: no re-pin");
+        assert_eq!(eager.get(1), Some(30));
+        lazy.refresh();
+        assert_eq!(lazy.get(1), Some(30), "explicit refresh still works");
+    }
+
+    #[test]
+    fn reader_is_send_and_cursor_outlives_refresh() {
+        fn assert_send<T: Send>() {}
+        assert_send::<DbReader>();
+        let mut db = DbBuilder::new().build().unwrap();
+        db.insert_batch(&[(1, 1), (2, 2), (3, 3)]);
+        let mut r = db.reader();
+        let mut cur = r.cursor(0, u64::MAX);
+        db.delete(2);
+        db.snapshot();
+        assert_eq!(r.get(2), None, "reader sees the delete");
+        // The cursor pinned the older epoch and is unaffected.
+        assert_eq!(cur.next(), Some((1, 1)));
+        assert_eq!(cur.next(), Some((2, 2)));
+        assert_eq!(cur.next(), Some((3, 3)));
     }
 
     #[test]

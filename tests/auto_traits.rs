@@ -4,7 +4,9 @@
 //! this crate's *build*, not a runtime test.
 
 use cosbt::cola::{EpochManager, PinnedEpoch, WorkerPool};
-use cosbt::{Db, DbSnapshot, IoProbe, SnapshotCursor};
+#[allow(deprecated)]
+use cosbt::IoProbe;
+use cosbt::{Db, DbReader, DbSnapshot, IoHandle, SnapshotCursor};
 
 fn assert_send<T: Send>() {}
 fn assert_sync<T: Sync>() {}
@@ -32,13 +34,23 @@ fn snapshot_handles_are_shareable() {
     // cursor is used by one thread at a time via &mut).
     assert_send_sync::<SnapshotCursor>();
     assert_static::<SnapshotCursor>();
+    // A reader moves to its client thread and lives for the thread's
+    // lifetime; refresh happens through `&mut self`, so `Sync` is not
+    // required (and not promised).
+    assert_send::<DbReader>();
+    assert_static::<DbReader>();
 }
 
 #[test]
 fn probe_and_internals_are_shareable() {
-    // IoProbe must be usable from a monitoring thread while a writer
-    // thread owns the Db.
+    // IoHandle must be usable from a monitoring thread while a writer
+    // thread owns the Db — and the deprecated IoProbe shim must keep
+    // the same auto traits until it is removed.
+    assert_send_sync::<IoHandle>();
+    assert_clone::<IoHandle>();
+    #[allow(deprecated)]
     assert_send_sync::<IoProbe>();
+    #[allow(deprecated)]
     assert_clone::<IoProbe>();
     // Subsystem internals that cross thread boundaries by design.
     assert_send_sync::<EpochManager>();

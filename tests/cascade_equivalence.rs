@@ -42,7 +42,7 @@ fn builder(
         b = b.deamortized();
     }
     if let Some(p) = file {
-        b = b.backend(Backend::File(p)).cache_bytes(256 * 1024);
+        b = b.backend(Backend::file(p)).cache_bytes(256 * 1024);
     }
     b
 }

@@ -219,7 +219,7 @@ fn crash_mid_background_merge_recovers_last_committed_epoch() {
 
     let builder = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(path.clone()))
+        .backend(Backend::file(path.clone()))
         .cache_bytes(256 * 1024)
         .background_merge(1);
 
@@ -248,7 +248,7 @@ fn crash_mid_background_merge_recovers_last_committed_epoch() {
 
     let mut recovered = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(copy.clone()))
+        .backend(Backend::file(copy.clone()))
         .cache_bytes(256 * 1024)
         .open()
         .unwrap();
@@ -287,12 +287,12 @@ fn take_io_stats_loses_nothing_under_concurrent_swaps() {
     std::fs::remove_file(&serial_path).ok();
     let mut serial = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(serial_path.clone()))
+        .backend(Backend::file(serial_path.clone()))
         .cache_bytes(128 * 1024)
         .build()
         .unwrap();
     workload(&mut serial);
-    let expected = serial.take_io_stats();
+    let expected = serial.io().take();
     serial.discard_on_drop();
     drop(serial);
     std::fs::remove_file(&serial_path).ok();
@@ -304,20 +304,20 @@ fn take_io_stats_loses_nothing_under_concurrent_swaps() {
     std::fs::remove_file(&conc_path).ok();
     let mut db = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(conc_path.clone()))
+        .backend(Backend::file(conc_path.clone()))
         .cache_bytes(128 * 1024)
         .build()
         .unwrap();
-    let probe = db.io_probe().expect("file-backed db has a probe");
+    let probe = db.io();
     let done = Arc::new(AtomicBool::new(false));
     let monitor = {
         let done = Arc::clone(&done);
         thread::spawn(move || {
             let mut acc = cosbt::dam::IoStats::default();
             while !done.load(Ordering::Acquire) {
-                acc += probe.take_stats();
+                acc += probe.take();
             }
-            acc += probe.take_stats(); // final drain after writer stops
+            acc += probe.take(); // final drain after writer stops
             acc
         })
     };

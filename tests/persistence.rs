@@ -94,7 +94,7 @@ fn reopen_round_trip_across_the_matrix() {
     );
     for (i, cell) in cells.into_iter().enumerate() {
         let path = tmp(&format!("matrix{i}"));
-        let builder = cell.backend(Backend::File(path)).cache_bytes(512 * 1024);
+        let builder = cell.backend(Backend::file(path)).cache_bytes(512 * 1024);
         let label = builder.label();
         cleanup(&builder);
         let mut rng = Rng::new(42 + i as u64);
@@ -113,10 +113,10 @@ fn reopen_round_trip_across_the_matrix() {
             .open()
             .unwrap_or_else(|e| panic!("{label}: reopen: {e}"));
         // A reopened file-backed store starts cold: reads do real I/O.
-        db.reset_io_stats();
+        db.io().reset();
         conform(&mut db, &model, &mut rng, &label);
         assert!(
-            db.io_stats().accesses > 0,
+            db.io().snapshot().accesses > 0,
             "{label}: reopened store served reads from its file"
         );
 
@@ -142,7 +142,7 @@ fn open_or_create_semantics() {
     let path = tmp("ooc");
     let builder = DbBuilder::new()
         .structure(Structure::BTree)
-        .backend(Backend::File(path.clone()));
+        .backend(Backend::file(path.clone()));
     cleanup(&builder);
 
     assert!(matches!(builder.clone().open(), Err(OpenError::Missing(_))));
@@ -175,7 +175,7 @@ fn structure_of(b: &DbBuilder) -> Structure {
 fn make_gcola_store(path: &std::path::Path) -> DbBuilder {
     let builder = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(path.to_path_buf()));
+        .backend(Backend::file(path.to_path_buf()));
     cleanup(&builder);
     let mut db = builder.clone().build().unwrap();
     for k in 0..500u64 {
@@ -193,7 +193,7 @@ fn wrong_magic_is_typed_and_nondestructive() {
     let before = std::fs::read(&path).unwrap();
     let err = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(path.clone()))
+        .backend(Backend::file(path.clone()))
         .open()
         .unwrap_err();
     assert!(
@@ -229,7 +229,7 @@ fn unsupported_version_is_typed_and_nondestructive() {
     let before = std::fs::read(&path).unwrap();
     let err = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(path.clone()))
+        .backend(Backend::file(path.clone()))
         .open()
         .unwrap_err();
     assert!(
@@ -259,7 +259,7 @@ fn page_size_mismatch_is_typed_and_nondestructive() {
     let before = std::fs::read(&path).unwrap();
     let err = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(path.clone()))
+        .backend(Backend::file(path.clone()))
         .open()
         .unwrap_err();
     assert!(
@@ -284,7 +284,7 @@ fn structure_mismatch_is_typed_and_nondestructive() {
     let path = tmp("structure");
     let builder = DbBuilder::new()
         .structure(Structure::BasicCola)
-        .backend(Backend::File(path.clone()));
+        .backend(Backend::file(path.clone()));
     cleanup(&builder);
     let mut db = builder.clone().build().unwrap();
     db.insert(1, 1);
@@ -294,7 +294,7 @@ fn structure_mismatch_is_typed_and_nondestructive() {
 
     let err = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(path.clone()))
+        .backend(Backend::file(path.clone()))
         .open()
         .unwrap_err();
     assert!(matches!(&err, OpenError::StructureMismatch { .. }), "{err}");
@@ -303,7 +303,7 @@ fn structure_mismatch_is_typed_and_nondestructive() {
     let g8 = make_gcola_store(&tmp("structure-g"));
     let err = DbBuilder::new()
         .structure(Structure::GCola { g: 8 })
-        .backend(Backend::File(tmp("structure-g")))
+        .backend(Backend::file(tmp("structure-g")))
         .open()
         .unwrap_err();
     assert!(matches!(&err, OpenError::StructureMismatch { .. }), "{err}");
@@ -314,12 +314,12 @@ fn structure_mismatch_is_typed_and_nondestructive() {
     let bt_path = tmp("structure-bt");
     let bt = DbBuilder::new()
         .structure(Structure::BTree)
-        .backend(Backend::File(bt_path.clone()));
+        .backend(Backend::file(bt_path.clone()));
     cleanup(&bt);
     drop(bt.clone().build().unwrap());
     let err = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(bt_path.clone()))
+        .backend(Backend::file(bt_path.clone()))
         .open()
         .unwrap_err();
     assert!(
@@ -347,7 +347,7 @@ fn shard_layout_mismatches_are_typed() {
     let base = tmp("shardcfg");
     let builder = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(base.clone()))
+        .backend(Backend::file(base.clone()))
         .cache_bytes(512 * 1024)
         .shards(3)
         .shard_splitters(vec![100, 10_000]);
@@ -360,7 +360,7 @@ fn shard_layout_mismatches_are_typed() {
     // Wrong shard count.
     let err = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(base.clone()))
+        .backend(Backend::file(base.clone()))
         .cache_bytes(512 * 1024)
         .shards(2)
         .open()
@@ -387,7 +387,7 @@ fn shard_layout_mismatches_are_typed() {
     // Omitting splitters adopts the persisted routing.
     let mut db = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(base.clone()))
+        .backend(Backend::file(base.clone()))
         .cache_bytes(512 * 1024)
         .shards(3)
         .open()
@@ -410,7 +410,7 @@ fn never_synced_store_is_typed() {
     drop(fm);
     let err = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(path.clone()))
+        .backend(Backend::file(path.clone()))
         .open()
         .unwrap_err();
     assert!(
@@ -426,7 +426,7 @@ fn never_synced_store_is_typed() {
     // open_or_create must NOT clobber a present-but-unsynced file.
     assert!(DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(path.clone()))
+        .backend(Backend::file(path.clone()))
         .open_or_create()
         .is_err());
     std::fs::remove_file(path).ok();
@@ -449,7 +449,7 @@ fn sharded_open_rolls_back_a_shard_committed_past_the_record() {
     let base = tmp("xshard");
     let sharded = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(base.clone()))
+        .backend(Backend::file(base.clone()))
         .cache_bytes(512 * 1024)
         .shards(2);
     cleanup(&sharded);
@@ -470,7 +470,7 @@ fn sharded_open_rolls_back_a_shard_committed_past_the_record() {
     };
     let mut half_synced = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(shard0))
+        .backend(Backend::file(shard0))
         .open()
         .unwrap();
     assert_eq!(half_synced.get(5), Some(50));
@@ -507,7 +507,7 @@ fn open_or_create_refuses_partial_stores() {
     let base = tmp("partial");
     let sharded = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(base.clone()))
+        .backend(Backend::file(base.clone()))
         .cache_bytes(512 * 1024)
         .shards(2);
     cleanup(&sharded);
@@ -533,7 +533,7 @@ fn open_or_create_refuses_partial_stores() {
     };
     let mut standalone = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(shard0))
+        .backend(Backend::file(shard0))
         .open()
         .unwrap();
     assert_eq!(
@@ -552,7 +552,7 @@ fn meta_slot_capacity_is_configurable_and_persisted() {
     let path = tmp("slotcap");
     let builder = DbBuilder::new()
         .structure(Structure::BTree)
-        .backend(Backend::File(path.clone()))
+        .backend(Backend::file(path.clone()))
         .meta_slot_bytes(1024 * 1024);
     cleanup(&builder);
     let mut db = builder.clone().build().unwrap();
@@ -568,7 +568,7 @@ fn meta_slot_capacity_is_configurable_and_persisted() {
     cleanup(&builder);
     // And a nonsensical capacity is a build-time error.
     assert!(DbBuilder::new()
-        .backend(Backend::File(tmp("slotcap2")))
+        .backend(Backend::file(tmp("slotcap2")))
         .meta_slot_bytes(64)
         .build()
         .is_err());
@@ -581,7 +581,7 @@ fn missing_commit_record_is_typed() {
     let base = tmp("norecord");
     let sharded = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(base.clone()))
+        .backend(Backend::file(base.clone()))
         .cache_bytes(512 * 1024)
         .shards(2);
     cleanup(&sharded);
@@ -642,7 +642,7 @@ fn corrupt_cascade_fences_are_a_typed_open_error() {
     let before = std::fs::read(&path).unwrap();
     let err = DbBuilder::new()
         .structure(Structure::GCola { g: 4 })
-        .backend(Backend::File(path.clone()))
+        .backend(Backend::file(path.clone()))
         .open()
         .unwrap_err();
     assert!(
@@ -680,7 +680,7 @@ fn reopen_rebuilds_cascade_accelerators() {
         let path = tmp(&format!("cascade{i}"));
         let mut builder = DbBuilder::new()
             .structure(s)
-            .backend(Backend::File(path))
+            .backend(Backend::file(path))
             .cache_bytes(256 * 1024);
         if deamortized {
             builder = builder.deamortized();
@@ -697,11 +697,11 @@ fn reopen_rebuilds_cascade_accelerators() {
         for cascade in [true, false] {
             let mut db = builder.clone().cascade(cascade).open().unwrap();
             db.drop_cache().unwrap();
-            db.reset_io_stats();
+            db.io().reset();
             for p in 0..64u64 {
                 assert_eq!(db.get(u64::MAX - p), None, "{label}: far miss");
             }
-            let fetches = db.io_stats().fetches;
+            let fetches = db.io().snapshot().fetches;
             if cascade {
                 assert_eq!(
                     fetches, 0,

@@ -178,6 +178,8 @@ pub struct RunMeta {
     pub parallel_ingest: bool,
     /// Whether fractional cascading was enabled.
     pub cascade: bool,
+    /// Whether vEB-packed search layouts were enabled.
+    pub veb_layout: bool,
     /// Lookahead-pointer density of the COLA levels.
     pub pointer_density: f64,
     /// Key distribution CLI name.
@@ -213,6 +215,7 @@ impl RunMeta {
             },
             parallel_ingest: cfg.parallel_ingest,
             cascade: cfg.cascade,
+            veb_layout: cfg.veb_layout,
             pointer_density: cfg.pointer_density,
             dist: dist.name().to_string(),
             ops,
@@ -906,6 +909,7 @@ impl ScenarioReport {
                     .with("cache_bytes", m.cache_bytes.into())
                     .with("parallel_ingest", Json::Bool(m.parallel_ingest))
                     .with("cascade", Json::Bool(m.cascade))
+                    .with("veb_layout", Json::Bool(m.veb_layout))
                     .with("pointer_density", m.pointer_density.into())
                     .with("dist", m.dist.as_str().into())
                     .with("ops", m.ops.into())
@@ -964,7 +968,7 @@ impl ScenarioReport {
 /// Header of the `BENCH_*.csv` companion files.
 pub fn csv_header() -> &'static str {
     "scenario,structure,backend,shards,dist,ops,prefill,seed,elapsed_s,\
-     throughput_ops_per_sec,p50_ns,p95_ns,p99_ns,prefill_transfers,run_transfers"
+     throughput_ops_per_sec,p50_ns,p95_ns,p99_ns,p999_ns,prefill_transfers,run_transfers"
 }
 
 /// Wraps run entries into a schema-versioned `BENCH_<scenario>.json`
@@ -1002,9 +1006,9 @@ pub fn merge_document(scenario: &str, existing: Option<&Json>, new_runs: &[Json]
 /// fanout, deamortization) the bare structure name does not — a 2-COLA
 /// and an 8-COLA must not replace each other's trajectory rows;
 /// cache_bytes because it directly changes transfer counts on file
-/// cells. `cascade`/`pointer_density` default to the builder defaults
-/// when absent, so baselines recorded before those fields existed keep
-/// matching runs that use the defaults.
+/// cells. `cascade`/`veb_layout`/`pointer_density` default to the
+/// builder defaults when absent, so baselines recorded before those
+/// fields existed keep matching runs that use the defaults.
 pub fn run_identity(run: &Json) -> String {
     let meta = run.get("meta");
     let s = |k: &str| {
@@ -1026,12 +1030,16 @@ pub fn run_identity(run: &Json) -> String {
         .and_then(|m| m.get("cascade"))
         .and_then(Json::as_bool)
         .unwrap_or(true);
+    let veb = meta
+        .and_then(|m| m.get("veb_layout"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
     let density = meta
         .and_then(|m| m.get("pointer_density"))
         .and_then(Json::as_f64)
         .unwrap_or(0.1);
     format!(
-        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
         s("structure"),
         s("label"),
         s("backend"),
@@ -1039,6 +1047,7 @@ pub fn run_identity(run: &Json) -> String {
         n("cache_bytes"),
         parallel,
         cascade,
+        veb,
         density,
         s("dist"),
         n("ops"),
@@ -1084,7 +1093,7 @@ pub fn csv_from_document(doc: &Json) -> String {
         use std::fmt::Write as _;
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{:.6},{:.1},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{:.6},{:.1},{},{},{},{},{},{}",
             scenario,
             ms("structure"),
             ms("backend"),
@@ -1100,6 +1109,7 @@ pub fn csv_from_document(doc: &Json) -> String {
             q("p50_ns"),
             q("p95_ns"),
             q("p99_ns"),
+            q("p999_ns"),
             io("prefill"),
             io("run"),
         );
@@ -1227,6 +1237,7 @@ mod tests {
             cache_bytes: 0,
             parallel_ingest: false,
             cascade: true,
+            veb_layout: false,
             pointer_density: 0.1,
             dist: dist.name().into(),
             ops: n,
@@ -1390,6 +1401,7 @@ mod tests {
             cache_bytes: 64 * 1024,
             parallel_ingest: false,
             cascade: true,
+            veb_layout: false,
             pointer_density: 0.1,
             dist: dist.name().into(),
             ops: n,

@@ -60,6 +60,9 @@ pub struct BasicCola<M: Mem<Cell>> {
     /// binary-search path is kept behind this toggle for differential
     /// testing ([`BasicCola::set_cascade`]).
     cascade: bool,
+    /// Whether sealed levels carry a vEB-packed mirror of their ghost
+    /// sample ([`BasicCola::set_veb_layout`]); off by default.
+    veb: bool,
 }
 
 impl BasicCola<PlainMem<Cell>> {
@@ -80,6 +83,7 @@ impl<M: Mem<Cell>> BasicCola<M> {
             stats: ColaStats::default(),
             aux: vec![None],
             cascade: true,
+            veb: false,
         }
     }
 
@@ -105,6 +109,27 @@ impl<M: Mem<Cell>> BasicCola<M> {
     /// Whether the cascade read path is active.
     pub fn cascade_enabled(&self) -> bool {
         self.cascade
+    }
+
+    /// Enables or disables the vEB-packed ghost mirrors (off by
+    /// default). Search results and block-transfer counts are identical
+    /// either way — the mirror only changes how the DRAM-resident ghost
+    /// sample is probed — so the toggle can flip freely, including
+    /// across reopens. Flipping rebuilds the mirrors from the in-DRAM
+    /// samples without touching any stored cell.
+    pub fn set_veb_layout(&mut self, enabled: bool) {
+        if enabled == self.veb {
+            return;
+        }
+        self.veb = enabled;
+        for aux in self.aux.iter_mut().flatten() {
+            aux.set_veb(enabled);
+        }
+    }
+
+    /// Whether the vEB ghost mirrors are active.
+    pub fn veb_layout_enabled(&self) -> bool {
+        self.veb
     }
 
     /// Number of insert operations performed (the paper's N).
@@ -158,10 +183,11 @@ impl<M: Mem<Cell>> BasicCola<M> {
         if t == 0 {
             self.mem.set(level_off(0), cell);
             self.full[0] = true;
+            let veb = self.veb;
             self.aux[0] = self.cascade.then(|| {
                 let mut b = AuxBuilder::new(1);
                 b.push(&cell);
-                b.finish()
+                b.finish().with_veb(veb)
             });
             self.stats.cells_written += 1;
             let w = self.stats.cells_written - before;
@@ -237,7 +263,8 @@ impl<M: Mem<Cell>> BasicCola<M> {
         debug_assert_eq!(run_base, target_base);
         debug_assert_eq!(run_len, 1 << t);
         self.full[t] = true;
-        self.aux[t] = aux_builder.map(AuxBuilder::finish);
+        let veb = self.veb;
+        self.aux[t] = aux_builder.map(|b| b.finish().with_veb(veb));
 
         let w = self.stats.cells_written - before;
         self.stats.max_cells_per_insert = self.stats.max_cells_per_insert.max(w);
@@ -319,9 +346,10 @@ impl<M: Mem<Cell>> BasicCola<M> {
                 for i in 0..(1usize << k) {
                     self.mem.set(base + i, merged[start + i]);
                 }
-                self.aux[k] = self
-                    .cascade
-                    .then(|| crate::cascade::build_aux(merged[start..start + (1 << k)].iter()));
+                let veb = self.veb;
+                self.aux[k] = self.cascade.then(|| {
+                    crate::cascade::build_aux(merged[start..start + (1 << k)].iter()).with_veb(veb)
+                });
                 self.stats.cells_written += 1u64 << k;
                 start += 1 << k;
             } else {
@@ -389,7 +417,7 @@ impl<M: Mem<Cell>> BasicCola<M> {
             let c = self.mem.get(base + i);
             b.push(&c);
         }
-        self.aux[k] = Some(b.finish());
+        self.aux[k] = Some(b.finish().with_veb(self.veb));
     }
 
     /// Rebuilds the structure keeping only live entries (drops shadowed
@@ -433,7 +461,8 @@ impl<M: Mem<Cell>> BasicCola<M> {
                     b.push(&cell);
                 }
             }
-            self.aux[k] = b.map(AuxBuilder::finish);
+            let veb = self.veb;
+            self.aux[k] = b.map(|b| b.finish().with_veb(veb));
             self.full[k] = true;
             self.n += 1 << k;
         }
@@ -497,6 +526,7 @@ impl<M: Mem<Cell>> BasicCola<M> {
             stats: ColaStats::default(),
             aux,
             cascade: true,
+            veb: false,
         };
         for (k, fence) in fences.iter().enumerate() {
             if !cola.full[k] {
@@ -553,6 +583,11 @@ impl<M: Mem<Cell>> BasicCola<M> {
                     assert!(self.cascade, "cascade off but level {k} has aux");
                     aux.check().unwrap_or_else(|e| panic!("level {k} aux: {e}"));
                     assert_eq!(aux.len, 1usize << k, "level {k} aux length");
+                    assert_eq!(
+                        aux.veb.is_some(),
+                        self.veb,
+                        "level {k} vEB mirror out of lockstep with the toggle"
+                    );
                     let base = level_off(k);
                     assert_eq!(
                         (aux.fence_min, aux.fence_max),

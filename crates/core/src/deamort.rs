@@ -143,6 +143,9 @@ pub struct DeamortCola<M: Mem<Cell>> {
     /// full-binary-search path stays behind this toggle for differential
     /// testing ([`DeamortCola::set_cascade`]).
     cascade: bool,
+    /// Whether array auxes carry a vEB-packed mirror of their ghost
+    /// sample ([`DeamortCola::set_veb_layout`]); off by default.
+    veb: bool,
 }
 
 /// Slot capacity of one array at level `k`: room for `2^k` items from each
@@ -185,6 +188,7 @@ impl<M: Mem<Cell>> DeamortCola<M> {
             aux: vec![[None, None, None]],
             phase_aux: vec![None],
             cascade: true,
+            veb: false,
         }
     }
 
@@ -216,6 +220,27 @@ impl<M: Mem<Cell>> DeamortCola<M> {
         self.cascade
     }
 
+    /// Enables or disables the vEB-packed ghost mirrors (off by
+    /// default). Search results and block-transfer counts are identical
+    /// either way, so the toggle can flip freely, including across
+    /// reopens and mid-phase: settled arrays rebuild their mirrors from
+    /// the in-DRAM samples now, and an in-flight phase picks up the
+    /// current flag when it publishes.
+    pub fn set_veb_layout(&mut self, enabled: bool) {
+        if enabled == self.veb {
+            return;
+        }
+        self.veb = enabled;
+        for aux in self.aux.iter_mut().flat_map(|s| s.iter_mut()).flatten() {
+            aux.set_veb(enabled);
+        }
+    }
+
+    /// Whether the vEB ghost mirrors are active.
+    pub fn veb_layout_enabled(&self) -> bool {
+        self.veb
+    }
+
     /// Whether array `(k, a)` is the in-flight write target of some
     /// phase, i.e. its bookkeeping and cells are mid-rewrite.
     fn mid_phase(&self, k: usize, a: usize) -> bool {
@@ -244,7 +269,7 @@ impl<M: Mem<Cell>> DeamortCola<M> {
             let c = self.mem.get(base + i);
             b.push(&c);
         }
-        self.aux[k][a] = Some(b.finish());
+        self.aux[k][a] = Some(b.finish().with_veb(self.veb));
     }
 
     /// Number of insert operations performed.
@@ -481,7 +506,7 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                     // scan so the toggle can't leave a settled array
                     // unaccelerated.
                     self.aux[k + 1][dst_arr] = match self.phase_aux[k].take() {
-                        Some(builder) => Some(builder.finish()),
+                        Some(builder) => Some(builder.finish().with_veb(self.veb)),
                         None if self.cascade => {
                             self.rebuild_aux(k + 1, dst_arr);
                             self.aux[k + 1][dst_arr].take()
@@ -553,7 +578,7 @@ impl<M: Mem<Cell>> DeamortCola<M> {
                     t.linked_to = Some(*from);
                     let to_arr = *to;
                     self.aux[k][to_arr] = match self.phase_aux[k].take() {
-                        Some(builder) => Some(builder.finish()),
+                        Some(builder) => Some(builder.finish().with_veb(self.veb)),
                         None if self.cascade => {
                             self.rebuild_aux(k, to_arr);
                             self.aux[k][to_arr].take()
@@ -584,10 +609,11 @@ impl<M: Mem<Cell>> DeamortCola<M> {
         a.len = 1;
         a.items = 1;
         a.seq = self.seq;
+        let veb = self.veb;
         self.aux[0][side] = self.cascade.then(|| {
             let mut b = AuxBuilder::new(1);
             b.push(&cell);
-            b.finish()
+            b.finish().with_veb(veb)
         });
         self.stats.cells_written += 1;
 
@@ -772,6 +798,7 @@ impl<M: Mem<Cell>> DeamortCola<M> {
             aux: vec![[None, None, None]; count],
             phase_aux: (0..count).map(|_| None).collect(),
             cascade: true,
+            veb: false,
         };
         // v2: cross-check the persisted run fence keys against the
         // reopened cells, then rebuild each occupied array's cascade

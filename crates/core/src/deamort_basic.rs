@@ -77,6 +77,9 @@ pub struct DeamortBasicCola<M: Mem<Cell>> {
     /// full-binary-search path stays behind this toggle for differential
     /// testing ([`DeamortBasicCola::set_cascade`]).
     cascade: bool,
+    /// Whether array auxes carry a vEB-packed mirror of their ghost
+    /// sample ([`DeamortBasicCola::set_veb_layout`]); off by default.
+    veb: bool,
 }
 
 /// Offset of array `side` of level `k`: levels are packed contiguously,
@@ -108,6 +111,7 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             aux: vec![[None, None]],
             merge_aux: vec![None],
             cascade: true,
+            veb: false,
         }
     }
 
@@ -139,6 +143,27 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
         self.cascade
     }
 
+    /// Enables or disables the vEB-packed ghost mirrors (off by
+    /// default). Search results and block-transfer counts are identical
+    /// either way, so the toggle can flip freely, including across
+    /// reopens and mid-merge: committed arrays rebuild their mirrors
+    /// from the in-DRAM samples now, and an in-flight merge picks up
+    /// the current flag when it commits.
+    pub fn set_veb_layout(&mut self, enabled: bool) {
+        if enabled == self.veb {
+            return;
+        }
+        self.veb = enabled;
+        for aux in self.aux.iter_mut().flat_map(|s| s.iter_mut()).flatten() {
+            aux.set_veb(enabled);
+        }
+    }
+
+    /// Whether the vEB ghost mirrors are active.
+    pub fn veb_layout_enabled(&self) -> bool {
+        self.veb
+    }
+
     /// Rebuilds the aux for array `(k, side)` by scanning its cells
     /// (used on reopen and when an array commits without an incremental
     /// builder; merges normally build the aux inline).
@@ -150,7 +175,7 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             let c = self.mem.get(base + i);
             b.push(&c);
         }
-        self.aux[k][side] = Some(b.finish());
+        self.aux[k][side] = Some(b.finish().with_veb(self.veb));
     }
 
     /// Number of insert operations performed.
@@ -268,7 +293,7 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             // the cascade was off has no builder; rebuild by scan so the
             // toggle can't leave a committed array unaccelerated.
             self.aux[k + 1][ms.dst_side] = match self.merge_aux[k].take() {
-                Some(builder) => Some(builder.finish()),
+                Some(builder) => Some(builder.finish().with_veb(self.veb)),
                 None if self.cascade => {
                     self.rebuild_aux(k + 1, ms.dst_side);
                     self.aux[k + 1][ms.dst_side].take()
@@ -303,10 +328,11 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             .expect("level 0 has no free array: mover fell behind");
         self.mem.set(arr_off(0, side), cell);
         self.state[0][side] = ArrState::Full { seq: self.seq };
+        let veb = self.veb;
         self.aux[0][side] = self.cascade.then(|| {
             let mut b = AuxBuilder::new(1);
             b.push(&cell);
-            b.finish()
+            b.finish().with_veb(veb)
         });
         self.stats.cells_written += 1;
         self.maybe_mark_unsafe(0);
@@ -448,6 +474,7 @@ impl<M: Mem<Cell>> DeamortBasicCola<M> {
             aux: vec![[None, None]; count],
             merge_aux: (0..count).map(|_| None).collect(),
             cascade: true,
+            veb: false,
         };
         // v2: rebuild each full array's cascade accelerators from the
         // reopened cells and cross-check the persisted fence keys —

@@ -93,6 +93,9 @@ pub struct GCola<M: Mem<Cell>> {
     /// search path is kept behind this toggle for differential testing
     /// ([`GCola::set_cascade`]).
     cascade: bool,
+    /// Whether level auxes carry a vEB-packed mirror of their ghost
+    /// sample ([`GCola::set_veb_layout`]); off by default.
+    veb: bool,
 }
 
 impl GCola<PlainMem<Cell>> {
@@ -119,6 +122,7 @@ impl<M: Mem<Cell>> GCola<M> {
             stats: ColaStats::default(),
             aux: Vec::new(),
             cascade: true,
+            veb: false,
         };
         this.push_level();
         this
@@ -146,6 +150,27 @@ impl<M: Mem<Cell>> GCola<M> {
     /// Whether the cascade read path is active.
     pub fn cascade_enabled(&self) -> bool {
         self.cascade
+    }
+
+    /// Enables or disables the vEB-packed ghost mirrors (off by
+    /// default). Search results and block-transfer counts are identical
+    /// either way — the mirror only changes how the DRAM-resident ghost
+    /// sample is probed — so the toggle can flip freely, including
+    /// across reopens. Flipping rebuilds the mirrors from the in-DRAM
+    /// samples without touching any stored cell.
+    pub fn set_veb_layout(&mut self, enabled: bool) {
+        if enabled == self.veb {
+            return;
+        }
+        self.veb = enabled;
+        for aux in self.aux.iter_mut().flatten() {
+            aux.set_veb(enabled);
+        }
+    }
+
+    /// Whether the vEB ghost mirrors are active.
+    pub fn veb_layout_enabled(&self) -> bool {
+        self.veb
     }
 
     /// The COLA of Lemma 20: growth factor 2 with lookahead pointers
@@ -269,6 +294,7 @@ impl<M: Mem<Cell>> GCola<M> {
             stats: ColaStats::default(),
             aux,
             cascade: true,
+            veb: false,
         };
         // v2: cross-check the persisted run fence keys against the
         // reopened cells, then rebuild the cascade accelerators from
@@ -337,7 +363,7 @@ impl<M: Mem<Cell>> GCola<M> {
             let c = self.mem.get(base + i);
             b.push(&c);
         }
-        self.aux[l] = Some(b.finish());
+        self.aux[l] = Some(b.finish().with_veb(self.veb));
     }
 
     /// Reads level ℓ's occupied run, filtered to real cells.
@@ -413,7 +439,8 @@ impl<M: Mem<Cell>> GCola<M> {
         self.stats.cells_written += occ as u64;
         self.levels[l].items = items.len();
         self.levels[l].reds = lookaheads.len();
-        self.aux[l] = aux_builder.map(AuxBuilder::finish);
+        let veb = self.veb;
+        self.aux[l] = aux_builder.map(|b| b.finish().with_veb(veb));
     }
 
     fn insert_cell(&mut self, cell: Cell) {
@@ -709,6 +736,11 @@ impl<M: Mem<Cell>> GCola<M> {
                     assert!(self.cascade, "cascade off but level {l} has aux");
                     aux.check().unwrap_or_else(|e| panic!("level {l} aux: {e}"));
                     assert_eq!(aux.len, occ, "level {l} aux length");
+                    assert_eq!(
+                        aux.veb.is_some(),
+                        self.veb,
+                        "level {l} vEB mirror out of lockstep with the toggle"
+                    );
                     if lv.items > 0 {
                         let base = lv.run_base();
                         let keys: Vec<u64> = (0..occ)

@@ -1,0 +1,439 @@
+//! van Emde Boas–packed implicit search layouts with branchless probes.
+//!
+//! [`VebIndex`] packs the balanced binary search tree over a **sorted
+//! static key array** into the cache-oblivious van Emde Boas recursive
+//! order: a tree of height `h` is split at a power-of-two bottom height
+//! (`bh = hyperceil(h)/2`, `th = h − bh`), the top subtree of height
+//! `th` is laid out first (recursively), then each bottom subtree of
+//! height `bh` contiguously after it (recursively). Any aligned block of
+//! `B` consecutive slots then covers a whole recursive subtree of
+//! `Θ(log B)` levels, so a root-to-answer descent touches
+//! `O(log N / log B)` blocks for **every** block size simultaneously —
+//! no tuning parameter, which is the paper's cache-oblivious guarantee
+//! (see Lindstrom & Rajan, *Optimal Hierarchical Layouts*, for the
+//! packing recipe).
+//!
+//! The descent itself is **branchless**: exactly `height` iterations,
+//! each turning the comparison into a mask that conditionally-moves the
+//! running answer and the next slot (absent children self-loop, making
+//! trailing iterations idempotent). No `unsafe`, no SIMD — the layout
+//! keeps probes cache-resident, which is what makes the branchless form
+//! pay (cf. the BS-tree's data-parallel intra-node search).
+//!
+//! The index never stores the array it was built over; it returns
+//! **sorted positions** ([`VebIndex::lower_bound`] /
+//! [`VebIndex::upper_bound`]), bit-identical to
+//! `slice::partition_point`, so callers can adopt it underneath an
+//! existing binary search without changing results.
+
+/// One packed vEB slot. Key and both child links share a node so a
+/// probe step touches exactly one place — with the vEB ordering putting
+/// a whole `Θ(log B)`-level subtree in any `B`-sized block, that is the
+/// locality the layout promises. Splitting these into parallel arrays
+/// would spread every step over four lines and forfeit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct VebNode {
+    /// Key at this slot (slot 0 is the root).
+    key: u64,
+    /// vEB slot of the left child; self-loop when absent.
+    left: u32,
+    /// vEB slot of the right child; self-loop when absent.
+    right: u32,
+    /// Sorted-array position of this slot's key.
+    sidx: u32,
+}
+
+/// Sentinel-free implicit vEB search tree over a sorted key array.
+///
+/// Built once from a sorted slice ([`VebIndex::build`]); immutable
+/// afterwards. Duplicates are allowed — `lower_bound`/`upper_bound`
+/// bracket equal ranges exactly like `partition_point`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VebIndex {
+    /// The packed tree, in vEB order.
+    nodes: Vec<VebNode>,
+    /// Tree height (`⌊log₂ n⌋ + 1`; 0 when empty) — also the exact
+    /// iteration count of every probe.
+    height: u32,
+}
+
+/// Builds the balanced-by-midpoint BST over sorted positions `[lo, hi)`
+/// into child tables indexed by sorted position; returns the subtree's
+/// root position and height.
+fn build_bst(lo: usize, hi: usize, lch: &mut [u32], rch: &mut [u32]) -> (u32, u32) {
+    let mid = lo + (hi - lo) / 2;
+    let mut h = 1;
+    if lo < mid {
+        let (c, ch) = build_bst(lo, mid, lch, rch);
+        lch[mid] = c;
+        h = h.max(ch + 1);
+    }
+    if mid + 1 < hi {
+        let (c, ch) = build_bst(mid + 1, hi, lch, rch);
+        rch[mid] = c;
+        h = h.max(ch + 1);
+    }
+    (mid as u32, h)
+}
+
+/// Emits the subtree rooted at `node`, truncated to `h` levels, in vEB
+/// order: split the height at the power-of-two boundary, lay out the top
+/// recursively, then each bottom subtree contiguously. Children at
+/// relative depth `h` (the bottom-tree roots of the *enclosing* split)
+/// are collected into `below`.
+fn veb_order(
+    node: u32,
+    h: u32,
+    lch: &[u32],
+    rch: &[u32],
+    order: &mut Vec<u32>,
+    below: &mut Vec<u32>,
+) {
+    if h == 1 {
+        order.push(node);
+        let (l, r) = (lch[node as usize], rch[node as usize]);
+        if l != u32::MAX {
+            below.push(l);
+        }
+        if r != u32::MAX {
+            below.push(r);
+        }
+        return;
+    }
+    // Power-of-two height split: the bottom trees get the largest power
+    // of two below h, so every recursion level halves the height without
+    // any machine-dependent parameter.
+    let bh = h.next_power_of_two() / 2;
+    let th = h - bh;
+    let mut mids = Vec::new();
+    veb_order(node, th, lch, rch, order, &mut mids);
+    for m in mids {
+        veb_order(m, bh, lch, rch, order, below);
+    }
+}
+
+impl VebIndex {
+    /// Packs `sorted` (ascending, duplicates allowed) into vEB order.
+    ///
+    /// One `O(n)` pass over DRAM-resident data; intended to run once
+    /// when a run is sealed (amortized `O(1)` against the merge that
+    /// produced the run) or when a toggle/reopen rebuilds accelerators.
+    pub fn build(sorted: &[u64]) -> VebIndex {
+        let n = sorted.len();
+        assert!(n < u32::MAX as usize, "vEB index limited to u32 slots");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "input must be sorted"
+        );
+        if n == 0 {
+            return VebIndex {
+                nodes: Vec::new(),
+                height: 0,
+            };
+        }
+        let mut lch = vec![u32::MAX; n];
+        let mut rch = vec![u32::MAX; n];
+        let (root, height) = build_bst(0, n, &mut lch, &mut rch);
+        let mut order = Vec::with_capacity(n);
+        let mut below = Vec::new();
+        veb_order(root, height, &lch, &rch, &mut order, &mut below);
+        debug_assert!(below.is_empty(), "no nodes exist past the tree height");
+        debug_assert_eq!(order.len(), n);
+        debug_assert_eq!(order.first(), Some(&root), "root packs at slot 0");
+        let mut slot_of = vec![u32::MAX; n];
+        for (s, &pos) in order.iter().enumerate() {
+            slot_of[pos as usize] = s as u32;
+        }
+        let nodes = order
+            .iter()
+            .enumerate()
+            .map(|(s, &pos)| {
+                let p = pos as usize;
+                VebNode {
+                    key: sorted[p],
+                    sidx: pos,
+                    // Absent children self-loop: a probe that lands here
+                    // keeps re-evaluating the same node, so the
+                    // fixed-length descent needs no per-iteration exit
+                    // test.
+                    left: if lch[p] == u32::MAX {
+                        s as u32
+                    } else {
+                        slot_of[lch[p] as usize]
+                    },
+                    right: if rch[p] == u32::MAX {
+                        s as u32
+                    } else {
+                        slot_of[rch[p] as usize]
+                    },
+                }
+            })
+            .collect();
+        VebIndex { nodes, height }
+    }
+
+    /// Number of keys the index was built over.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the index holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Probe height (exact iterations per search; 0 when empty).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The fixed-length branchless descent. `GE` selects the go-left
+    /// predicate: `key_at_slot >= target` computes the lower bound,
+    /// `key_at_slot > target` the upper bound. Monomorphized so the
+    /// predicate costs nothing at runtime; every data-dependent choice
+    /// is a mask select, never a branch.
+    #[inline]
+    fn probe<const GE: bool>(&self, target: u64) -> usize {
+        let mut slot = 0usize;
+        let mut res = self.nodes.len() as u32;
+        for _ in 0..self.height {
+            let n = self.nodes[slot];
+            let go_left = if GE { n.key >= target } else { n.key > target };
+            let mask = (go_left as u32).wrapping_neg();
+            res = (n.sidx & mask) | (res & !mask);
+            slot = ((n.left & mask) | (n.right & !mask)) as usize;
+        }
+        res as usize
+    }
+
+    /// First sorted position whose key is `>= key` — bit-identical to
+    /// `sorted.partition_point(|&k| k < key)`.
+    #[inline]
+    pub fn lower_bound(&self, key: u64) -> usize {
+        self.probe::<true>(key)
+    }
+
+    /// First sorted position whose key is `> key` — bit-identical to
+    /// `sorted.partition_point(|&k| k <= key)`.
+    #[inline]
+    pub fn upper_bound(&self, key: u64) -> usize {
+        self.probe::<false>(key)
+    }
+
+    /// Validates structural consistency: a cycle-free in-order traversal
+    /// from slot 0 visiting every slot exactly once, sorted positions
+    /// forming the identity permutation in key order, nondecreasing
+    /// keys, and a probe height that can reach every node.
+    pub fn check(&self) -> Result<(), String> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return if self.height == 0 {
+                Ok(())
+            } else {
+                Err("empty vEB index with nonzero height".into())
+            };
+        }
+        if (self.height as u64) < (u64::BITS - (n as u64).leading_zeros()) as u64 {
+            return Err(format!("height {} too small for {} keys", self.height, n));
+        }
+        let mut stack: Vec<usize> = Vec::new();
+        let mut cur = Some(0usize);
+        let mut visited = 0usize;
+        let mut prev_key: Option<u64> = None;
+        while cur.is_some() || !stack.is_empty() {
+            while let Some(c) = cur {
+                if c >= n {
+                    return Err(format!("child slot {c} out of range"));
+                }
+                if stack.len() > n {
+                    return Err("cycle in vEB child links".into());
+                }
+                stack.push(c);
+                let l = self.nodes[c].left as usize;
+                cur = (l != c).then_some(l);
+            }
+            let c = stack.pop().expect("loop guard held a frame");
+            if self.nodes[c].sidx as usize != visited {
+                return Err(format!(
+                    "slot {c} holds sorted position {} where {} was expected in-order",
+                    self.nodes[c].sidx, visited
+                ));
+            }
+            if prev_key.is_some_and(|p| self.nodes[c].key < p) {
+                return Err(format!("slot {c} breaks key order"));
+            }
+            prev_key = Some(self.nodes[c].key);
+            visited += 1;
+            if visited > n {
+                return Err("in-order traversal revisits slots".into());
+            }
+            let r = self.nodes[c].right as usize;
+            cur = (r != c).then_some(r);
+        }
+        if visited != n {
+            return Err(format!("in-order traversal reached {visited} of {n} slots"));
+        }
+        Ok(())
+    }
+
+    /// [`VebIndex::check`] plus per-slot agreement with the sorted array
+    /// the index is supposed to mirror — the reopen-path validation that
+    /// catches a stale or corrupt index.
+    pub fn check_against(&self, sorted: &[u64]) -> Result<(), String> {
+        self.check()?;
+        if self.nodes.len() != sorted.len() {
+            return Err(format!(
+                "vEB index holds {} keys for an array of {}",
+                self.nodes.len(),
+                sorted.len()
+            ));
+        }
+        for (s, n) in self.nodes.iter().enumerate() {
+            if sorted[n.sidx as usize] != n.key {
+                return Err(format!(
+                    "slot {s} disagrees with sorted position {}",
+                    n.sidx
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosbt_testkit::Rng;
+
+    fn sorted_keys(n: usize, seed: u64, dup_every: u64) -> Vec<u64> {
+        let mut rng = Rng::new(seed);
+        let mut keys: Vec<u64> = (0..n)
+            .map(|_| {
+                let k = rng.below(1 << 34);
+                if dup_every > 0 && rng.below(dup_every) == 0 {
+                    k / 7 * 7 // force collisions
+                } else {
+                    k
+                }
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    #[test]
+    fn bounds_match_partition_point_exhaustively() {
+        // Every size 0..=130 (crossing several height-split shapes), with
+        // duplicates, probing every key, its neighbors, and extremes.
+        for n in 0..=130usize {
+            let keys = sorted_keys(n, 0xE5B + n as u64, 3);
+            let idx = VebIndex::build(&keys);
+            assert!(idx.check_against(&keys).is_ok(), "n={n}");
+            let mut probes: Vec<u64> = keys
+                .iter()
+                .flat_map(|&k| [k.wrapping_sub(1), k, k + 1])
+                .collect();
+            probes.extend([0, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX]);
+            for p in probes {
+                assert_eq!(
+                    idx.lower_bound(p),
+                    keys.partition_point(|&k| k < p),
+                    "lower_bound n={n} p={p}"
+                );
+                assert_eq!(
+                    idx.upper_bound(p),
+                    keys.partition_point(|&k| k <= p),
+                    "upper_bound n={n} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_match_partition_point_at_scale() {
+        for seed in 0..4u64 {
+            let keys = sorted_keys(10_000 + seed as usize * 2_731, 0xA11CE + seed, 5);
+            let idx = VebIndex::build(&keys);
+            assert!(idx.check_against(&keys).is_ok());
+            let mut rng = Rng::new(seed ^ 0x5EED);
+            for _ in 0..4_000 {
+                let p = rng.below(1 << 35);
+                assert_eq!(idx.lower_bound(p), keys.partition_point(|&k| k < p));
+                assert_eq!(idx.upper_bound(p), keys.partition_point(|&k| k <= p));
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_tree_packs_in_veb_order() {
+        // n = 15, height 4, split 2+2: top tree {7,3,11}, then the four
+        // bottom trees {1,0,2} {5,4,6} {9,8,10} {13,12,14} — the classic
+        // vEB picture, pinned by sorted position per slot.
+        let keys: Vec<u64> = (0..15).map(|i| i * 10).collect();
+        let idx = VebIndex::build(&keys);
+        assert_eq!(idx.height(), 4);
+        let order: Vec<u32> = idx.nodes.iter().map(|n| n.sidx).collect();
+        assert_eq!(
+            order,
+            vec![7, 3, 11, 1, 0, 2, 5, 4, 6, 9, 8, 10, 13, 12, 14]
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let idx = VebIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.height(), 0);
+        assert_eq!(idx.lower_bound(7), 0);
+        assert_eq!(idx.upper_bound(7), 0);
+        assert!(idx.check_against(&[]).is_ok());
+        let idx = VebIndex::build(&[42]);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.height(), 1);
+        assert_eq!((idx.lower_bound(41), idx.upper_bound(41)), (0, 0));
+        assert_eq!((idx.lower_bound(42), idx.upper_bound(42)), (0, 1));
+        assert_eq!((idx.lower_bound(43), idx.upper_bound(43)), (1, 1));
+    }
+
+    #[test]
+    fn check_rejects_corruption() {
+        let keys = sorted_keys(257, 0xBAD, 0);
+        let good = VebIndex::build(&keys);
+        assert!(good.check_against(&keys).is_ok());
+        let mut bad = good.clone();
+        bad.nodes[3].key = bad.nodes[3].key.wrapping_add(1);
+        assert!(bad.check().is_err() || bad.check_against(&keys).is_err());
+        let mut bad = good.clone();
+        bad.nodes[0].left = 0; // root self-loops left: in-order coverage breaks
+        assert!(bad.check().is_err());
+        let mut bad = good.clone();
+        let (a, b) = (bad.nodes[1].sidx, bad.nodes[2].sidx);
+        bad.nodes[1].sidx = b;
+        bad.nodes[2].sidx = a;
+        assert!(bad.check().is_err());
+        let mut bad = good.clone();
+        bad.nodes.pop();
+        assert!(bad.check().is_err());
+        let mut bad = good.clone();
+        bad.height = 1; // cannot reach every node
+        assert!(bad.check().is_err());
+        // Stale against a different array even if self-consistent.
+        let mut other = keys.clone();
+        other[0] = other[0].wrapping_sub(1);
+        assert!(good.check_against(&other).is_err());
+    }
+
+    #[test]
+    fn trailing_iterations_are_idempotent() {
+        // The fixed-length loop may stall on a self-loop before the
+        // height runs out; running *extra* iterations must not change
+        // the answer. Simulated by probing with an inflated height.
+        let keys = sorted_keys(100, 7, 2);
+        let mut idx = VebIndex::build(&keys);
+        idx.height += 7;
+        for p in [0u64, keys[10], keys[50] + 1, u64::MAX] {
+            assert_eq!(idx.lower_bound(p), keys.partition_point(|&k| k < p));
+            assert_eq!(idx.upper_bound(p), keys.partition_point(|&k| k <= p));
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod dict;
 pub mod entry;
 pub mod epoch;
 pub mod gcola;
+pub mod layout;
 pub mod persist;
 pub mod stats;
 pub mod worker;
@@ -41,6 +42,7 @@ pub use dict::{BatchOp, Cursor, CursorOps, Dictionary, UpdateBatch, VecCursor};
 pub use entry::Cell;
 pub use epoch::{EpochManager, EpochStats, EpochVersion, PinnedEpoch};
 pub use gcola::GCola;
+pub use layout::VebIndex;
 pub use persist::{MetaError, MetaReader, MetaWriter, Persist};
 pub use stats::ColaStats;
 pub use worker::WorkerPool;

@@ -140,6 +140,8 @@ pub struct DbConfig {
     pub pointer_density: f64,
     /// Fractional-cascading read accelerators enabled.
     pub cascade: bool,
+    /// vEB-packed static search layouts with branchless probes enabled.
+    pub veb_layout: bool,
     /// Shard count (1 = unsharded).
     pub shards: usize,
     /// Explicit shard boundaries, if any were configured or recovered.
@@ -184,7 +186,7 @@ impl DbConfig {
     /// the data file's location, which is scratch-dependent.
     pub fn identity(&self) -> String {
         format!(
-            "{}|{}|shards={}|cache={}|parallel={}|cascade={}|density={}",
+            "{}|{}|shards={}|cache={}|parallel={}|cascade={}|density={}|veb={}",
             self.label(),
             self.backend_kind(),
             self.shards,
@@ -195,6 +197,7 @@ impl DbConfig {
             self.parallel_ingest,
             self.cascade,
             self.pointer_density,
+            self.veb_layout,
         )
     }
 }
@@ -544,6 +547,7 @@ pub struct DbBuilder {
     parallel_ingest: bool,
     background_merge: usize,
     cascade: bool,
+    veb_layout: bool,
 }
 
 impl Default for DbBuilder {
@@ -560,6 +564,7 @@ impl Default for DbBuilder {
             parallel_ingest: false,
             background_merge: 0,
             cascade: true,
+            veb_layout: false,
         }
     }
 }
@@ -677,6 +682,18 @@ impl DbBuilder {
     /// cascaded search against the plain per-level binary search.
     pub fn cascade(mut self, on: bool) -> DbBuilder {
         self.cascade = on;
+        self
+    }
+
+    /// Enables or disables vEB-packed static search layouts with
+    /// branchless probes (default off). For COLA structures the sealed
+    /// runs' ghost-sample arrays get a van Emde Boas-ordered DRAM mirror;
+    /// for the B-tree the branch separators are flattened into a vEB
+    /// leaf directory that routes point lookups in one leaf fetch. Like
+    /// [`DbBuilder::cascade`], a runtime knob: it changes the search
+    /// path, never on-disk state, so it can flip freely across reopens.
+    pub fn veb_layout(mut self, on: bool) -> DbBuilder {
+        self.veb_layout = on;
         self
     }
 
@@ -1099,7 +1116,9 @@ impl DbBuilder {
                 let store = ArcFilePages::new(store);
                 let dict: Shard = match self.structure {
                     Structure::BTree => {
-                        Box::new(BTree::from_parts(store.clone(), &meta).map_err(meta_err)?)
+                        let mut t = BTree::from_parts(store.clone(), &meta).map_err(meta_err)?;
+                        t.set_veb_layout(self.veb_layout);
+                        Box::new(t)
                     }
                     _ => Box::new(Brt::from_parts(store.clone(), &meta).map_err(meta_err)?),
                 };
@@ -1118,12 +1137,14 @@ impl DbBuilder {
                     (Structure::BasicCola, false) => {
                         let mut c = BasicCola::from_parts(mem.clone(), &meta).map_err(meta_err)?;
                         c.set_cascade(self.cascade);
+                        c.set_veb_layout(self.veb_layout);
                         Box::new(c)
                     }
                     (Structure::BasicCola, true) => {
                         let mut c =
                             DeamortBasicCola::from_parts(mem.clone(), &meta).map_err(meta_err)?;
                         c.set_cascade(self.cascade);
+                        c.set_veb_layout(self.veb_layout);
                         Box::new(c)
                     }
                     (Structure::GCola { g }, false) => {
@@ -1136,12 +1157,14 @@ impl DbBuilder {
                             });
                         }
                         cola.set_cascade(self.cascade);
+                        cola.set_veb_layout(self.veb_layout);
                         Box::new(cola)
                     }
                     (Structure::GCola { .. }, true) => {
                         let mut c =
                             DeamortCola::from_parts(mem.clone(), &meta).map_err(meta_err)?;
                         c.set_cascade(self.cascade);
+                        c.set_veb_layout(self.veb_layout);
                         Box::new(c)
                     }
                     _ => unreachable!(),
@@ -1211,24 +1234,32 @@ impl DbBuilder {
             (Backend::Mem, Structure::BasicCola) if self.deamortized => {
                 let mut c = DeamortBasicCola::new_plain();
                 c.set_cascade(self.cascade);
+                c.set_veb_layout(self.veb_layout);
                 Ok((Box::new(c), None))
             }
             (Backend::Mem, Structure::BasicCola) => {
                 let mut c = BasicCola::new_plain();
                 c.set_cascade(self.cascade);
+                c.set_veb_layout(self.veb_layout);
                 Ok((Box::new(c), None))
             }
             (Backend::Mem, Structure::GCola { .. }) if self.deamortized => {
                 let mut c = DeamortCola::new_plain();
                 c.set_cascade(self.cascade);
+                c.set_veb_layout(self.veb_layout);
                 Ok((Box::new(c), None))
             }
             (Backend::Mem, Structure::GCola { g }) => {
                 let mut c = GCola::new(cosbt_dam::PlainMem::new(), g, self.pointer_density);
                 c.set_cascade(self.cascade);
+                c.set_veb_layout(self.veb_layout);
                 Ok((Box::new(c), None))
             }
-            (Backend::Mem, Structure::BTree) => Ok((Box::new(BTree::new_plain()), None)),
+            (Backend::Mem, Structure::BTree) => {
+                let mut t = BTree::new_plain();
+                t.set_veb_layout(self.veb_layout);
+                Ok((Box::new(t), None))
+            }
             (Backend::Mem, Structure::Brt) => Ok((Box::new(Brt::new_plain()), None)),
             (Backend::Mem, Structure::Shuttle { c }) => Ok((Box::new(ShuttleTree::new(c)), None)),
             (Backend::File { path: base, direct }, structure) => {
@@ -1247,7 +1278,11 @@ impl DbBuilder {
                             self.meta_slot_bytes,
                         )?);
                         let dict: Shard = match structure {
-                            Structure::BTree => Box::new(BTree::new(store.clone())),
+                            Structure::BTree => {
+                                let mut t = BTree::new(store.clone());
+                                t.set_veb_layout(self.veb_layout);
+                                Box::new(t)
+                            }
                             _ => Box::new(Brt::new(store.clone())),
                         };
                         Ok((dict, Some(StoreHandle::Pages(store))))
@@ -1266,21 +1301,25 @@ impl DbBuilder {
                             (Structure::BasicCola, false) => {
                                 let mut c = BasicCola::new(mem.clone());
                                 c.set_cascade(self.cascade);
+                                c.set_veb_layout(self.veb_layout);
                                 Box::new(c)
                             }
                             (Structure::BasicCola, true) => {
                                 let mut c = DeamortBasicCola::new(mem.clone());
                                 c.set_cascade(self.cascade);
+                                c.set_veb_layout(self.veb_layout);
                                 Box::new(c)
                             }
                             (Structure::GCola { g }, false) => {
                                 let mut c = GCola::new(mem.clone(), g, self.pointer_density);
                                 c.set_cascade(self.cascade);
+                                c.set_veb_layout(self.veb_layout);
                                 Box::new(c)
                             }
                             (Structure::GCola { .. }, true) => {
                                 let mut c = DeamortCola::new(mem.clone());
                                 c.set_cascade(self.cascade);
+                                c.set_veb_layout(self.veb_layout);
                                 Box::new(c)
                             }
                             _ => unreachable!(),
@@ -1346,6 +1385,7 @@ impl DbBuilder {
             deamortized: self.deamortized,
             pointer_density: self.pointer_density,
             cascade: self.cascade,
+            veb_layout: self.veb_layout,
             shards: self.shards,
             splitters: self.splitters.clone(),
             parallel_ingest: self.parallel_ingest,
@@ -1377,7 +1417,8 @@ impl DbBuilder {
             .shards(cfg.shards)
             .parallel_ingest(cfg.parallel_ingest)
             .background_merge(cfg.background_merge)
-            .cascade(cfg.cascade);
+            .cascade(cfg.cascade)
+            .veb_layout(cfg.veb_layout);
         if let Some(s) = &cfg.splitters {
             b = b.shard_splitters(s.clone());
         }
@@ -1522,36 +1563,6 @@ impl std::fmt::Debug for IoHandle {
             .field("shards", &self.handles.len())
             .field("stats", &self.snapshot())
             .finish()
-    }
-}
-
-/// A cheap cloneable reader of a file-backed [`Db`]'s I/O counters.
-#[deprecated(note = "use `Db::io()` -> `IoHandle` (snapshot/take/reset) instead")]
-#[derive(Clone)]
-pub struct IoProbe {
-    inner: IoHandle,
-}
-
-#[allow(deprecated)]
-impl IoProbe {
-    /// Current counters, summed across shards.
-    pub fn stats(&self) -> IoStats {
-        self.inner.snapshot()
-    }
-
-    /// Cumulative block transfers (fetches + writebacks).
-    pub fn transfers(&self) -> u64 {
-        self.inner.transfers()
-    }
-
-    /// Returns the counters accumulated so far and resets them.
-    pub fn take_stats(&self) -> IoStats {
-        self.inner.take()
-    }
-
-    /// Resets the counters of every shard (lock-free).
-    pub fn reset_stats(&self) {
-        self.inner.reset()
     }
 }
 
@@ -1809,37 +1820,6 @@ impl Db {
         IoHandle {
             handles: self.ios.clone(),
         }
-    }
-
-    /// I/O-counter probe; `None` for memory backends.
-    #[deprecated(note = "use `Db::io()`; `IoHandle` exists for memory backends too")]
-    #[allow(deprecated)]
-    pub fn io_probe(&self) -> Option<IoProbe> {
-        if self.ios.is_empty() {
-            None
-        } else {
-            Some(IoProbe { inner: self.io() })
-        }
-    }
-
-    /// Real-I/O counters, summed across shards; zeros for memory
-    /// backends.
-    #[deprecated(note = "use `Db::io().snapshot()`")]
-    pub fn io_stats(&self) -> IoStats {
-        self.io().snapshot()
-    }
-
-    /// Resets the I/O counters of every shard (no-op for memory
-    /// backends).
-    #[deprecated(note = "use `Db::io().reset()`")]
-    pub fn reset_io_stats(&self) {
-        self.io().reset()
-    }
-
-    /// Returns the counters accumulated so far and resets them.
-    #[deprecated(note = "use `Db::io().take()`")]
-    pub fn take_io_stats(&self) -> IoStats {
-        self.io().take()
     }
 
     /// Declares the in-memory state disposable: suppresses the
@@ -2441,34 +2421,5 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<Db>();
         assert_send::<IoHandle>();
-        #[allow(deprecated)]
-        assert_send::<IoProbe>();
-    }
-
-    /// The pre-`Db::io()` surface must keep compiling (with deprecation
-    /// warnings) and keep returning the same counters it always did.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_io_surface_still_works() {
-        let path = tmp("deprecated-io");
-        let mut db = DbBuilder::new()
-            .structure(Structure::GCola { g: 4 })
-            .backend(Backend::file(path.clone()))
-            .cache_bytes(64 * 1024)
-            .build()
-            .unwrap();
-        for k in 0..500u64 {
-            db.insert(k, k);
-        }
-        let probe = db.io_probe().expect("file backend has a probe");
-        assert_eq!(probe.stats(), db.io_stats());
-        assert_eq!(db.io_stats(), db.io().snapshot());
-        let taken = db.take_io_stats();
-        assert!(taken.accesses > 0);
-        assert_eq!(db.io_stats(), IoStats::default());
-        db.reset_io_stats();
-        assert_eq!(probe.transfers(), db.io().transfers());
-        drop(db);
-        std::fs::remove_file(path).ok();
     }
 }

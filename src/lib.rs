@@ -76,8 +76,6 @@ mod db;
 pub mod shard;
 pub mod snapshot;
 
-#[allow(deprecated)]
-pub use db::IoProbe;
 pub use db::{
     Backend, BuildError, Db, DbBuilder, DbConfig, IoHandle, OpenError, Structure,
     VALID_COMBINATIONS,

@@ -4,8 +4,6 @@
 //! this crate's *build*, not a runtime test.
 
 use cosbt::cola::{EpochManager, PinnedEpoch, WorkerPool};
-#[allow(deprecated)]
-use cosbt::IoProbe;
 use cosbt::{Db, DbReader, DbSnapshot, IoHandle, SnapshotCursor};
 
 fn assert_send<T: Send>() {}
@@ -17,7 +15,7 @@ fn assert_static<T: 'static>() {}
 #[test]
 fn db_is_send_and_sync() {
     // `Send` lets a Db move to a writer thread; `Sync` lets `&Db`
-    // methods (io_stats, snapshot_stats, drop_cache) be called from
+    // methods (io, snapshot_stats, drop_cache) be called from
     // anywhere. All mutation goes through `&mut self`, so `Sync` adds
     // no data-race surface.
     assert_send::<Db>();
@@ -44,14 +42,9 @@ fn snapshot_handles_are_shareable() {
 #[test]
 fn probe_and_internals_are_shareable() {
     // IoHandle must be usable from a monitoring thread while a writer
-    // thread owns the Db — and the deprecated IoProbe shim must keep
-    // the same auto traits until it is removed.
+    // thread owns the Db.
     assert_send_sync::<IoHandle>();
     assert_clone::<IoHandle>();
-    #[allow(deprecated)]
-    assert_send_sync::<IoProbe>();
-    #[allow(deprecated)]
-    assert_clone::<IoProbe>();
     // Subsystem internals that cross thread boundaries by design.
     assert_send_sync::<EpochManager>();
     assert_send_sync::<PinnedEpoch>();

@@ -608,10 +608,11 @@ fn cmd_run(args: &mut Args) -> ExitCode {
     // phase must not leak the cell's store files into the temp dir. The
     // measured phase mutated a resumed store, so its marker dies too.
     for path in built.cleanup {
-        std::fs::remove_file(path).ok();
+        // Best-effort temp-dir hygiene; the file may be gone already.
+        let _ = std::fs::remove_file(path);
     }
     if let Some(marker) = built.marker {
-        std::fs::remove_file(marker).ok();
+        let _ = std::fs::remove_file(marker);
     }
     if let Err(e) = reopen_result {
         eprintln!("reopen phase failed: {e}");

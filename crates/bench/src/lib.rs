@@ -11,6 +11,9 @@
 //! `bench figures` drives the paper's parameter sweeps. CSV/JSON output
 //! lands in `results/`; the README's "Benchmarking" section is the tour.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod histogram;
 pub mod json;
 pub mod measure;

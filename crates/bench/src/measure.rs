@@ -140,7 +140,8 @@ pub fn write_atomic(path: &std::path::Path, content: &str) -> std::io::Result<()
         std::fs::rename(&tmp, path)
     })();
     if result.is_err() {
-        std::fs::remove_file(&tmp).ok();
+        // Best-effort: drop the half-written temp file on failure.
+        let _ = std::fs::remove_file(&tmp);
     }
     result
 }

@@ -728,6 +728,9 @@ pub fn run_concurrent(
                 let mut rng = Rng::new(seed ^ 0xC11E_4700 ^ (c as u64) << 32);
                 let mut hist = Histogram::new();
                 let mut hits = 0u64;
+                // ordering: Acquire pairs with the driver's Release
+                // store so a client observing `stop` also observes the
+                // final snapshot published before it.
                 while !stop.load(Ordering::Acquire) {
                     let snap = latest.lock().unwrap().clone();
                     for _ in 0..256 {
@@ -760,6 +763,7 @@ pub fn run_concurrent(
         *latest.lock().unwrap() = db.snapshot();
     }
     let elapsed_s = started.elapsed().as_secs_f64();
+    // ordering: Release pairs with the clients' Acquire loads above.
     stop.store(true, Ordering::Release);
 
     let mut read_latency = Histogram::new();

@@ -20,8 +20,8 @@
 //! recycling in the shadow-paged file layer (see
 //! [`EpochManager::shard_gate`]).
 
+use cosbt_testkit::sync::{Arc, Mutex, MutexGuard};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
 
 use crate::dict::BatchOp;
 
@@ -265,7 +265,7 @@ impl EpochManager {
         })
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+    fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().expect("epoch manager mutex poisoned")
     }
 

@@ -14,10 +14,11 @@
 //! A panicking job is caught, counted, and reported; it never takes a
 //! worker thread down.
 
+use cosbt_testkit::sync::time::Instant;
+use cosbt_testkit::sync::{thread, Arc, Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -44,7 +45,7 @@ struct Shared {
 /// closures FIFO.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -80,7 +81,7 @@ impl WorkerPool {
             let shared = shared.clone();
             shared.state.lock().expect("pool mutex poisoned").alive += 1;
             handles.push(
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("cosbt-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
                     .expect("spawning a worker thread failed"),
@@ -89,7 +90,7 @@ impl WorkerPool {
         WorkerPool { shared, handles }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
         self.shared.state.lock().expect("pool mutex poisoned")
     }
 
@@ -134,9 +135,11 @@ impl WorkerPool {
 
     /// Requests shutdown and waits up to `timeout` for workers to
     /// finish their current jobs and exit (queued-but-unstarted jobs
-    /// still run first). On timeout the remaining workers are detached
-    /// and their count returned as `Err`; they keep running but the
-    /// pool's resources are released when they eventually finish.
+    /// still run first while the deadline holds). On timeout the
+    /// remaining workers are detached and their count returned as
+    /// `Err`: the queue is cleared so no *new* job can start after the
+    /// caller has moved on, and the detached threads exit as soon as
+    /// their current job finishes.
     pub fn shutdown(mut self, timeout: Duration) -> Result<(), usize> {
         self.shutdown_inner(timeout)
     }
@@ -155,6 +158,21 @@ impl WorkerPool {
             }
             let now = Instant::now();
             if now >= deadline {
+                // Timed out: some workers are still mid-job. Clear the
+                // queue so a detached worker finishing its current job
+                // cannot pick up *another* one arbitrarily later —
+                // after this method returns the caller tears down
+                // state (epoch manager, stores) that queued jobs may
+                // reference. In-flight jobs are unaffected: they hold
+                // `Arc` references to everything they touch.
+                let dropped = st.queue.len();
+                st.queue.clear();
+                if dropped > 0 {
+                    eprintln!(
+                        "cosbt: shutdown timeout dropped {dropped} queued \
+                         background job(s) before they started"
+                    );
+                }
                 break st.alive;
             }
             let (guard, _) = self
@@ -228,6 +246,9 @@ fn worker_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    // ordering: every counter below is a pure test statistic read
+    // after `drain()` (which synchronizes via the pool mutex), so
+    // Relaxed is sufficient throughout this module.
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]

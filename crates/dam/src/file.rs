@@ -1465,6 +1465,8 @@ mod tests {
         struct Horizon(AtomicU64);
         impl ReclaimGate for Horizon {
             fn reclaim_horizon(&self) -> u64 {
+                // ordering: single-threaded test gate; nothing else is
+                // published through the horizon value.
                 self.0.load(Ordering::Relaxed)
             }
         }
@@ -1514,6 +1516,7 @@ mod tests {
         assert_eq!(old.with_page(b, |pg| pg[0]), 6);
         // Release the pin: everything retired below the new horizon is
         // recycled by the next remaps instead of growing the file.
+        // ordering: single-threaded test; no cross-thread publication.
         gate.0.store(u64::MAX, Ordering::Relaxed);
         fp.with_page_mut(a, |pg| pg[0] = 9);
         fp.with_page_mut(b, |pg| pg[0] = 10);

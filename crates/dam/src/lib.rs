@@ -23,7 +23,7 @@
 //! slice indexing: the instrumentation is zero-cost when it is not used.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dev;
 pub mod file;

@@ -18,7 +18,7 @@
 //! and all single-threaded use) recycle immediately, preserving the
 //! pre-MVCC behaviour and block-transfer counts bit-for-bit.
 
-use std::sync::Arc;
+use cosbt_testkit::sync::Arc;
 
 /// Decides when superseded committed pages may be recycled.
 ///

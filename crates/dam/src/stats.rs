@@ -1,6 +1,6 @@
 //! Block-transfer counters for the DAM simulator.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use cosbt_testkit::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters accumulated by [`crate::IoSim`].
 ///
@@ -130,36 +130,42 @@ impl AtomicIoStats {
     /// Count one logical block access.
     #[inline]
     pub fn inc_accesses(&self) {
+        // ordering: pure statistic; no other memory is published.
         self.accesses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one access that found its block resident.
     #[inline]
     pub fn inc_hits(&self) {
+        // ordering: pure statistic; no other memory is published.
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one block fetched from external memory.
     #[inline]
     pub fn inc_fetches(&self) {
+        // ordering: pure statistic; no other memory is published.
         self.fetches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one block evicted from internal memory.
     #[inline]
     pub fn inc_evictions(&self) {
+        // ordering: pure statistic; no other memory is published.
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one dirty block written back to external memory.
     #[inline]
     pub fn inc_writebacks(&self) {
+        // ordering: pure statistic; no other memory is published.
         self.writebacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one non-sequential device access.
     #[inline]
     pub fn inc_seeks(&self) {
+        // ordering: pure statistic; no other memory is published.
         self.seeks.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -170,6 +176,9 @@ impl AtomicIoStats {
     /// (e.g. see its access but not yet its fetch); totals are still
     /// never lost.
     pub fn snapshot(&self) -> IoStats {
+        // ordering: counters are independent statistics; a snapshot may
+        // straddle an in-flight operation (documented above) and no
+        // other memory is consumed through these loads.
         IoStats {
             accesses: self.accesses.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
@@ -187,6 +196,9 @@ impl AtomicIoStats {
     /// never neither. This is what makes phase accounting
     /// (`prefill` / `measured`) exact even with a racing writer.
     pub fn take(&self) -> IoStats {
+        // ordering: each swap is individually atomic, which is all the
+        // exactly-once phase accounting needs; the counters carry no
+        // other memory, so Relaxed suffices.
         IoStats {
             accesses: self.accesses.swap(0, Ordering::Relaxed),
             hits: self.hits.swap(0, Ordering::Relaxed),

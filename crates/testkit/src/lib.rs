@@ -12,6 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(cosbt_model)]
+pub mod model;
+pub mod sync;
+
 /// A seedable SplitMix64 pseudorandom generator.
 #[derive(Debug, Clone)]
 pub struct Rng {

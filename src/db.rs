@@ -806,7 +806,8 @@ impl DbBuilder {
                             i
                         };
                         for j in 0..created {
-                            std::fs::remove_file(self.shard_file_path(base, j)).ok();
+                            // Best-effort cleanup of partially-created shards.
+                            let _ = std::fs::remove_file(self.shard_file_path(base, j));
                         }
                     }
                     return Err(e);
@@ -850,7 +851,8 @@ impl DbBuilder {
             if let Err(e) = init {
                 drop(db);
                 for p in self.data_paths() {
-                    std::fs::remove_file(p).ok();
+                    // Best-effort cleanup of a failed build.
+                    let _ = std::fs::remove_file(p);
                 }
                 return Err(BuildError::Io(e));
             }
@@ -1919,6 +1921,11 @@ impl Drop for Db {
         // the drop forever. Jobs only touch the in-memory overlay, so
         // abandoning one never corrupts durable state.
         if let Some(pool) = self.mvcc.pool.take() {
+            // Queued-but-unstarted compactions become no-ops from here
+            // on; shutdown's timeout path additionally clears the
+            // queue, so a detached worker can never start a job that
+            // races this teardown.
+            self.mvcc.close();
             if let Err(n) = pool.shutdown(cosbt_core::worker::DROP_SHUTDOWN_TIMEOUT) {
                 eprintln!(
                     "cosbt: drop of '{}' abandoned {n} background merge worker(s) \

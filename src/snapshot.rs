@@ -20,8 +20,8 @@
 //! [`background_merge`](crate::DbBuilder::background_merge) worker pool
 //! so a long merge never stalls the writer or the readers.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use cosbt_testkit::sync::atomic::{AtomicBool, Ordering};
+use cosbt_testkit::sync::Arc;
 
 use cosbt_core::epoch::{merge_runs, Run};
 use cosbt_core::{BatchOp, Cursor, CursorOps, EpochManager, PinnedEpoch, WorkerPool};
@@ -43,6 +43,12 @@ pub(crate) struct MvccState {
     /// Single-flight latch: at most one background compaction in the
     /// queue at a time.
     merging: Arc<AtomicBool>,
+    /// Teardown latch: set when the owning `Db` starts dropping, so a
+    /// background compaction that has not yet begun its merge refuses
+    /// to run instead of racing the teardown (the pool's shutdown
+    /// clears queued jobs, but a job already *started* when the
+    /// timeout fired checks this before touching the epoch manager).
+    closed: Arc<AtomicBool>,
     /// Whether the overlay has been seeded and is mirroring writes.
     active: bool,
     /// Set when `dict_mut` hands out raw access the mirror cannot see;
@@ -57,6 +63,7 @@ impl MvccState {
             pending: Vec::new(),
             pool,
             merging: Arc::new(AtomicBool::new(false)),
+            closed: Arc::new(AtomicBool::new(false)),
             active: false,
             stale: false,
         }
@@ -137,18 +144,39 @@ impl MvccState {
         }
         match &self.pool {
             Some(pool) => {
+                // ordering: AcqRel — the winning swap acquires the
+                // previous job's Release of `merging`, ordering its
+                // published epoch before this job's reads; losers just
+                // back off.
                 if self.merging.swap(true, Ordering::AcqRel) {
                     return; // one compaction in flight already
                 }
                 let mgr = self.mgr.clone();
                 let merging = self.merging.clone();
+                let closed = self.closed.clone();
                 pool.submit(move || {
-                    compact_once(&mgr);
+                    // ordering: Acquire pairs with the Release store in
+                    // `close()`: once observed, the job must not touch
+                    // the epoch manager the teardown is about to drop.
+                    if !closed.load(Ordering::Acquire) {
+                        compact_once(&mgr);
+                    }
+                    // ordering: Release publishes this job's epoch
+                    // updates to the next compaction's AcqRel swap.
                     merging.store(false, Ordering::Release);
                 });
             }
             None => compact_once(&self.mgr),
         }
+    }
+
+    /// Flags teardown: background compactions submitted but not yet
+    /// running become no-ops. Called by the `Db` drop path before the
+    /// pool's bounded-timeout shutdown.
+    pub(crate) fn close(&self) {
+        // ordering: Release pairs with the Acquire load at the start of
+        // each queued compaction job.
+        self.closed.store(true, Ordering::Release);
     }
 
     /// Waits for queued background compactions to finish.

@@ -111,6 +111,8 @@ fn readers_on_pinned_snapshots_race_one_writer() {
                     .unwrap()
                     .push((snap, Arc::new(model.clone())));
             }
+            // ordering: Release pairs with the readers' Acquire loads.
+            // ordering: Release pairs with the readers' Acquire loads.
             done.store(true, Ordering::Release);
             (db, model)
         })
@@ -131,6 +133,8 @@ fn readers_on_pinned_snapshots_race_one_writer() {
                         validate_pair(snap, model, &mut rng);
                         validated += 1;
                     }
+                    // ordering: Acquire pairs with the writer's Release
+                    // store of `done`.
                     if done.load(Ordering::Acquire) && pairs.len() >= n_rounds {
                         break;
                     }
@@ -314,6 +318,7 @@ fn take_io_stats_loses_nothing_under_concurrent_swaps() {
         let done = Arc::clone(&done);
         thread::spawn(move || {
             let mut acc = cosbt::dam::IoStats::default();
+            // ordering: Acquire pairs with the driver's Release store.
             while !done.load(Ordering::Acquire) {
                 acc += probe.take();
             }
